@@ -1,0 +1,143 @@
+package privapprox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The public-API integration test: an analyst budget flows through the
+// initializer, clients answer over proxies, and the aggregator's
+// interval usually covers the ground truth.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const clients = 800
+	q, err := TaxiQuery("api-analyst", 1, time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make([]int, len(q.Buckets))
+	sys, err := NewSystem(SystemConfig{
+		Clients: clients,
+		Query:   q,
+		Budget:  &Budget{EpsilonZK: 3.0, Q: 0.3},
+		Seed:    21,
+		Populate: func(i int, db *DB) error {
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			if err := PopulateTaxi(db, rng, 1, time.Unix(0, 0), time.Minute); err != nil {
+				return err
+			}
+			rows, err := db.Query("SELECT distance FROM rides")
+			if err != nil {
+				return err
+			}
+			if idx := q.Buckets.Index(rows.Rows[0][0].String()); idx >= 0 {
+				exact[idx]++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	params := sys.Params()
+	ezk, err := params.EpsilonZK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ezk > 3.0+1e-9 {
+		t.Fatalf("derived ε_zk %v exceeds budget", ezk)
+	}
+
+	for epoch := 0; epoch < 2; epoch++ {
+		if _, _, err := sys.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sys.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no window fired")
+	}
+	res := results[0]
+	// Bucket 0 (≈33.6% of rides) should be estimated within a loose
+	// band, and overall mass should roughly match.
+	want := float64(exact[0] * 2) // 2 epochs
+	got := res.Buckets[0].Estimate.Estimate
+	if math.Abs(got-want)/want > 0.35 {
+		t.Errorf("bucket 0 estimate %v vs exact %v", got, want)
+	}
+	total := 0.0
+	for _, b := range res.Buckets {
+		total += b.Estimate.Estimate
+	}
+	if math.Abs(total-float64(clients*2))/float64(clients*2) > 0.25 {
+		t.Errorf("total mass %v vs %v", total, clients*2)
+	}
+}
+
+func TestPublicAPIPrivacyAccounting(t *testing.T) {
+	p := RRParams{P: 0.9, Q: 0.6}
+	dp, err := EpsilonDP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp-math.Log(16)) > 1e-12 {
+		t.Errorf("EpsilonDP = %v", dp)
+	}
+	zk, err := EpsilonZK(0.6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zk-3.5263) > 1e-3 {
+		t.Errorf("EpsilonZK = %v, want Table 1's 3.5263", zk)
+	}
+	sampled, err := EpsilonDPSampled(0.5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled >= dp {
+		t.Errorf("amplified ε %v not below ε_dp %v", sampled, dp)
+	}
+	s, err := SamplingForEpsilonZK(zk, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.6) > 1e-9 {
+		t.Errorf("SamplingForEpsilonZK = %v, want 0.6", s)
+	}
+}
+
+func TestPublicAPIValueHelpers(t *testing.T) {
+	db := NewDB()
+	if err := db.CreateTable("t", []string{"n", "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", []Value{NumberValue(4.5), TextValue("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT n FROM t WHERE s = 'hello'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 1 || rows.Rows[0][0].Num != 4.5 {
+		t.Errorf("rows = %+v", rows.Rows)
+	}
+}
+
+func TestPublicAPIUniformRanges(t *testing.T) {
+	buckets, err := UniformRanges(0, 3, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 6 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if idx := buckets.Index("1.25"); idx != 2 {
+		t.Errorf("Index(1.25) = %d, want 2", idx)
+	}
+}

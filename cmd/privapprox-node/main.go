@@ -1,0 +1,275 @@
+// Command privapprox-node runs one PrivApprox role as a standalone
+// networked process, communicating over the TCP pub/sub protocol — the
+// deployment shape of the paper's Fig. 3 with Kafka-style brokers.
+//
+// Start two proxies, an aggregator, and a few clients (each in its own
+// terminal or backgrounded):
+//
+//	privapprox-node proxy -listen 127.0.0.1:9101 -index 0
+//	privapprox-node proxy -listen 127.0.0.1:9102 -index 1
+//	privapprox-node aggregator -proxies 127.0.0.1:9101,127.0.0.1:9102 -clients 3 -epochs 4
+//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -id c0 -epochs 4
+//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -id c1 -epochs 4
+//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -id c2 -epochs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/budget"
+	"privapprox/internal/client"
+	"privapprox/internal/minisql"
+	"privapprox/internal/proxy"
+	"privapprox/internal/pubsub"
+	"privapprox/internal/query"
+	"privapprox/internal/rr"
+	"privapprox/internal/workload"
+	"privapprox/internal/xorcrypt"
+)
+
+// The networked demo pins a shared parameter set and query so the
+// processes agree without a distribution channel; a production
+// deployment would push the signed query through the proxies
+// (paper §3.1).
+var defaultOrigin = time.Unix(1_700_000_000, 0)
+
+func sharedQuery() (*query.Query, error) {
+	return workload.TaxiQuery("node-analyst", 1, time.Second, 4*time.Second, 4*time.Second)
+}
+
+func sharedParams(s, p, q float64) budget.Params {
+	return budget.Params{S: s, RR: rr.Params{P: p, Q: q}}
+}
+
+func topicFor(index int) string {
+	if index == 0 {
+		return proxy.TopicAnswer
+	}
+	return proxy.TopicKey
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: privapprox-node <proxy|client|aggregator> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "proxy":
+		err = runProxy(os.Args[2:])
+	case "client":
+		err = runClient(os.Args[2:])
+	case "aggregator":
+		err = runAggregator(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown role %q\n", os.Args[1])
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runProxy(args []string) error {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	index := fs.Int("index", 0, "proxy index (0 = answer stream, ≥1 = key stream)")
+	partitions := fs.Int("partitions", 4, "topic partitions")
+	fs.Parse(args)
+
+	broker := pubsub.NewBroker()
+	if err := broker.CreateTopic(topicFor(*index), *partitions); err != nil {
+		return err
+	}
+	srv, err := pubsub.Serve(broker, *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxy %d serving topic %q on %s\n", *index, topicFor(*index), srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := broker.Stats()
+	fmt.Printf("\nproxy stats: %d msgs in (%.1f KB), %d msgs out\n",
+		st.MessagesIn, float64(st.BytesIn)/1024, st.MessagesOut)
+	return srv.Close()
+}
+
+// tcpSink adapts a remote proxy connection to the client's ShareSink.
+type tcpSink struct {
+	cli   *pubsub.Client
+	topic string
+}
+
+func (s *tcpSink) Submit(share xorcrypt.Share) error {
+	_, _, err := s.cli.Publish(s.topic, share.MID[:], share.Payload)
+	return err
+}
+
+func runClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
+	id := fs.String("id", "client-0", "client identifier")
+	epochs := fs.Int("epochs", 4, "epochs to answer")
+	s := fs.Float64("s", 0.9, "sampling fraction")
+	p := fs.Float64("p", 0.9, "first randomization coin")
+	q := fs.Float64("q", 0.6, "second randomization coin")
+	seed := fs.Int64("seed", 0, "data seed (0 = from id hash)")
+	fs.Parse(args)
+
+	addrs := strings.Split(*proxyList, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("need ≥ 2 proxies, got %q", *proxyList)
+	}
+	sinks := make([]client.ShareSink, len(addrs))
+	for i, addr := range addrs {
+		cli, err := pubsub.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		sinks[i] = &tcpSink{cli: cli, topic: topicFor(i)}
+	}
+
+	dataSeed := *seed
+	if dataSeed == 0 {
+		for _, c := range *id {
+			dataSeed = dataSeed*31 + int64(c)
+		}
+	}
+	db := minisql.NewDB()
+	rng := rand.New(rand.NewSource(dataSeed))
+	if err := workload.PopulateTaxi(db, rng, 3, time.Unix(0, 0), time.Minute); err != nil {
+		return err
+	}
+	c, err := client.New(client.Config{ID: *id, DB: db, Sinks: sinks, Seed: dataSeed + 1})
+	if err != nil {
+		return err
+	}
+	qy, err := sharedQuery()
+	if err != nil {
+		return err
+	}
+	if err := c.Subscribe(&query.Signed{Query: qy}, sharedParams(*s, *p, *q)); err != nil {
+		return err
+	}
+	for e := uint64(0); e < uint64(*epochs); e++ {
+		ok, err := c.AnswerOnce(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d: participated=%v\n", e, ok)
+	}
+	st := c.Stats()
+	fmt.Printf("client %s done: %d answers, %d bytes\n", *id, st.AnswersSent, st.BytesSent)
+	return nil
+}
+
+func runAggregator(args []string) error {
+	fs := flag.NewFlagSet("aggregator", flag.ExitOnError)
+	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
+	clients := fs.Int("clients", 3, "population size U")
+	epochs := fs.Int("epochs", 4, "epochs to wait for")
+	s := fs.Float64("s", 0.9, "sampling fraction")
+	p := fs.Float64("p", 0.9, "first randomization coin")
+	q := fs.Float64("q", 0.6, "second randomization coin")
+	idle := fs.Duration("idle", 3*time.Second, "stop after this long without new shares")
+	fs.Parse(args)
+
+	addrs := strings.Split(*proxyList, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("need ≥ 2 proxies, got %q", *proxyList)
+	}
+	qy, err := sharedQuery()
+	if err != nil {
+		return err
+	}
+	agg, err := aggregator.New(aggregator.Config{
+		Query:      qy,
+		Params:     sharedParams(*s, *p, *q),
+		Population: *clients,
+		Proxies:    len(addrs),
+		Origin:     defaultOrigin,
+	})
+	if err != nil {
+		return err
+	}
+	type cursor struct {
+		cli     *pubsub.Client
+		topic   string
+		offsets []int64
+	}
+	cursors := make([]*cursor, len(addrs))
+	for i, addr := range addrs {
+		cli, err := pubsub.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		topic := topicFor(i)
+		parts, err := cli.Partitions(topic)
+		if err != nil {
+			return err
+		}
+		cursors[i] = &cursor{cli: cli, topic: topic, offsets: make([]int64, parts)}
+	}
+
+	expected := int64(*clients) * int64(*epochs)
+	lastProgress := time.Now()
+	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, *idle)
+	for agg.Decoded() < expected && time.Since(lastProgress) < *idle {
+		progressed := false
+		for src, cur := range cursors {
+			for part := range cur.offsets {
+				recs, err := cur.cli.Fetch(cur.topic, part, cur.offsets[part], 1024, 100*time.Millisecond)
+				if err != nil {
+					return err
+				}
+				for _, rec := range recs {
+					share, err := proxy.DecodeRecord(rec)
+					if err != nil {
+						return err
+					}
+					results, err := agg.SubmitShare(share, src, time.Now())
+					if err != nil {
+						return err
+					}
+					printResults(results)
+				}
+				if len(recs) > 0 {
+					cur.offsets[part] += int64(len(recs))
+					progressed = true
+				}
+			}
+		}
+		if progressed {
+			lastProgress = time.Now()
+		}
+	}
+	results, err := agg.Flush()
+	if err != nil {
+		return err
+	}
+	printResults(results)
+	fmt.Printf("decoded=%d malformed=%d duplicates=%d\n",
+		agg.Decoded(), agg.Malformed(), agg.Duplicates())
+	return nil
+}
+
+func printResults(results []aggregator.Result) {
+	for _, res := range results {
+		fmt.Printf("window [%s → %s): %d answers\n",
+			res.Window.Start.Format("15:04:05"), res.Window.End.Format("15:04:05"), res.Responses)
+		for _, b := range res.Buckets {
+			fmt.Printf("  %-12s %10.1f ± %.1f\n", b.Label, b.Estimate.Estimate, b.Estimate.Margin)
+		}
+	}
+}

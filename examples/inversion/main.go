@@ -1,0 +1,96 @@
+// Query inversion (paper §3.3.2): when very few clients truthfully
+// answer "Yes", the native estimate of the "Yes" count has a large
+// relative error. Inverting the query — asking for the truthful "No"
+// count instead — dramatically reduces the loss for the same privacy
+// parameters (the paper reports 2.54% → 0.4% at a 10% "Yes" fraction).
+//
+// Run with: go run ./examples/inversion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"privapprox"
+)
+
+func main() {
+	const clients = 5000
+	const rareFraction = 0.10 // 10% of clients are in the rare bucket
+
+	for _, inverted := range []bool{false, true} {
+		loss, err := run(inverted, rareFraction, clients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "native  "
+		target := "truthful-Yes count"
+		if inverted {
+			name = "inverted"
+			target = "truthful-No count"
+		}
+		fmt.Printf("%s query: accuracy loss %.2f%% (estimating the %s)\n",
+			name, loss*100, target)
+	}
+	fmt.Println("\nthe inverted query rescues utility exactly as §3.3.2 describes")
+}
+
+func run(inverted bool, rareFraction float64, clients int) (float64, error) {
+	// A two-bucket query: bucket 0 is the rare property.
+	buckets, err := privapprox.UniformRanges(0, 2, 2, false)
+	if err != nil {
+		return 0, err
+	}
+	q := &privapprox.Query{
+		QID:       privapprox.QueryID{Analyst: "inv-analyst", Serial: 1},
+		SQL:       "SELECT flag FROM facts",
+		Buckets:   buckets,
+		Frequency: time.Second,
+		Window:    time.Second,
+		Slide:     time.Second,
+		Inverted:  inverted,
+	}
+	params := privapprox.Params{S: 0.9, RR: privapprox.RRParams{P: 0.9, Q: 0.6}}
+	rareCount := 0
+	sys, err := privapprox.NewSystem(privapprox.SystemConfig{
+		Clients: clients,
+		Query:   q,
+		Params:  &params,
+		Seed:    17,
+		Populate: func(i int, db *privapprox.DB) error {
+			if err := db.CreateTable("facts", []string{"flag"}); err != nil {
+				return err
+			}
+			flag := 1.0 // bucket 1: the common case
+			if rand.New(rand.NewSource(int64(i))).Float64() < rareFraction {
+				flag = 0.0 // bucket 0: the rare property
+				rareCount++
+			}
+			return db.Insert("facts", []privapprox.Value{privapprox.NumberValue(flag)})
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+
+	if _, _, err := sys.RunEpoch(); err != nil {
+		return 0, err
+	}
+	results, err := sys.Flush()
+	if err != nil {
+		return 0, err
+	}
+	if len(results) == 0 {
+		return 0, fmt.Errorf("no window fired")
+	}
+	b0 := results[0].Buckets[0]
+	actual := float64(rareCount)
+	if inverted {
+		actual = float64(clients - rareCount)
+	}
+	return math.Abs(b0.Estimate.Estimate-actual) / actual, nil
+}

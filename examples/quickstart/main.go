@@ -1,0 +1,83 @@
+// Quickstart: the smallest end-to-end PrivApprox run.
+//
+// 300 clients hold private taxi rides; an analyst asks for the ride
+// distance distribution under a zero-knowledge privacy budget. The
+// system derives (s, p, q), clients answer with sampled randomized
+// responses through two proxies, and the aggregator prints per-bucket
+// estimates with confidence intervals.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"privapprox"
+)
+
+func main() {
+	const clients = 300
+	q, err := privapprox.TaxiQuery("quickstart-analyst", 1,
+		time.Second,   // answer frequency f
+		4*time.Second, // window w
+		4*time.Second, // slide δ
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := privapprox.NewSystem(privapprox.SystemConfig{
+		Clients: clients,
+		Proxies: 2,
+		Query:   q,
+		Budget:  &privapprox.Budget{EpsilonZK: 2.0, Q: 0.6},
+		Seed:    1,
+		Populate: func(i int, db *privapprox.DB) error {
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			return privapprox.PopulateTaxi(db, rng, 3, time.Unix(0, 0), time.Minute)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	params := sys.Params()
+	ezk, err := params.EpsilonZK()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initializer derived s=%.3f p=%.2f q=%.2f (ε_zk=%.3f)\n\n",
+		params.S, params.RR.P, params.RR.Q, ezk)
+
+	// One full window of epochs, then flush.
+	for epoch := 0; epoch < 4; epoch++ {
+		results, participants, err := sys.RunEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d: %d/%d clients participated\n", epoch, participants, clients)
+		printResults(results)
+	}
+	final, err := sys.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResults(final)
+}
+
+func printResults(results []privapprox.Result) {
+	for _, res := range results {
+		fmt.Printf("\nwindow %s → %s  (%d answers of %d slots)\n",
+			res.Window.Start.Format("15:04:05"), res.Window.End.Format("15:04:05"),
+			res.Responses, res.Population)
+		fmt.Printf("  %-12s %12s %22s\n", "bucket", "estimate", "95% interval")
+		for _, b := range res.Buckets {
+			fmt.Printf("  %-12s %12.1f   [%9.1f, %9.1f]\n",
+				b.Label, b.Estimate.Estimate, b.Estimate.Lo(), b.Estimate.Hi())
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package aggregator implements PrivApprox's aggregator (paper §3.2.4,
+// §5): it joins the encrypted answer stream with the key streams by
+// message identifier, XOR-decrypts, decodes the randomized answers, runs
+// sliding-window aggregation, and produces per-bucket query results with
+// a confidence interval combining the two independent error sources —
+// sampling (Eq. 2–4) and randomized response (estimated empirically, as
+// in the paper's "experimental method").
+package aggregator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"privapprox/internal/answer"
+	"privapprox/internal/budget"
+	"privapprox/internal/query"
+	"privapprox/internal/rr"
+	"privapprox/internal/sampling"
+	"privapprox/internal/stats"
+	"privapprox/internal/stream"
+	"privapprox/internal/xorcrypt"
+)
+
+// ErrConfig reports an invalid aggregator configuration.
+var ErrConfig = errors.New("aggregator: invalid config")
+
+// Config assembles an aggregator for one query.
+type Config struct {
+	Query      *query.Query
+	Params     budget.Params
+	Population int // U: number of subscribed clients
+	Proxies    int // n: shares per message
+	// Origin anchors epoch numbers to event time: event time of epoch e
+	// is Origin + e×Frequency.
+	Origin time.Time
+	// Confidence for the error bound; defaults to 0.95.
+	Confidence float64
+	// Lateness tolerated before records are dropped; defaults to one
+	// slide interval.
+	Lateness time.Duration
+	// RRLossRounds is the number of micro-benchmark rounds used to
+	// estimate the randomized-response accuracy loss; defaults to 5.
+	RRLossRounds int
+	// Seed makes the RR-loss micro-benchmark deterministic; 0 draws a
+	// random seed.
+	Seed int64
+	// OnDecoded, when set, receives every decoded answer message (its
+	// wire bytes and event time) — the hook the historical store uses
+	// (§3.3.1).
+	OnDecoded func(raw []byte, eventTime time.Time)
+}
+
+// BucketEstimate is the query result for one answer bucket.
+type BucketEstimate struct {
+	Label string
+	// ObservedYes is Ry: raw randomized "Yes" responses in the window.
+	ObservedYes int
+	// Truthful is the RR-corrected count among the window's responses
+	// (Ey, or En for inverted queries), clamped to [0, N].
+	Truthful float64
+	// Estimate is the population-scaled count with the combined
+	// sampling + randomization margin.
+	Estimate stats.ConfidenceInterval
+}
+
+// Result is one fired window.
+type Result struct {
+	Window     stream.Window
+	Responses  int // N: decoded answers in the window
+	Population int // U
+	Inverted   bool
+	Buckets    []BucketEstimate
+}
+
+// Aggregator processes share streams for a single query.
+type Aggregator struct {
+	cfg     Config
+	joiner  *stream.ShareJoiner
+	op      *stream.WindowedOp[*answer.BitVector, *answer.Accumulator, *answer.Accumulator]
+	qidWire uint64
+	rng     *rand.Rand
+
+	rrLossCache map[int]float64 // yes-fraction percent → simulated loss
+
+	malformed  atomic.Int64
+	duplicates atomic.Int64
+	decoded    atomic.Int64
+}
+
+// New validates the configuration and builds the aggregator.
+func New(cfg Config) (*Aggregator, error) {
+	if cfg.Query == nil {
+		return nil, fmt.Errorf("%w: nil query", ErrConfig)
+	}
+	if err := cfg.Query.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Population <= 0 {
+		return nil, fmt.Errorf("%w: population %d", ErrConfig, cfg.Population)
+	}
+	if cfg.Proxies < 2 {
+		return nil, fmt.Errorf("%w: %d proxies", ErrConfig, cfg.Proxies)
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.95
+	}
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		return nil, fmt.Errorf("%w: confidence %v", ErrConfig, cfg.Confidence)
+	}
+	if cfg.Lateness == 0 {
+		cfg.Lateness = cfg.Query.Slide
+	}
+	if cfg.RRLossRounds == 0 {
+		cfg.RRLossRounds = 5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = rand.Int63()
+	}
+	joiner, err := stream.NewShareJoiner(cfg.Proxies, cfg.Query.Window)
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := stream.NewSlidingAssignerAt(cfg.Query.Window, cfg.Query.Slide, cfg.Origin)
+	if err != nil {
+		return nil, err
+	}
+	nbuckets := len(cfg.Query.Buckets)
+	agg := stream.Aggregation[*answer.BitVector, *answer.Accumulator, *answer.Accumulator]{
+		New: func() *answer.Accumulator {
+			acc, _ := answer.NewAccumulator(nbuckets)
+			return acc
+		},
+		Add: func(acc *answer.Accumulator, v *answer.BitVector) *answer.Accumulator {
+			// Size mismatches were filtered at decode time.
+			_ = acc.Add(v)
+			return acc
+		},
+		Result: func(acc *answer.Accumulator) *answer.Accumulator { return acc },
+	}
+	return &Aggregator{
+		cfg:         cfg,
+		joiner:      joiner,
+		op:          stream.NewWindowedOp(assigner, cfg.Lateness, agg),
+		qidWire:     cfg.Query.QID.Uint64(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rrLossCache: make(map[int]float64),
+	}, nil
+}
+
+// SubmitShare folds in one share from proxy stream source (0 ≤ source <
+// Proxies). When the share completes a message, the message is
+// decrypted, decoded, and assigned to windows; any windows closed by
+// the advancing watermark are returned as results.
+func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.Time) ([]Result, error) {
+	joined, err := a.joiner.Add(share.MID.String(), source, share.Payload, arrival)
+	if err != nil {
+		if errors.Is(err, stream.ErrDuplicate) {
+			a.duplicates.Add(1)
+			return nil, nil
+		}
+		return nil, err
+	}
+	if joined == nil {
+		return nil, nil
+	}
+	shares := make([]xorcrypt.Share, len(joined.Payloads))
+	for i, p := range joined.Payloads {
+		shares[i] = xorcrypt.Share{MID: share.MID, Payload: p}
+	}
+	plain, err := xorcrypt.Join(shares)
+	if err != nil {
+		a.malformed.Add(1)
+		return nil, nil
+	}
+	var msg answer.Message
+	if err := msg.UnmarshalBinary(plain); err != nil {
+		a.malformed.Add(1)
+		return nil, nil
+	}
+	if msg.QueryID != a.qidWire || msg.Answer.Len() != len(a.cfg.Query.Buckets) {
+		a.malformed.Add(1)
+		return nil, nil
+	}
+	a.decoded.Add(1)
+	eventTime := a.cfg.Origin.Add(time.Duration(msg.Epoch) * a.cfg.Query.Frequency)
+	if a.cfg.OnDecoded != nil {
+		a.cfg.OnDecoded(plain, eventTime)
+	}
+	fired := a.op.Process(stream.Event[*answer.BitVector]{Time: eventTime, Value: msg.Answer})
+	return a.results(fired)
+}
+
+// AdvanceTo moves the watermark forward (e.g. on an epoch timer) and
+// returns any windows that close; it also sweeps stale partial joins.
+func (a *Aggregator) AdvanceTo(t time.Time) ([]Result, error) {
+	a.joiner.Sweep(t.Add(-a.cfg.Query.Window))
+	return a.results(a.op.AdvanceTo(t))
+}
+
+// Flush closes all open windows at end of stream.
+func (a *Aggregator) Flush() ([]Result, error) {
+	return a.results(a.op.Flush())
+}
+
+// Decoded returns the number of successfully decoded answers.
+func (a *Aggregator) Decoded() int64 { return a.decoded.Load() }
+
+// Malformed returns the number of joined messages that failed
+// decryption or decoding (malicious or corrupt clients).
+func (a *Aggregator) Malformed() int64 { return a.malformed.Load() }
+
+// Duplicates returns the number of replayed shares rejected by the
+// joiner.
+func (a *Aggregator) Duplicates() int64 { return a.duplicates.Load() }
+
+// PendingJoins returns the number of messages waiting for shares.
+func (a *Aggregator) PendingJoins() int { return a.joiner.PendingCount() }
+
+func (a *Aggregator) results(fired []stream.WindowResult[*answer.Accumulator]) ([]Result, error) {
+	var out []Result
+	for _, f := range fired {
+		res, err := a.estimate(f.Window, f.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// estimate turns a window's accumulated randomized answers into the
+// paper's queryResult ± errorBound (§3.2.4). The SRS population is
+// measured in answer slots: every client produces one answer per epoch,
+// so a window spanning k epochs draws from U×k potential answers.
+func (a *Aggregator) estimate(w stream.Window, acc *answer.Accumulator) (Result, error) {
+	epochs := int(a.cfg.Query.Window / a.cfg.Query.Frequency)
+	if epochs < 1 {
+		epochs = 1
+	}
+	return a.estimateWithPopulation(w, acc, a.cfg.Population*epochs)
+}
+
+func (a *Aggregator) estimateWithPopulation(w stream.Window, acc *answer.Accumulator, effPopulation int) (Result, error) {
+	n := acc.N()
+	if effPopulation < n {
+		// More answers than slots (e.g. replayed epochs): treat the
+		// observed set as the whole population.
+		effPopulation = n
+	}
+	res := Result{
+		Window:     w,
+		Responses:  n,
+		Population: effPopulation,
+		Inverted:   a.cfg.Query.Inverted,
+	}
+	for i, label := range a.cfg.Query.Buckets.Labels() {
+		be := BucketEstimate{Label: label, ObservedYes: acc.Yes(i)}
+		if n == 0 {
+			be.Estimate = stats.ConfidenceInterval{Confidence: a.cfg.Confidence, Margin: math.Inf(1)}
+			res.Buckets = append(res.Buckets, be)
+			continue
+		}
+		// Randomized-response correction (Eq. 5), inverted when the
+		// analyst flipped the query (§3.3.2).
+		var truthful float64
+		var err error
+		if a.cfg.Query.Inverted {
+			truthful, err = rr.EstimateNo(a.cfg.Params.RR, acc.Yes(i), n)
+		} else {
+			truthful, err = rr.EstimateYes(a.cfg.Params.RR, acc.Yes(i), n)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		truthful = clamp(truthful, 0, float64(n))
+		be.Truthful = truthful
+
+		// Sampling scale-up and margin (Eq. 2–4) over the corrected
+		// window counts.
+		moments, err := sampling.BinomialMoments(int(math.Round(truthful)), n)
+		if err != nil {
+			return Result{}, err
+		}
+		srs, err := sampling.EstimateSumFromMoments(moments, effPopulation, a.cfg.Confidence)
+		if err != nil {
+			return Result{}, err
+		}
+		// Randomization margin: simulated accuracy loss at this bucket's
+		// truthful fraction (the paper's micro-benchmark method).
+		rrLoss, err := a.rrLoss(truthful/float64(n), n)
+		if err != nil {
+			return Result{}, err
+		}
+		be.Estimate = stats.ConfidenceInterval{
+			Estimate:   srs.Sum,
+			Margin:     srs.Margin + rrLoss*srs.Sum,
+			Confidence: a.cfg.Confidence,
+		}
+		res.Buckets = append(res.Buckets, be)
+	}
+	return res, nil
+}
+
+// rrLoss estimates the randomized-response accuracy loss at a truthful
+// fraction via simulation, memoized on the fraction percent.
+func (a *Aggregator) rrLoss(fraction float64, n int) (float64, error) {
+	if fraction <= 0 {
+		return 0, nil
+	}
+	pct := int(math.Round(fraction * 100))
+	if pct == 0 {
+		pct = 1
+	}
+	if loss, ok := a.rrLossCache[pct]; ok {
+		return loss, nil
+	}
+	simN := n
+	if simN > 10000 {
+		simN = 10000
+	}
+	if simN < 100 {
+		simN = 100
+	}
+	params := a.cfg.Params.RR
+	frac := float64(pct) / 100
+	if a.cfg.Query.Inverted {
+		// The inverted query estimates the "No" side: simulate its loss.
+		params = params.Invert()
+	}
+	loss, err := rr.SimulateAccuracyLoss(params, frac, simN, a.cfg.RRLossRounds, a.rng)
+	if err != nil {
+		return 0, err
+	}
+	a.rrLossCache[pct] = loss
+	return loss, nil
+}
+
+// RelativeWidth is the feedback signal for the budget controller: the
+// mean over buckets of margin/estimate, skipping empty buckets.
+func RelativeWidth(res Result) float64 {
+	var sum float64
+	var k int
+	for _, b := range res.Buckets {
+		if b.Estimate.Estimate <= 0 || math.IsInf(b.Estimate.Margin, 1) {
+			continue
+		}
+		sum += b.Estimate.Margin / b.Estimate.Estimate
+		k++
+	}
+	if k == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(k)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,142 @@
+// Package answer implements the client answer representation of the
+// paper's query model (§2.2, §3.1): an n-bit vector with one bit per
+// histogram bucket ("1" when the client's value falls in that bucket),
+// and the wire message M = ⟨QID, RandomizedAnswer⟩ of Eq. 9 that the
+// XOR-based encryption operates on.
+package answer
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSize reports a size mismatch or an out-of-range bit index.
+var ErrSize = errors.New("answer: size mismatch")
+
+// BitVector is a packed vector of n answer bits, bit i corresponding to
+// histogram bucket i.
+type BitVector struct {
+	bits  []byte
+	nbits int
+}
+
+// NewBitVector returns an all-zero vector of n bits.
+func NewBitVector(n int) (*BitVector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d bits", ErrSize, n)
+	}
+	return &BitVector{bits: make([]byte, (n+7)/8), nbits: n}, nil
+}
+
+// Len returns the number of answer bits.
+func (v *BitVector) Len() int { return v.nbits }
+
+// Set assigns bit i.
+func (v *BitVector) Set(i int, b bool) error {
+	if i < 0 || i >= v.nbits {
+		return fmt.Errorf("%w: bit %d of %d", ErrSize, i, v.nbits)
+	}
+	if b {
+		v.bits[i/8] |= 1 << (i % 8)
+	} else {
+		v.bits[i/8] &^= 1 << (i % 8)
+	}
+	return nil
+}
+
+// Get reads bit i.
+func (v *BitVector) Get(i int) (bool, error) {
+	if i < 0 || i >= v.nbits {
+		return false, fmt.Errorf("%w: bit %d of %d", ErrSize, i, v.nbits)
+	}
+	return v.bits[i/8]&(1<<(i%8)) != 0, nil
+}
+
+// PopCount returns the number of set bits.
+func (v *BitVector) PopCount() int {
+	n := 0
+	for i := 0; i < v.nbits; i++ {
+		if v.bits[i/8]&(1<<(i%8)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes exposes the packed backing bytes; the caller must not mutate bits
+// past Len(). Randomized response perturbs the vector through this view.
+func (v *BitVector) Bytes() []byte { return v.bits }
+
+// Clone returns a deep copy.
+func (v *BitVector) Clone() *BitVector {
+	bits := make([]byte, len(v.bits))
+	copy(bits, v.bits)
+	return &BitVector{bits: bits, nbits: v.nbits}
+}
+
+// Equal reports whether both vectors have identical length and bits.
+func (v *BitVector) Equal(o *BitVector) bool {
+	if v.nbits != o.nbits {
+		return false
+	}
+	for i := range v.bits {
+		if v.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromBits builds a vector from a bool slice.
+func FromBits(bits []bool) (*BitVector, error) {
+	v, err := NewBitVector(len(bits))
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range bits {
+		if b {
+			v.bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return v, nil
+}
+
+// FromBytes wraps packed bytes as an n-bit vector, copying the input and
+// zeroing any trailing bits beyond n so Equal and PopCount stay exact.
+func FromBytes(raw []byte, nbits int) (*BitVector, error) {
+	if nbits <= 0 || (nbits+7)/8 != len(raw) {
+		return nil, fmt.Errorf("%w: %d bytes for %d bits", ErrSize, len(raw), nbits)
+	}
+	bits := make([]byte, len(raw))
+	copy(bits, raw)
+	if rem := nbits % 8; rem != 0 {
+		bits[len(bits)-1] &= byte(1)<<rem - 1
+	}
+	return &BitVector{bits: bits, nbits: nbits}, nil
+}
+
+// OneHot returns a vector of n bits with only bit i set — the shape of a
+// truthful numeric answer, which lands in exactly one bucket.
+func OneHot(n, i int) (*BitVector, error) {
+	v, err := NewBitVector(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Set(i, true); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// String renders the vector MSB-last as a 0/1 string, bucket 0 first.
+func (v *BitVector) String() string {
+	out := make([]byte, v.nbits)
+	for i := 0; i < v.nbits; i++ {
+		if v.bits[i/8]&(1<<(i%8)) != 0 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,143 @@
+package answer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message is the plaintext a client produces per epoch (paper Eq. 9):
+// the query identifier concatenated with the randomized answer vector.
+// Its binary encoding is the unit the XOR-based encryption splits into
+// shares, so Marshal/Unmarshal must be deterministic and fixed-length
+// for a given bucket count (ciphertext and key shares must be
+// indistinguishable, which requires uniform message lengths).
+type Message struct {
+	QueryID uint64
+	Epoch   uint64
+	Answer  *BitVector
+}
+
+// wire layout: qid(8) | epoch(8) | nbits(4) | packed answer bytes.
+const msgHeaderLen = 8 + 8 + 4
+
+// ErrCorrupt reports a malformed wire message.
+var ErrCorrupt = errors.New("answer: corrupt message")
+
+// EncodedLen returns the wire length of a message carrying nbits answer
+// bits.
+func EncodedLen(nbits int) int {
+	return msgHeaderLen + (nbits+7)/8
+}
+
+// MarshalBinary encodes the message into its fixed wire layout.
+func (m *Message) MarshalBinary() ([]byte, error) {
+	if m.Answer == nil {
+		return nil, fmt.Errorf("%w: nil answer", ErrCorrupt)
+	}
+	buf := make([]byte, EncodedLen(m.Answer.Len()))
+	binary.BigEndian.PutUint64(buf[0:8], m.QueryID)
+	binary.BigEndian.PutUint64(buf[8:16], m.Epoch)
+	binary.BigEndian.PutUint32(buf[16:20], uint32(m.Answer.Len()))
+	copy(buf[msgHeaderLen:], m.Answer.Bytes())
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a wire message produced by MarshalBinary.
+func (m *Message) UnmarshalBinary(data []byte) error {
+	if len(data) < msgHeaderLen {
+		return fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	nbits := int(binary.BigEndian.Uint32(data[16:20]))
+	if nbits <= 0 || nbits > 1<<24 {
+		return fmt.Errorf("%w: %d answer bits", ErrCorrupt, nbits)
+	}
+	if len(data) != EncodedLen(nbits) {
+		return fmt.Errorf("%w: %d bytes for %d bits", ErrCorrupt, len(data), nbits)
+	}
+	v, err := FromBytes(data[msgHeaderLen:], nbits)
+	if err != nil {
+		return err
+	}
+	m.QueryID = binary.BigEndian.Uint64(data[0:8])
+	m.Epoch = binary.BigEndian.Uint64(data[8:16])
+	m.Answer = v
+	return nil
+}
+
+// Accumulator folds decoded answer vectors into per-bucket "Yes" counts,
+// the Ry of Eq. 5, tracked per bucket alongside the response total N.
+type Accumulator struct {
+	yes []int
+	n   int
+}
+
+// NewAccumulator returns an accumulator for nbuckets buckets.
+func NewAccumulator(nbuckets int) (*Accumulator, error) {
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("%w: %d buckets", ErrSize, nbuckets)
+	}
+	return &Accumulator{yes: make([]int, nbuckets)}, nil
+}
+
+// Add folds one answer vector in.
+func (a *Accumulator) Add(v *BitVector) error {
+	if v.Len() != len(a.yes) {
+		return fmt.Errorf("%w: vector %d bits, accumulator %d buckets", ErrSize, v.Len(), len(a.yes))
+	}
+	for i := 0; i < v.Len(); i++ {
+		set, _ := v.Get(i)
+		if set {
+			a.yes[i]++
+		}
+	}
+	a.n++
+	return nil
+}
+
+// Remove subtracts a previously added vector (used by sliding windows
+// when old epochs fall out of the window).
+func (a *Accumulator) Remove(v *BitVector) error {
+	if v.Len() != len(a.yes) {
+		return fmt.Errorf("%w: vector %d bits, accumulator %d buckets", ErrSize, v.Len(), len(a.yes))
+	}
+	if a.n == 0 {
+		return fmt.Errorf("%w: removing from empty accumulator", ErrSize)
+	}
+	for i := 0; i < v.Len(); i++ {
+		set, _ := v.Get(i)
+		if set {
+			a.yes[i]--
+		}
+	}
+	a.n--
+	return nil
+}
+
+// Merge folds another accumulator in (same bucket count required).
+func (a *Accumulator) Merge(o *Accumulator) error {
+	if len(a.yes) != len(o.yes) {
+		return fmt.Errorf("%w: %d vs %d buckets", ErrSize, len(a.yes), len(o.yes))
+	}
+	for i, y := range o.yes {
+		a.yes[i] += y
+	}
+	a.n += o.n
+	return nil
+}
+
+// Yes returns the observed "Yes" count for bucket i.
+func (a *Accumulator) Yes(i int) int { return a.yes[i] }
+
+// N returns the number of answers folded in.
+func (a *Accumulator) N() int { return a.n }
+
+// Buckets returns the bucket count.
+func (a *Accumulator) Buckets() int { return len(a.yes) }
+
+// YesCounts returns a copy of all per-bucket counts.
+func (a *Accumulator) YesCounts() []int {
+	out := make([]int, len(a.yes))
+	copy(out, a.yes)
+	return out
+}

@@ -1,0 +1,306 @@
+// Package client implements the PrivApprox client runtime (paper §5):
+// each client stores the user's private data in an embedded database,
+// verifies and subscribes to analyst queries, and every epoch runs the
+// four client-side steps — sampling decision (§3.2.1), local query
+// execution and randomized response (§3.2.2), and XOR-based share
+// transmission to the proxies (§3.2.3).
+package client
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"privapprox/internal/answer"
+	"privapprox/internal/budget"
+	"privapprox/internal/minisql"
+	"privapprox/internal/query"
+	"privapprox/internal/rr"
+	"privapprox/internal/sampling"
+	"privapprox/internal/xorcrypt"
+)
+
+// Errors reported by the client runtime.
+var (
+	ErrNotSubscribed = errors.New("client: no active subscription")
+	ErrBadConfig     = errors.New("client: invalid configuration")
+)
+
+// ShareSink accepts one XOR share — each of the n proxies is one sink.
+type ShareSink interface {
+	Submit(share xorcrypt.Share) error
+}
+
+// Reducer folds the rows the local query returned into the client's
+// single answer value for this epoch (e.g. the latest reading). The
+// boolean is false when the client has no value this epoch; it still
+// answers with an all-zero truthful vector so that non-participation
+// never leaks query-dependent information.
+type Reducer func(rows *minisql.Rows) (string, bool)
+
+// ReduceLast returns the first column of the last row.
+func ReduceLast(rows *minisql.Rows) (string, bool) {
+	if len(rows.Rows) == 0 {
+		return "", false
+	}
+	return rows.Rows[len(rows.Rows)-1][0].String(), true
+}
+
+// ReduceSum sums the first column over all rows.
+func ReduceSum(rows *minisql.Rows) (string, bool) {
+	if len(rows.Rows) == 0 {
+		return "", false
+	}
+	total := 0.0
+	for _, r := range rows.Rows {
+		f, err := r[0].AsNumber()
+		if err != nil {
+			continue
+		}
+		total += f
+	}
+	return minisql.Number(total).String(), true
+}
+
+// ReduceMean averages the first column over all rows.
+func ReduceMean(rows *minisql.Rows) (string, bool) {
+	if len(rows.Rows) == 0 {
+		return "", false
+	}
+	total, n := 0.0, 0
+	for _, r := range rows.Rows {
+		f, err := r[0].AsNumber()
+		if err != nil {
+			continue
+		}
+		total += f
+		n++
+	}
+	if n == 0 {
+		return "", false
+	}
+	return minisql.Number(total / float64(n)).String(), true
+}
+
+// ReduceCount counts rows.
+func ReduceCount(rows *minisql.Rows) (string, bool) {
+	return minisql.Number(float64(len(rows.Rows))).String(), true
+}
+
+// Stats counts client-side work for the Table 3 and Fig. 9 experiments.
+type Stats struct {
+	EpochsSeen   int64
+	Participated int64
+	AnswersSent  int64
+	BytesSent    int64
+}
+
+// Config assembles a client.
+type Config struct {
+	ID         string
+	DB         *minisql.DB
+	AnalystKey ed25519.PublicKey
+	Sinks      []ShareSink
+	Reducer    Reducer // defaults to ReduceLast
+	Seed       int64   // deterministic randomness for experiments
+}
+
+// Client is one user device.
+type Client struct {
+	id      string
+	db      *minisql.DB
+	analyst ed25519.PublicKey
+	sinks   []ShareSink
+	reducer Reducer
+
+	sub      *subscription
+	rng      *rand.Rand
+	splitter *xorcrypt.Splitter
+
+	epochsSeen   atomic.Int64
+	participated atomic.Int64
+	answersSent  atomic.Int64
+	bytesSent    atomic.Int64
+}
+
+type subscription struct {
+	query    *query.Query
+	prepared *minisql.SelectStmt
+	params   budget.Params
+	decider  *sampling.HashDecider
+	rz       *rr.Randomizer
+	qidWire  uint64
+}
+
+// New validates the configuration and builds a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.ID == "" || cfg.DB == nil {
+		return nil, fmt.Errorf("%w: need ID and DB", ErrBadConfig)
+	}
+	if len(cfg.Sinks) < 2 {
+		return nil, fmt.Errorf("%w: need ≥ 2 proxies, got %d", ErrBadConfig, len(cfg.Sinks))
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	reducer := cfg.Reducer
+	if reducer == nil {
+		reducer = ReduceLast
+	}
+	splitter, err := xorcrypt.NewSplitter(len(cfg.Sinks), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		id:       cfg.ID,
+		db:       cfg.DB,
+		analyst:  cfg.AnalystKey,
+		sinks:    cfg.Sinks,
+		reducer:  reducer,
+		rng:      rand.New(rand.NewSource(seed)),
+		splitter: splitter,
+	}, nil
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() string { return c.id }
+
+// Subscribe verifies the analyst's signature (when a key is configured)
+// and activates the query with the system parameters the aggregator
+// derived from the budget.
+func (c *Client) Subscribe(signed *query.Signed, params budget.Params) error {
+	if c.analyst != nil {
+		if err := signed.Verify(c.analyst); err != nil {
+			return err
+		}
+	}
+	q := signed.Query
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	stmt, err := minisql.Parse(q.SQL)
+	if err != nil {
+		return fmt.Errorf("client: query SQL: %w", err)
+	}
+	sel, ok := stmt.(*minisql.SelectStmt)
+	if !ok {
+		return fmt.Errorf("client: query must be a SELECT")
+	}
+	decider, err := sampling.NewHashDecider(params.S, q.QID.Uint64())
+	if err != nil {
+		return err
+	}
+	rz, err := rr.NewRandomizer(params.RR, c.rng)
+	if err != nil {
+		return err
+	}
+	c.sub = &subscription{
+		query:    q,
+		prepared: sel,
+		params:   params,
+		decider:  decider,
+		rz:       rz,
+		qidWire:  q.QID.Uint64(),
+	}
+	return nil
+}
+
+// Query returns the active query, or nil.
+func (c *Client) Query() *query.Query {
+	if c.sub == nil {
+		return nil
+	}
+	return c.sub.query
+}
+
+// AnswerOnce runs one epoch of the query answering process. It returns
+// whether the client participated (the §3.2.1 sampling coin).
+func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
+	sub := c.sub
+	if sub == nil {
+		return false, ErrNotSubscribed
+	}
+	c.epochsSeen.Add(1)
+	if !sub.decider.Participate(c.id, epoch) {
+		return false, nil
+	}
+	c.participated.Add(1)
+
+	// Step II part 1: execute the query on the local private data.
+	rows, err := c.db.QueryPrepared(sub.prepared)
+	if err != nil {
+		return false, fmt.Errorf("client: local query: %w", err)
+	}
+	vec, err := c.truthVector(sub, rows)
+	if err != nil {
+		return false, err
+	}
+
+	// Step II part 2: randomized response over every bucket bit.
+	sub.rz.RespondBits(vec.Bytes(), vec.Len())
+
+	// Step III: encode, split, transmit.
+	msg := answer.Message{QueryID: sub.qidWire, Epoch: epoch, Answer: vec}
+	raw, err := msg.MarshalBinary()
+	if err != nil {
+		return false, err
+	}
+	shares, err := c.splitter.Split(raw)
+	if err != nil {
+		return false, err
+	}
+	for i, share := range shares {
+		if err := c.sinks[i].Submit(share); err != nil {
+			return false, fmt.Errorf("client: proxy %d: %w", i, err)
+		}
+		c.bytesSent.Add(int64(len(share.Payload) + xorcrypt.MIDSize))
+	}
+	c.answersSent.Add(1)
+	return true, nil
+}
+
+// truthVector bucketizes the reduced answer value. No value, or a value
+// outside every bucket, yields the all-zero vector: participating
+// clients always transmit, so silence never correlates with data.
+func (c *Client) truthVector(sub *subscription, rows *minisql.Rows) (*answer.BitVector, error) {
+	n := len(sub.query.Buckets)
+	value, ok := c.reducer(rows)
+	if !ok {
+		return answer.NewBitVector(n)
+	}
+	idx := sub.query.Buckets.Index(value)
+	if idx < 0 {
+		return answer.NewBitVector(n)
+	}
+	return answer.OneHot(n, idx)
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		EpochsSeen:   c.epochsSeen.Load(),
+		Participated: c.participated.Load(),
+		AnswersSent:  c.answersSent.Load(),
+		BytesSent:    c.bytesSent.Load(),
+	}
+}
+
+// PruneBefore deletes local rows whose first column (the timestamp
+// convention used by the workload generators) is older than cutoff,
+// bounding device storage.
+func (c *Client) PruneBefore(tableName string, cutoff time.Time) (int, error) {
+	cut := float64(cutoff.Unix())
+	return c.db.DeleteWhere(tableName, func(row []minisql.Value) bool {
+		if len(row) == 0 || row[0].Kind != minisql.KindNumber {
+			return false
+		}
+		return row[0].Num < cut
+	})
+}

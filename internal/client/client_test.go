@@ -1,0 +1,338 @@
+package client
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"privapprox/internal/answer"
+	"privapprox/internal/budget"
+	"privapprox/internal/minisql"
+	"privapprox/internal/query"
+	"privapprox/internal/rr"
+	"privapprox/internal/xorcrypt"
+)
+
+// captureSink records submitted shares.
+type captureSink struct {
+	mu     sync.Mutex
+	shares []xorcrypt.Share
+	fail   bool
+}
+
+func (s *captureSink) Submit(share xorcrypt.Share) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return errors.New("sink down")
+	}
+	s.shares = append(s.shares, share)
+	return nil
+}
+
+func (s *captureSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shares)
+}
+
+func testQuery(t *testing.T) *query.Query {
+	t.Helper()
+	buckets, err := query.UniformRanges(0, 10, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &query.Query{
+		QID:       query.ID{Analyst: "a", Serial: 1},
+		SQL:       "SELECT distance FROM rides",
+		Buckets:   buckets,
+		Frequency: time.Second,
+		Window:    10 * time.Second,
+		Slide:     time.Second,
+	}
+}
+
+func testDB(t *testing.T, distances ...float64) *minisql.DB {
+	t.Helper()
+	db := minisql.NewDB()
+	if err := db.CreateTable("rides", []string{"distance"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range distances {
+		if err := db.Insert("rides", []minisql.Value{minisql.Number(d)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func testClient(t *testing.T, db *minisql.DB, params budget.Params) (*Client, []*captureSink) {
+	t.Helper()
+	sinks := []*captureSink{{}, {}}
+	c, err := New(Config{
+		ID:    "client-1",
+		DB:    db,
+		Sinks: []ShareSink{sinks[0], sinks[1]},
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed := &query.Signed{Query: testQuery(t)}
+	if err := c.Subscribe(signed, params); err != nil {
+		t.Fatal(err)
+	}
+	return c, sinks
+}
+
+func truthfulParams() budget.Params {
+	// p=1 disables randomization so tests can assert the exact vector.
+	return budget.Params{S: 1, RR: rr.Params{P: 1, Q: 0.5}}
+}
+
+func TestNewValidation(t *testing.T) {
+	db := testDB(t)
+	if _, err := New(Config{DB: db, Sinks: []ShareSink{&captureSink{}, &captureSink{}}}); err == nil {
+		t.Error("expected error for missing ID")
+	}
+	if _, err := New(Config{ID: "x", Sinks: []ShareSink{&captureSink{}, &captureSink{}}}); err == nil {
+		t.Error("expected error for missing DB")
+	}
+	if _, err := New(Config{ID: "x", DB: db, Sinks: []ShareSink{&captureSink{}}}); err == nil {
+		t.Error("expected error for a single proxy")
+	}
+}
+
+func TestAnswerWithoutSubscription(t *testing.T) {
+	db := testDB(t, 1)
+	c, err := New(Config{ID: "c", DB: db, Sinks: []ShareSink{&captureSink{}, &captureSink{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnswerOnce(0); !errors.Is(err, ErrNotSubscribed) {
+		t.Errorf("AnswerOnce = %v", err)
+	}
+	if c.Query() != nil {
+		t.Error("Query should be nil before Subscribe")
+	}
+}
+
+func TestSubscribeVerifiesSignature(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := testDB(t, 1)
+	c, err := New(Config{ID: "c", DB: db, AnalystKey: pub,
+		Sinks: []ShareSink{&captureSink{}, &captureSink{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := query.Sign(testQuery(t), priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(signed, truthfulParams()); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	// Tampered query must be rejected.
+	signed.Query.SQL = "SELECT distance FROM rides WHERE distance > 5"
+	if err := c.Subscribe(signed, truthfulParams()); err == nil {
+		t.Error("tampered query accepted")
+	}
+}
+
+func TestSubscribeRejectsBadInputs(t *testing.T) {
+	db := testDB(t, 1)
+	c, _ := New(Config{ID: "c", DB: db, Sinks: []ShareSink{&captureSink{}, &captureSink{}}})
+	q := testQuery(t)
+	q.SQL = "INSERT INTO rides VALUES (1)"
+	if err := c.Subscribe(&query.Signed{Query: q}, truthfulParams()); err == nil {
+		t.Error("non-SELECT accepted")
+	}
+	q2 := testQuery(t)
+	q2.SQL = "SELECT FROM"
+	if err := c.Subscribe(&query.Signed{Query: q2}, truthfulParams()); err == nil {
+		t.Error("unparseable SQL accepted")
+	}
+	if err := c.Subscribe(&query.Signed{Query: testQuery(t)}, budget.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestAnswerOnceProducesDecodableOneHot(t *testing.T) {
+	db := testDB(t, 3.5) // bucket [3,4) → index 3
+	c, sinks := testClient(t, db, truthfulParams())
+	ok, err := c.AnswerOnce(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("s=1 client must participate")
+	}
+	if sinks[0].count() != 1 || sinks[1].count() != 1 {
+		t.Fatalf("shares: %d + %d", sinks[0].count(), sinks[1].count())
+	}
+	plain, err := xorcrypt.Join([]xorcrypt.Share{sinks[0].shares[0], sinks[1].shares[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg answer.Message
+	if err := msg.UnmarshalBinary(plain); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Epoch != 5 {
+		t.Errorf("epoch = %d", msg.Epoch)
+	}
+	if msg.QueryID != testQuery(t).QID.Uint64() {
+		t.Error("wire query ID mismatch")
+	}
+	if msg.Answer.PopCount() != 1 {
+		t.Fatalf("truthful answer should be one-hot, got %s", msg.Answer)
+	}
+	if set, _ := msg.Answer.Get(3); !set {
+		t.Errorf("expected bucket 3, vector %s", msg.Answer)
+	}
+}
+
+func TestAnswerUsesLastRowByDefault(t *testing.T) {
+	db := testDB(t, 1.0, 9.5) // last row → bucket 9
+	c, sinks := testClient(t, db, truthfulParams())
+	if _, err := c.AnswerOnce(0); err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := xorcrypt.Join([]xorcrypt.Share{sinks[0].shares[0], sinks[1].shares[0]})
+	var msg answer.Message
+	if err := msg.UnmarshalBinary(plain); err != nil {
+		t.Fatal(err)
+	}
+	if set, _ := msg.Answer.Get(9); !set {
+		t.Errorf("expected bucket 9, vector %s", msg.Answer)
+	}
+}
+
+func TestAnswerEmptyDBStillSendsZeroVector(t *testing.T) {
+	db := testDB(t) // no rows
+	c, sinks := testClient(t, db, truthfulParams())
+	ok, err := c.AnswerOnce(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("participation must not depend on data presence")
+	}
+	plain, _ := xorcrypt.Join([]xorcrypt.Share{sinks[0].shares[0], sinks[1].shares[0]})
+	var msg answer.Message
+	if err := msg.UnmarshalBinary(plain); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Answer.PopCount() != 0 {
+		t.Errorf("no-data answer should be all-zero, got %s", msg.Answer)
+	}
+}
+
+func TestSamplingControlsParticipation(t *testing.T) {
+	db := testDB(t, 1)
+	params := budget.Params{S: 0.3, RR: rr.Params{P: 1, Q: 0.5}}
+	c, _ := testClient(t, db, params)
+	const epochs = 5000
+	participated := 0
+	for e := uint64(0); e < epochs; e++ {
+		ok, err := c.AnswerOnce(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			participated++
+		}
+	}
+	rate := float64(participated) / epochs
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("participation rate = %v, want ≈0.3", rate)
+	}
+	st := c.Stats()
+	if st.EpochsSeen != epochs || st.Participated != int64(participated) || st.AnswersSent != int64(participated) {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesSent == 0 {
+		t.Error("BytesSent not counted")
+	}
+}
+
+func TestSinkFailurePropagates(t *testing.T) {
+	db := testDB(t, 1)
+	failing := &captureSink{fail: true}
+	c, err := New(Config{ID: "c", DB: db, Sinks: []ShareSink{&captureSink{}, failing}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(&query.Signed{Query: testQuery(t)}, truthfulParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnswerOnce(0); err == nil {
+		t.Error("expected sink failure to surface")
+	}
+}
+
+func TestReducers(t *testing.T) {
+	rows := &minisql.Rows{Rows: [][]minisql.Value{
+		{minisql.Number(2)}, {minisql.Number(4)}, {minisql.Number(6)},
+	}}
+	if v, ok := ReduceLast(rows); !ok || v != "6" {
+		t.Errorf("ReduceLast = %q, %v", v, ok)
+	}
+	if v, ok := ReduceSum(rows); !ok || v != "12" {
+		t.Errorf("ReduceSum = %q, %v", v, ok)
+	}
+	if v, ok := ReduceMean(rows); !ok || v != "4" {
+		t.Errorf("ReduceMean = %q, %v", v, ok)
+	}
+	if v, ok := ReduceCount(rows); !ok || v != "3" {
+		t.Errorf("ReduceCount = %q, %v", v, ok)
+	}
+	empty := &minisql.Rows{}
+	if _, ok := ReduceLast(empty); ok {
+		t.Error("ReduceLast on empty should report no value")
+	}
+	if _, ok := ReduceSum(empty); ok {
+		t.Error("ReduceSum on empty should report no value")
+	}
+	if v, ok := ReduceCount(empty); !ok || v != "0" {
+		t.Errorf("ReduceCount empty = %q, %v", v, ok)
+	}
+	// Non-numeric rows are skipped by mean.
+	mixed := &minisql.Rows{Rows: [][]minisql.Value{{minisql.Text("x")}}}
+	if _, ok := ReduceMean(mixed); ok {
+		t.Error("ReduceMean with no numeric rows should report no value")
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	db := minisql.NewDB()
+	if err := db.CreateTable("rides", []string{"ts", "distance"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []float64{100, 200, 300} {
+		if err := db.Insert("rides", []minisql.Value{minisql.Number(ts), minisql.Number(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New(Config{ID: "c", DB: db, Sinks: []ShareSink{&captureSink{}, &captureSink{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c.PruneBefore("rides", time.Unix(250, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	n, _ := db.RowCount("rides")
+	if n != 1 {
+		t.Errorf("remaining = %d", n)
+	}
+}

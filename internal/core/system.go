@@ -1,0 +1,353 @@
+// Package core wires the PrivApprox components into the running system
+// of the paper's Fig. 1/Fig. 3: an analyst's signed query and execution
+// budget flow through the initializer to clients via proxies; every
+// epoch, sampled clients answer with randomized responses split into XOR
+// shares; the proxies forward; the aggregator joins, decrypts, windows,
+// and produces results with error bounds; and a feedback controller
+// re-tunes the sampling parameter when the measured error drifts from
+// the budget.
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/budget"
+	"privapprox/internal/client"
+	"privapprox/internal/histstore"
+	"privapprox/internal/minisql"
+	"privapprox/internal/proxy"
+	"privapprox/internal/pubsub"
+	"privapprox/internal/query"
+)
+
+// ErrConfig reports an invalid system configuration.
+var ErrConfig = errors.New("core: invalid config")
+
+// Config assembles an in-process deployment.
+type Config struct {
+	// Clients is the population size U.
+	Clients int
+	// Proxies is the share fan-out n (≥ 2).
+	Proxies int
+	// Partitions per proxy topic; defaults to 4.
+	Partitions int
+	// Query is the analyst's query (unsigned; the system signs it with a
+	// fresh analyst key unless AnalystKey is provided).
+	Query *query.Query
+	// Budget is converted by the initializer into (s, p, q). Provide
+	// either Budget or Params.
+	Budget *budget.Budget
+	// Params directly pins the system parameters, bypassing Derive.
+	Params *budget.Params
+	// Origin anchors epoch zero in event time.
+	Origin time.Time
+	// Populate fills client i's database before the run.
+	Populate func(i int, db *minisql.DB) error
+	// Reducer folds local query rows into the answer value; defaults to
+	// client.ReduceLast.
+	Reducer client.Reducer
+	// Confidence for result error bounds; defaults to 0.95.
+	Confidence float64
+	// StoreDir, when non-empty, persists decoded responses for
+	// historical analytics.
+	StoreDir string
+	// Seed makes the whole run deterministic; 0 draws a random seed.
+	Seed int64
+	// AnalystKey optionally supplies the signing key.
+	AnalystKey ed25519.PrivateKey
+}
+
+// System is a fully wired in-process PrivApprox deployment.
+type System struct {
+	cfg       Config
+	params    budget.Params
+	signed    *query.Signed
+	pub       ed25519.PublicKey
+	clients   []*client.Client
+	fleet     *proxy.Fleet
+	agg       *aggregator.Aggregator
+	store     *histstore.Store
+	ctrl      *budget.Controller
+	epoch     uint64
+	consumers []*pubsub.Consumer
+}
+
+// New builds and wires the system: initializer (budget → parameters),
+// query signing, proxies, clients (with their private databases), and
+// the aggregator.
+func New(cfg Config) (*System, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("%w: %d clients", ErrConfig, cfg.Clients)
+	}
+	if cfg.Proxies == 0 {
+		cfg.Proxies = 2
+	}
+	if cfg.Proxies < 2 {
+		return nil, fmt.Errorf("%w: %d proxies", ErrConfig, cfg.Proxies)
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 4
+	}
+	if cfg.Query == nil {
+		return nil, fmt.Errorf("%w: nil query", ErrConfig)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = mrand.Int63()
+	}
+	if cfg.Origin.IsZero() {
+		cfg.Origin = time.Unix(1_700_000_000, 0)
+	}
+
+	// Initializer: budget → (s, p, q).
+	var params budget.Params
+	switch {
+	case cfg.Params != nil:
+		params = *cfg.Params
+	case cfg.Budget != nil:
+		p, err := cfg.Budget.Derive(cfg.Clients)
+		if err != nil {
+			return nil, err
+		}
+		params = p
+	default:
+		p, err := (budget.Budget{}).Derive(cfg.Clients)
+		if err != nil {
+			return nil, err
+		}
+		params = p
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Analyst signature for non-repudiation.
+	priv := cfg.AnalystKey
+	if priv == nil {
+		_, k, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("core: keygen: %w", err)
+		}
+		priv = k
+	}
+	signed, err := query.Sign(cfg.Query, priv)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := priv.Public().(ed25519.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: bad analyst key", ErrConfig)
+	}
+
+	fleet, err := proxy.NewFleet(cfg.Proxies, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, fleet: fleet}
+
+	if cfg.StoreDir != "" {
+		store, err := histstore.Open(cfg.StoreDir, 0)
+		if err != nil {
+			fleet.Close()
+			return nil, err
+		}
+		sys.store = store
+	}
+
+	aggCfg := aggregator.Config{
+		Query:      cfg.Query,
+		Params:     params,
+		Population: cfg.Clients,
+		Proxies:    cfg.Proxies,
+		Origin:     cfg.Origin,
+		Confidence: cfg.Confidence,
+		Seed:       cfg.Seed + 1,
+	}
+	if sys.store != nil {
+		aggCfg.OnDecoded = func(raw []byte, eventTime time.Time) {
+			// Best-effort persistence; batch analytics tolerates gaps.
+			_ = sys.store.Append(eventTime, raw)
+		}
+	}
+	agg, err := aggregator.New(aggCfg)
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	sys.agg = agg
+
+	// Fan share i to proxy i.
+	sinks := make([]client.ShareSink, fleet.Size())
+	for i := range sinks {
+		sinks[i] = fleet.Proxy(i)
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		db := minisql.NewDB()
+		if cfg.Populate != nil {
+			if err := cfg.Populate(i, db); err != nil {
+				sys.Close()
+				return nil, fmt.Errorf("core: populate client %d: %w", i, err)
+			}
+		}
+		c, err := client.New(client.Config{
+			ID:         fmt.Sprintf("client-%06d", i),
+			DB:         db,
+			AnalystKey: pub,
+			Sinks:      sinks,
+			Reducer:    cfg.Reducer,
+			Seed:       cfg.Seed + int64(i) + 2,
+		})
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if err := c.Subscribe(signed, params); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		sys.clients = append(sys.clients, c)
+	}
+	return sys, nil
+}
+
+// Params returns the derived system parameters.
+func (s *System) Params() budget.Params { return s.params }
+
+// Clients returns the client handles (read-only use).
+func (s *System) Clients() []*client.Client { return s.clients }
+
+// Fleet returns the proxy fleet.
+func (s *System) Fleet() *proxy.Fleet { return s.fleet }
+
+// Aggregator returns the aggregator.
+func (s *System) Aggregator() *aggregator.Aggregator { return s.agg }
+
+// Store returns the historical store, or nil when not configured.
+func (s *System) Store() *histstore.Store { return s.store }
+
+// RunEpoch executes one answer epoch across all clients, drains the
+// proxies into the aggregator, and returns any window results that
+// fired plus the number of participating clients.
+func (s *System) RunEpoch() ([]aggregator.Result, int, error) {
+	epoch := s.epoch
+	s.epoch++
+	participants := 0
+	for _, c := range s.clients {
+		ok, err := c.AnswerOnce(epoch)
+		if err != nil {
+			return nil, participants, err
+		}
+		if ok {
+			participants++
+		}
+	}
+	results, err := s.drain()
+	return results, participants, err
+}
+
+// Epoch returns the next epoch number to run.
+func (s *System) Epoch() uint64 { return s.epoch }
+
+// drain forwards everything sitting at the proxies to the aggregator,
+// using persistent consumers so records are read exactly once.
+func (s *System) drain() ([]aggregator.Result, error) {
+	if s.consumers == nil {
+		cs, err := s.fleet.Consumers("aggregator")
+		if err != nil {
+			return nil, err
+		}
+		s.consumers = cs
+	}
+	var fired []aggregator.Result
+	now := time.Now()
+	for {
+		any := false
+		for src, c := range s.consumers {
+			recs, err := c.Poll(4096)
+			if err != nil {
+				return fired, err
+			}
+			for _, rec := range recs {
+				share, err := proxy.DecodeRecord(rec)
+				if err != nil {
+					return fired, err
+				}
+				res, err := s.agg.SubmitShare(share, src, now)
+				if err != nil {
+					return fired, err
+				}
+				fired = append(fired, res...)
+			}
+			if len(recs) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return fired, nil
+		}
+	}
+}
+
+// AdvanceTo pushes the aggregator's watermark to the event time of the
+// given epoch, closing any finished windows.
+func (s *System) AdvanceTo(epoch uint64) ([]aggregator.Result, error) {
+	t := s.cfg.Origin.Add(time.Duration(epoch) * s.cfg.Query.Frequency)
+	return s.agg.AdvanceTo(t)
+}
+
+// Flush closes all open windows (end of run).
+func (s *System) Flush() ([]aggregator.Result, error) {
+	if _, err := s.drain(); err != nil {
+		return nil, err
+	}
+	return s.agg.Flush()
+}
+
+// EnableFeedback installs the adaptive controller (paper §5): after each
+// result, call Feedback with it to let the controller re-tune s; clients
+// are re-subscribed automatically when the parameters change.
+func (s *System) EnableFeedback(targetLoss, sMin, sMax float64) error {
+	ctrl, err := budget.NewController(s.params, targetLoss, sMin, sMax)
+	if err != nil {
+		return err
+	}
+	s.ctrl = ctrl
+	return nil
+}
+
+// Feedback folds a window result into the controller and re-subscribes
+// clients when the sampling parameter moved. It returns the parameters
+// now in force.
+func (s *System) Feedback(res aggregator.Result) (budget.Params, error) {
+	if s.ctrl == nil {
+		return s.params, fmt.Errorf("%w: feedback not enabled", ErrConfig)
+	}
+	next := s.ctrl.Update(aggregator.RelativeWidth(res))
+	if next.S == s.params.S {
+		return s.params, nil
+	}
+	s.params = next
+	for _, c := range s.clients {
+		if err := c.Subscribe(s.signed, next); err != nil {
+			return next, err
+		}
+	}
+	return next, nil
+}
+
+// Close releases proxies and the historical store.
+func (s *System) Close() {
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
+	if s.store != nil {
+		s.store.Close()
+	}
+}

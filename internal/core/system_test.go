@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/budget"
+	"privapprox/internal/minisql"
+	"privapprox/internal/query"
+	"privapprox/internal/rr"
+	"privapprox/internal/workload"
+)
+
+func taxiSystemConfig(t *testing.T, clients int, params budget.Params) Config {
+	t.Helper()
+	q, err := workload.TaxiQuery("analyst", 1, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Clients: clients,
+		Proxies: 2,
+		Query:   q,
+		Params:  &params,
+		Seed:    42,
+		Populate: func(i int, db *minisql.DB) error {
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			return workload.PopulateTaxi(db, rng, 3, time.Unix(1000, 0), time.Minute)
+		},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for zero clients")
+	}
+	if _, err := New(Config{Clients: 5}); err == nil {
+		t.Error("expected error for nil query")
+	}
+	q, _ := workload.TaxiQuery("a", 1, time.Second, time.Second, time.Second)
+	if _, err := New(Config{Clients: 5, Query: q, Proxies: 1}); err == nil {
+		t.Error("expected error for one proxy")
+	}
+}
+
+func TestEndToEndExactWithoutNoise(t *testing.T) {
+	params := budget.Params{S: 1, RR: rr.Params{P: 1, Q: 0.5}}
+	const clients = 60
+	sys, err := New(taxiSystemConfig(t, clients, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if sys.Params().S != 1 {
+		t.Fatalf("params = %+v", sys.Params())
+	}
+	// Run 4 epochs (one full window) and flush.
+	var all []aggregator.Result
+	for e := 0; e < 4; e++ {
+		res, participants, err := sys.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if participants != clients {
+			t.Fatalf("epoch %d: %d participants, want all %d", e, participants, clients)
+		}
+		all = append(all, res...)
+	}
+	final, err := sys.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, final...)
+	if len(all) == 0 {
+		t.Fatal("no windows fired")
+	}
+	// With s=1, p=1 each window's total answers = clients × epochs in
+	// window, and per-bucket estimates are integers summing to that.
+	res := all[0]
+	if res.Responses != clients*4 {
+		t.Errorf("responses = %d, want %d", res.Responses, clients*4)
+	}
+	total := 0.0
+	for _, b := range res.Buckets {
+		total += b.Estimate.Estimate
+		if b.Estimate.Margin > 1e-9 {
+			t.Errorf("bucket %q margin = %v, want 0", b.Label, b.Estimate.Margin)
+		}
+	}
+	if math.Abs(total-float64(clients*4)) > 1e-6 {
+		t.Errorf("bucket totals = %v, want %d", total, clients*4)
+	}
+	if sys.Aggregator().Malformed() != 0 {
+		t.Errorf("malformed = %d", sys.Aggregator().Malformed())
+	}
+}
+
+func TestEndToEndWithNoiseRecoversDistribution(t *testing.T) {
+	params := budget.Params{S: 0.9, RR: rr.Params{P: 0.9, Q: 0.6}}
+	const clients = 2000
+	sys, err := New(taxiSystemConfig(t, clients, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for e := 0; e < 4; e++ {
+		if _, _, err := sys.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sys.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no windows fired")
+	}
+	res := results[0]
+	// The taxi workload puts ~33.6% of rides in bucket [0,1). The
+	// estimate (normalized) should land near that.
+	total := 0.0
+	for _, b := range res.Buckets {
+		total += b.Estimate.Estimate
+	}
+	if total <= 0 {
+		t.Fatal("degenerate totals")
+	}
+	frac := res.Buckets[0].Estimate.Estimate / total
+	if math.Abs(frac-workload.TaxiFirstBucketFraction) > 0.08 {
+		t.Errorf("bucket-0 fraction = %v, want ≈%v", frac, workload.TaxiFirstBucketFraction)
+	}
+}
+
+func TestBudgetDrivenInitializer(t *testing.T) {
+	q, err := workload.TaxiQuery("analyst", 2, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{
+		Clients: 100,
+		Query:   q,
+		Budget:  &budget.Budget{EpsilonZK: 1.5, Q: 0.6},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ezk, err := sys.Params().EpsilonZK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ezk > 1.5+1e-9 {
+		t.Errorf("derived ε_zk = %v exceeds budget", ezk)
+	}
+}
+
+func TestHistoricalStoreAndBatchAnalytics(t *testing.T) {
+	params := budget.Params{S: 1, RR: rr.Params{P: 1, Q: 0.5}}
+	cfg := taxiSystemConfig(t, 40, params)
+	cfg.StoreDir = t.TempDir()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for e := 0; e < 3; e++ {
+		if _, _, err := sys.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Batch-analyze the stored responses over all time.
+	aggCfg := aggregator.Config{
+		Query:      cfg.Query,
+		Params:     params,
+		Population: 40,
+		Proxies:    2,
+		Origin:     time.Unix(1_700_000_000, 0),
+		Seed:       3,
+	}
+	src := func(fn func(ts time.Time, payload []byte) error) error {
+		_, err := sys.Store().Scan(time.Unix(0, 0), time.Unix(1<<40, 0), fn)
+		return err
+	}
+	res, err := aggregator.BatchAnalyze(aggCfg, src, time.Unix(0, 0), time.Unix(1<<40, 0), 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 120 || res.Kept != 120 {
+		t.Errorf("scanned=%d kept=%d, want 120/120", res.Scanned, res.Kept)
+	}
+	total := 0.0
+	for _, b := range res.Buckets {
+		total += b.Estimate.Estimate
+	}
+	// 120 stored answers over 3 epochs × 40 clients = 120 answer slots:
+	// a fully sampled range, so the totals are exact.
+	if math.Abs(total-120) > 1e-6 {
+		t.Errorf("batch totals = %v, want 120", total)
+	}
+	// Second-round sampling keeps fewer and widens intervals.
+	res2, err := aggregator.BatchAnalyze(aggCfg, src, time.Unix(0, 0), time.Unix(1<<40, 0), 0.5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Kept >= res2.Scanned {
+		t.Errorf("second sampling kept everything: %d of %d", res2.Kept, res2.Scanned)
+	}
+}
+
+func TestFeedbackRaisesSamplingUnderError(t *testing.T) {
+	params := budget.Params{S: 0.2, RR: rr.Params{P: 0.5, Q: 0.6}}
+	sys, err := New(taxiSystemConfig(t, 200, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.EnableFeedback(0.02, 0.05, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	// Run a window, then feed its (noisy, high-error) result back.
+	for e := 0; e < 4; e++ {
+		if _, _, err := sys.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sys.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	before := sys.Params().S
+	after, err := sys.Feedback(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.S <= before {
+		t.Errorf("s did not rise under high error: %v -> %v", before, after.S)
+	}
+	// Clients keep answering under the new parameters.
+	if _, _, err := sys.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedbackWithoutEnableErrors(t *testing.T) {
+	params := budget.Params{S: 0.5, RR: rr.Params{P: 0.5, Q: 0.6}}
+	sys, err := New(taxiSystemConfig(t, 10, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Feedback(aggregator.Result{}); err == nil {
+		t.Error("expected error without EnableFeedback")
+	}
+}
+
+func TestSignedQueryReachesClients(t *testing.T) {
+	params := budget.Params{S: 1, RR: rr.Params{P: 1, Q: 0.5}}
+	sys, err := New(taxiSystemConfig(t, 3, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, c := range sys.Clients() {
+		if c.Query() == nil {
+			t.Fatal("client missing query")
+		}
+		if c.Query().QID != (query.ID{Analyst: "analyst", Serial: 1}) {
+			t.Errorf("client query QID = %v", c.Query().QID)
+		}
+	}
+	if sys.Fleet().Size() != 2 {
+		t.Errorf("fleet size = %d", sys.Fleet().Size())
+	}
+	if sys.Epoch() != 0 {
+		t.Errorf("initial epoch = %d", sys.Epoch())
+	}
+}

@@ -1,0 +1,241 @@
+package histstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, maxSeg int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), maxSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	s := openTemp(t, 0)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(base.Add(time.Duration(i)*time.Second), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []byte
+	st, err := s.Scan(base, base.Add(time.Hour), func(ts time.Time, payload []byte) error {
+		got = append(got, payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 10 || st.CorruptTail != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Errorf("payloads = %v", got)
+	}
+}
+
+func TestScanRangeFilter(t *testing.T) {
+	s := openTemp(t, 0)
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(base.Add(time.Duration(i)*time.Second), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// [3s, 7s): records 3..6. The range is inclusive-exclusive.
+	var got []byte
+	st, err := s.Scan(base.Add(3*time.Second), base.Add(7*time.Second), func(ts time.Time, p []byte) error {
+		got = append(got, p...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 4 || !bytes.Equal(got, []byte{3, 4, 5, 6}) {
+		t.Errorf("range scan = %v (%+v)", got, st)
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	s := openTemp(t, 4096)
+	payload := make([]byte, 1024)
+	for i := 0; i < 20; i++ {
+		if err := s.Append(time.Unix(int64(i), 0), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.SegmentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3 {
+		t.Errorf("segments = %d, want several", n)
+	}
+	st, err := s.Scan(time.Unix(0, 0), time.Unix(100, 0), func(time.Time, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 20 {
+		t.Errorf("records across segments = %d", st.Records)
+	}
+}
+
+func TestReopenContinues(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(time.Unix(1, 0), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Append(time.Unix(2, 0), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s2.Scan(time.Unix(0, 0), time.Unix(10, 0), func(time.Time, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Errorf("records after reopen = %d, want 2", st.Records)
+	}
+}
+
+func TestCorruptTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(time.Unix(int64(i), 0), []byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: truncate the tail of the segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got []string
+	st, err := s2.Scan(time.Unix(0, 0), time.Unix(100, 0), func(_ time.Time, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 4 || st.CorruptTail != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(got) != 4 || got[3] != "rec3" {
+		t.Errorf("recovered = %v", got)
+	}
+}
+
+func TestCorruptChecksumStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(time.Unix(1, 0), []byte("good"))
+	s.Append(time.Unix(2, 0), []byte("bad!"))
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte of the second record
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.Scan(time.Unix(0, 0), time.Unix(10, 0), func(time.Time, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 || st.CorruptTail != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScanCallbackErrorPropagates(t *testing.T) {
+	s := openTemp(t, 0)
+	s.Append(time.Unix(1, 0), []byte("x"))
+	boom := errors.New("boom")
+	_, err := s.Scan(time.Unix(0, 0), time.Unix(10, 0), func(time.Time, []byte) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClosedStoreRejectsAppend(t *testing.T) {
+	s := openTemp(t, 0)
+	s.Close()
+	if err := s.Append(time.Unix(1, 0), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("sync after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(t.TempDir(), 100); err == nil {
+		t.Error("expected error for tiny segment size")
+	}
+}
+
+func TestScanSeesUnsyncedWrites(t *testing.T) {
+	s := openTemp(t, 0)
+	s.Append(time.Unix(1, 0), []byte("fresh"))
+	st, err := s.Scan(time.Unix(0, 0), time.Unix(10, 0), func(time.Time, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Errorf("records = %d, want freshly appended data visible", st.Records)
+	}
+}

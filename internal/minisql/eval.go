@@ -1,0 +1,274 @@
+package minisql
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// ErrColumn reports a reference to an unknown column.
+var ErrColumn = errors.New("minisql: unknown column")
+
+// env resolves column names to values for one row.
+type env struct {
+	cols map[string]int // lower-cased column name → index
+	row  []Value
+}
+
+func (e *env) lookup(name string) (Value, error) {
+	idx, ok := e.cols[strings.ToLower(name)]
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %q", ErrColumn, name)
+	}
+	return e.row[idx], nil
+}
+
+// eval evaluates an expression against a row environment. SQL NULL
+// propagates through arithmetic and comparisons; AND/OR use three-valued
+// logic collapsed to Truthy at the WHERE boundary.
+func eval(e Expr, ev *env) (Value, error) {
+	switch x := e.(type) {
+	case *LiteralExpr:
+		return x.Val, nil
+	case *ColumnExpr:
+		return ev.lookup(x.Name)
+	case *UnaryExpr:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Bool(!v.Truthy()), nil
+		case "-":
+			f, err := v.AsNumber()
+			if err != nil {
+				return Value{}, err
+			}
+			return Number(-f), nil
+		default:
+			return Value{}, fmt.Errorf("%w: unary %q", ErrSyntax, x.Op)
+		}
+	case *BinaryExpr:
+		return evalBinary(x, ev)
+	case *InExpr:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			return Null(), nil
+		}
+		for _, item := range x.List {
+			iv, err := eval(item, ev)
+			if err != nil {
+				return Value{}, err
+			}
+			eq := v.Equal(iv)
+			if eq.Kind == KindBool && eq.B {
+				return Bool(!x.Not), nil
+			}
+		}
+		return Bool(x.Not), nil
+	case *IsNullExpr:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Not {
+			return Bool(!v.IsNull()), nil
+		}
+		return Bool(v.IsNull()), nil
+	case *BetweenExpr:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := eval(x.Lo, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := eval(x.Hi, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null(), nil
+		}
+		cmpLo, err := v.Compare(lo)
+		if err != nil {
+			return Value{}, err
+		}
+		cmpHi, err := v.Compare(hi)
+		if err != nil {
+			return Value{}, err
+		}
+		in := cmpLo >= 0 && cmpHi <= 0
+		if x.Not {
+			in = !in
+		}
+		return Bool(in), nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown expression %T", ErrSyntax, e)
+	}
+}
+
+func evalBinary(x *BinaryExpr, ev *env) (Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := eval(x.L, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsNull() && !l.Truthy() {
+			return Bool(false), nil // short circuit
+		}
+		r, err := eval(x.R, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if !r.IsNull() && !r.Truthy() {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(true), nil
+	case "OR":
+		l, err := eval(x.L, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsNull() && l.Truthy() {
+			return Bool(true), nil // short circuit
+		}
+		r, err := eval(x.R, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if !r.IsNull() && r.Truthy() {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(false), nil
+	}
+
+	l, err := eval(x.L, ev)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(x.R, ev)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		a, err := l.AsNumber()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := r.AsNumber()
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "+":
+			return Number(a + b), nil
+		case "-":
+			return Number(a - b), nil
+		case "*":
+			return Number(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null(), nil // SQLite yields NULL on division by zero
+			}
+			return Number(a / b), nil
+		default: // "%"
+			if b == 0 {
+				return Null(), nil
+			}
+			return Number(float64(int64(a) % int64(b))), nil
+		}
+	case "=":
+		return l.Equal(r), nil
+	case "!=":
+		eq := l.Equal(r)
+		if eq.IsNull() {
+			return Null(), nil
+		}
+		return Bool(!eq.B), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		c, err := l.Compare(r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if r.Kind != KindText {
+			return Value{}, fmt.Errorf("%w: LIKE pattern must be text", ErrType)
+		}
+		re, err := likePattern(r.Str)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(re.MatchString(l.String())), nil
+	default:
+		return Value{}, fmt.Errorf("%w: operator %q", ErrSyntax, x.Op)
+	}
+}
+
+// likeCache memoizes compiled LIKE patterns: clients run the same query
+// every epoch, so this is on the Table 3 hot path.
+var likeCache sync.Map // string → *regexp.Regexp
+
+// likePattern compiles a SQL LIKE pattern (% = any run, _ = any single
+// character) into an anchored, case-insensitive regular expression.
+func likePattern(pattern string) (*regexp.Regexp, error) {
+	if re, ok := likeCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	var sb strings.Builder
+	sb.WriteString("(?is)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("%w: LIKE pattern %q: %v", ErrSyntax, pattern, err)
+	}
+	likeCache.Store(pattern, re)
+	return re, nil
+}

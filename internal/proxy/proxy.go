@@ -1,0 +1,218 @@
+// Package proxy implements PrivApprox's anonymizing proxies (paper
+// §3.2.3, §5): thin, synchronization-free forwarders built on the
+// pub/sub substrate. Each proxy owns one broker topic; clients submit
+// one XOR share per proxy, and the aggregator consumes every proxy's
+// stream. A proxy cannot tell an encrypted answer from a key share —
+// both are fixed-length pseudo-random payloads keyed by the message
+// identifier.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"privapprox/internal/pubsub"
+	"privapprox/internal/xorcrypt"
+)
+
+// ErrClosed reports operations on a closed proxy.
+var ErrClosed = errors.New("proxy: closed")
+
+// Topic names mirror the paper's two Kafka topics: "answer" carries the
+// encrypted answer stream on the first proxy, "key" carries key shares
+// on all others. Functionally identical — the names only document roles.
+const (
+	TopicAnswer = "answer"
+	TopicKey    = "key"
+)
+
+// Proxy is one forwarding node.
+type Proxy struct {
+	name   string
+	topic  string
+	broker *pubsub.Broker
+}
+
+// New builds a proxy with its own broker and a single topic. Index 0 is
+// conventionally the answer proxy; every other index forwards key
+// shares.
+func New(name string, index, partitions int) (*Proxy, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("proxy: %d partitions", partitions)
+	}
+	topic := TopicKey
+	if index == 0 {
+		topic = TopicAnswer
+	}
+	b := pubsub.NewBroker()
+	if err := b.CreateTopic(topic, partitions); err != nil {
+		return nil, err
+	}
+	return &Proxy{name: name, topic: topic, broker: b}, nil
+}
+
+// Name returns the proxy name.
+func (p *Proxy) Name() string { return p.name }
+
+// Topic returns the proxy's stream name.
+func (p *Proxy) Topic() string { return p.topic }
+
+// Submit accepts one share from a client: the processing at a
+// PrivApprox proxy is exactly one publish — no noise addition, no
+// inter-proxy coordination (the property Fig. 6 measures).
+func (p *Proxy) Submit(share xorcrypt.Share) error {
+	mid := share.MID
+	_, _, err := p.broker.Publish(p.topic, mid[:], share.Payload)
+	return err
+}
+
+// Consumer returns an aggregator-side consumer over this proxy's stream.
+func (p *Proxy) Consumer(group string) (*pubsub.Consumer, error) {
+	return pubsub.NewConsumer(p.broker, group, p.topic)
+}
+
+// Stats exposes the underlying broker's traffic counters.
+func (p *Proxy) Stats() pubsub.Stats { return p.broker.Stats() }
+
+// Close shuts the underlying broker down.
+func (p *Proxy) Close() { p.broker.Close() }
+
+// DecodeRecord converts a consumed pub/sub record back into the share a
+// client submitted.
+func DecodeRecord(rec pubsub.Record) (xorcrypt.Share, error) {
+	if len(rec.Key) != xorcrypt.MIDSize {
+		return xorcrypt.Share{}, fmt.Errorf("proxy: record key has %d bytes, want %d", len(rec.Key), xorcrypt.MIDSize)
+	}
+	var mid xorcrypt.MID
+	copy(mid[:], rec.Key)
+	return xorcrypt.Share{MID: mid, Payload: rec.Value}, nil
+}
+
+// Fleet is the set of n ≥ 2 proxies a deployment runs. The threat model
+// (paper §2.2) requires at least two non-colluding proxies.
+type Fleet struct {
+	proxies []*Proxy
+}
+
+// NewFleet builds n proxies with the given partition count each.
+func NewFleet(n, partitions int) (*Fleet, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("proxy: fleet needs ≥ 2 proxies, got %d", n)
+	}
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		p, err := New(fmt.Sprintf("proxy-%d", i), i, partitions)
+		if err != nil {
+			return nil, err
+		}
+		f.proxies = append(f.proxies, p)
+	}
+	return f, nil
+}
+
+// Size returns the number of proxies.
+func (f *Fleet) Size() int { return len(f.proxies) }
+
+// Proxy returns proxy i.
+func (f *Fleet) Proxy(i int) *Proxy { return f.proxies[i] }
+
+// Sinks adapts the fleet to the client's ShareSink slice (share i goes
+// to proxy i).
+func (f *Fleet) Sinks() []ShareSink {
+	out := make([]ShareSink, len(f.proxies))
+	for i, p := range f.proxies {
+		out[i] = p
+	}
+	return out
+}
+
+// ShareSink mirrors client.ShareSink without importing it (both packages
+// stay independent; the core package wires them).
+type ShareSink interface {
+	Submit(share xorcrypt.Share) error
+}
+
+// Consumers returns one aggregator consumer per proxy.
+func (f *Fleet) Consumers(group string) ([]*pubsub.Consumer, error) {
+	out := make([]*pubsub.Consumer, len(f.proxies))
+	for i, p := range f.proxies {
+		c, err := p.Consumer(group)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// TotalStats sums traffic over the fleet.
+func (f *Fleet) TotalStats() pubsub.Stats {
+	var total pubsub.Stats
+	for _, p := range f.proxies {
+		s := p.Stats()
+		total.MessagesIn += s.MessagesIn
+		total.BytesIn += s.BytesIn
+		total.MessagesOut += s.MessagesOut
+		total.BytesOut += s.BytesOut
+	}
+	return total
+}
+
+// Close shuts every proxy down.
+func (f *Fleet) Close() {
+	for _, p := range f.proxies {
+		p.Close()
+	}
+}
+
+// Drain polls every proxy until no records arrive for the settle
+// duration, forwarding each decoded share to fn. It is the synchronous
+// helper the in-process experiments use.
+func (f *Fleet) Drain(group string, settle time.Duration, fn func(proxyIndex int, share xorcrypt.Share) error) error {
+	consumers, err := f.Consumers(group)
+	if err != nil {
+		return err
+	}
+	for {
+		any := false
+		for i, c := range consumers {
+			recs, err := c.Poll(4096)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				share, err := DecodeRecord(rec)
+				if err != nil {
+					return err
+				}
+				if err := fn(i, share); err != nil {
+					return err
+				}
+			}
+			if len(recs) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			if settle <= 0 {
+				return nil
+			}
+			time.Sleep(settle)
+			more := false
+			for _, c := range consumers {
+				lag, err := c.Lag()
+				if err != nil {
+					return err
+				}
+				if lag > 0 {
+					more = true
+					break
+				}
+			}
+			if !more {
+				return nil
+			}
+		}
+	}
+}

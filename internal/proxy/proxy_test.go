@@ -1,0 +1,157 @@
+package proxy
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"privapprox/internal/pubsub"
+	"privapprox/internal/xorcrypt"
+)
+
+func randomShare(t *testing.T, payload []byte) xorcrypt.Share {
+	t.Helper()
+	var mid xorcrypt.MID
+	if _, err := rand.Read(mid[:]); err != nil {
+		t.Fatal(err)
+	}
+	return xorcrypt.Share{MID: mid, Payload: payload}
+}
+
+func TestNewProxyTopics(t *testing.T) {
+	p0, err := New("p0", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	if p0.Topic() != TopicAnswer {
+		t.Errorf("proxy 0 topic = %q", p0.Topic())
+	}
+	p1, err := New("p1", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if p1.Topic() != TopicKey {
+		t.Errorf("proxy 1 topic = %q", p1.Topic())
+	}
+	if p0.Name() != "p0" {
+		t.Errorf("Name = %q", p0.Name())
+	}
+	if _, err := New("bad", 0, 0); err == nil {
+		t.Error("expected error for zero partitions")
+	}
+}
+
+func TestSubmitConsumeRoundTrip(t *testing.T) {
+	p, err := New("p", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	share := randomShare(t, []byte("payload-bytes"))
+	if err := p.Submit(share); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Consumer("agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.PollWait(10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("polled %d records", len(recs))
+	}
+	got, err := DecodeRecord(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MID != share.MID || !bytes.Equal(got.Payload, share.Payload) {
+		t.Errorf("decoded = %+v", got)
+	}
+}
+
+func TestDecodeRecordRejectsBadKey(t *testing.T) {
+	if _, err := DecodeRecord(pubsub.Record{Key: []byte("short")}); err == nil {
+		t.Error("expected error for malformed key")
+	}
+}
+
+func TestFleetValidationAndRoles(t *testing.T) {
+	if _, err := NewFleet(1, 1); err == nil {
+		t.Error("expected error for one-proxy fleet")
+	}
+	f, err := NewFleet(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != 3 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	if f.Proxy(0).Topic() != TopicAnswer || f.Proxy(1).Topic() != TopicKey || f.Proxy(2).Topic() != TopicKey {
+		t.Error("fleet roles wrong")
+	}
+	if len(f.Sinks()) != 3 {
+		t.Error("Sinks size wrong")
+	}
+}
+
+func TestFleetDrainDeliversEverything(t *testing.T) {
+	f, err := NewFleet(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const messages = 50
+	want := map[string]bool{}
+	for i := 0; i < messages; i++ {
+		sh := randomShare(t, []byte{byte(i)})
+		want[sh.MID.String()] = true
+		// Same MID goes to both proxies, as a client would send.
+		if err := f.Proxy(0).Submit(sh); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Proxy(1).Submit(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]int{}
+	err = f.Drain("agg", 10*time.Millisecond, func(idx int, share xorcrypt.Share) error {
+		got[share.MID.String()]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != messages {
+		t.Fatalf("drained %d distinct MIDs, want %d", len(got), messages)
+	}
+	for mid, n := range got {
+		if n != 2 {
+			t.Errorf("MID %s seen %d times, want 2", mid, n)
+		}
+	}
+}
+
+func TestFleetTotalStats(t *testing.T) {
+	f, err := NewFleet(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sh := randomShare(t, []byte("abcd"))
+	f.Proxy(0).Submit(sh)
+	f.Proxy(1).Submit(sh)
+	st := f.TotalStats()
+	if st.MessagesIn != 2 {
+		t.Errorf("MessagesIn = %d", st.MessagesIn)
+	}
+	wantBytes := int64(2 * (len(sh.Payload) + xorcrypt.MIDSize))
+	if st.BytesIn != wantBytes {
+		t.Errorf("BytesIn = %d, want %d", st.BytesIn, wantBytes)
+	}
+}

@@ -1,0 +1,334 @@
+// Package pubsub is the Kafka substitute PrivApprox proxies are built
+// on (paper §5): a topic-based publish/subscribe broker with partitioned
+// append-only logs, committed consumer-group offsets, blocking polls,
+// and an optional TCP transport. The proxies create two topics — key and
+// answer — and forward client shares through them to the aggregator.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Errors reported by the broker.
+var (
+	ErrNoTopic     = errors.New("pubsub: no such topic")
+	ErrTopicExists = errors.New("pubsub: topic already exists")
+	ErrNoPartition = errors.New("pubsub: no such partition")
+	ErrBadOffset   = errors.New("pubsub: offset out of range")
+	ErrClosed      = errors.New("pubsub: broker closed")
+)
+
+// Record is one log entry, the unit producers publish and consumers
+// poll.
+type Record struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       []byte
+	Value     []byte
+	Timestamp time.Time
+}
+
+// Stats counts broker traffic; Fig. 9's network accounting reads these.
+type Stats struct {
+	MessagesIn  int64
+	BytesIn     int64
+	MessagesOut int64
+	BytesOut    int64
+}
+
+type partitionLog struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	records []Record
+}
+
+func newPartitionLog() *partitionLog {
+	p := &partitionLog{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+type topicLog struct {
+	name       string
+	partitions []*partitionLog
+}
+
+// Broker is an in-memory, concurrency-safe message broker.
+type Broker struct {
+	mu      sync.RWMutex
+	topics  map[string]*topicLog
+	offsets map[string]map[string]map[int]int64 // group → topic → partition → next offset
+	stats   Stats
+	statsMu sync.Mutex
+	closed  bool
+	rr      uint64 // round-robin counter for keyless publishes
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		topics:  make(map[string]*topicLog),
+		offsets: make(map[string]map[string]map[int]int64),
+	}
+}
+
+// CreateTopic registers a topic with the given partition count.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if name == "" || partitions <= 0 {
+		return fmt.Errorf("pubsub: invalid topic %q with %d partitions", name, partitions)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("%w: %q", ErrTopicExists, name)
+	}
+	t := &topicLog{name: name, partitions: make([]*partitionLog, partitions)}
+	for i := range t.partitions {
+		t.partitions[i] = newPartitionLog()
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Topics lists topic names.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Partitions returns a topic's partition count.
+func (b *Broker) Partitions(topic string) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[topic]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+	return len(t.partitions), nil
+}
+
+// Publish appends a record. A non-nil key selects the partition by hash
+// (records with equal keys stay ordered); a nil key round-robins.
+func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, 0, ErrClosed
+	}
+	t, ok := b.topics[topic]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+	var part int
+	if key != nil {
+		h := fnv.New32a()
+		h.Write(key)
+		part = int(h.Sum32()) % len(t.partitions)
+		if part < 0 {
+			part += len(t.partitions)
+		}
+	} else {
+		b.statsMu.Lock()
+		part = int(b.rr % uint64(len(t.partitions)))
+		b.rr++
+		b.statsMu.Unlock()
+	}
+	p := t.partitions[part]
+	p.mu.Lock()
+	offset := int64(len(p.records))
+	rec := Record{
+		Topic:     topic,
+		Partition: part,
+		Offset:    offset,
+		Key:       append([]byte(nil), key...),
+		Value:     append([]byte(nil), value...),
+		Timestamp: time.Now(),
+	}
+	p.records = append(p.records, rec)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	b.statsMu.Lock()
+	b.stats.MessagesIn++
+	b.stats.BytesIn += int64(len(key) + len(value))
+	b.statsMu.Unlock()
+	return part, offset, nil
+}
+
+// Fetch returns up to max records from a partition starting at offset.
+// It never blocks; an offset at the log end returns an empty slice.
+func (b *Broker) Fetch(topic string, partition int, offset int64, max int) ([]Record, error) {
+	p, err := b.partition(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadOffset, offset)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset > int64(len(p.records)) {
+		return nil, fmt.Errorf("%w: %d beyond end %d", ErrBadOffset, offset, len(p.records))
+	}
+	end := offset + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	out := make([]Record, end-offset)
+	copy(out, p.records[offset:end])
+	// Deep-copy payloads so callers cannot mutate the log.
+	for i := range out {
+		out[i].Key = append([]byte(nil), out[i].Key...)
+		out[i].Value = append([]byte(nil), out[i].Value...)
+	}
+
+	b.statsMu.Lock()
+	b.stats.MessagesOut += int64(len(out))
+	for _, r := range out {
+		b.stats.BytesOut += int64(len(r.Key) + len(r.Value))
+	}
+	b.statsMu.Unlock()
+	return out, nil
+}
+
+// WaitFetch is Fetch that blocks until at least one record is available
+// or the deadline passes (returning an empty slice on timeout).
+func (b *Broker) WaitFetch(topic string, partition int, offset int64, max int, timeout time.Duration) ([]Record, error) {
+	p, err := b.partition(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	p.mu.Lock()
+	for int64(len(p.records)) <= offset {
+		if b.isClosed() {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if !time.Now().Before(deadline) {
+			p.mu.Unlock()
+			return nil, nil
+		}
+		// Wake periodically to observe the deadline; Broadcast on
+		// publish wakes us immediately in the common case.
+		waitWithTimeout(p.cond, 5*time.Millisecond)
+	}
+	p.mu.Unlock()
+	return b.Fetch(topic, partition, offset, max)
+}
+
+// waitWithTimeout waits on cond for at most d. The caller must hold the
+// cond's lock.
+func waitWithTimeout(cond *sync.Cond, d time.Duration) {
+	timer := time.AfterFunc(d, cond.Broadcast)
+	cond.Wait()
+	timer.Stop()
+}
+
+// EndOffset returns the next offset to be written in a partition.
+func (b *Broker) EndOffset(topic string, partition int) (int64, error) {
+	p, err := b.partition(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.records)), nil
+}
+
+// CommitOffset durably records a consumer group's next-to-read offset.
+func (b *Broker) CommitOffset(group, topic string, partition int, offset int64) error {
+	if _, err := b.partition(topic, partition); err != nil {
+		return err
+	}
+	if offset < 0 {
+		return fmt.Errorf("%w: %d", ErrBadOffset, offset)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gt, ok := b.offsets[group]
+	if !ok {
+		gt = make(map[string]map[int]int64)
+		b.offsets[group] = gt
+	}
+	tp, ok := gt[topic]
+	if !ok {
+		tp = make(map[int]int64)
+		gt[topic] = tp
+	}
+	tp[partition] = offset
+	return nil
+}
+
+// CommittedOffset returns a group's committed offset, 0 when none.
+func (b *Broker) CommittedOffset(group, topic string, partition int) (int64, error) {
+	if _, err := b.partition(topic, partition); err != nil {
+		return 0, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if gt, ok := b.offsets[group]; ok {
+		if tp, ok := gt[topic]; ok {
+			return tp[partition], nil
+		}
+	}
+	return 0, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Broker) Stats() Stats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.stats
+}
+
+// Close marks the broker closed; publishes fail and blocked polls wake.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	b.closed = true
+	topics := make([]*topicLog, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	for _, t := range topics {
+		for _, p := range t.partitions {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+func (b *Broker) isClosed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.closed
+}
+
+func (b *Broker) partition(topic string, partition int) (*partitionLog, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[topic]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNoPartition, partition, len(t.partitions))
+	}
+	return t.partitions[partition], nil
+}

@@ -1,0 +1,135 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Consumer reads one or more topics on behalf of a consumer group,
+// tracking in-memory positions and committing them to the broker on
+// demand — the subset of Kafka's consumer API the aggregator needs.
+type Consumer struct {
+	broker    *Broker
+	group     string
+	positions map[string]map[int]int64 // topic → partition → next offset
+}
+
+// NewConsumer subscribes a group member to the given topics, resuming
+// from the group's committed offsets.
+func NewConsumer(b *Broker, group string, topics ...string) (*Consumer, error) {
+	if group == "" {
+		return nil, fmt.Errorf("pubsub: empty consumer group")
+	}
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("pubsub: no topics to subscribe")
+	}
+	c := &Consumer{broker: b, group: group, positions: make(map[string]map[int]int64)}
+	for _, topic := range topics {
+		nparts, err := b.Partitions(topic)
+		if err != nil {
+			return nil, err
+		}
+		pos := make(map[int]int64, nparts)
+		for p := 0; p < nparts; p++ {
+			off, err := b.CommittedOffset(group, topic, p)
+			if err != nil {
+				return nil, err
+			}
+			pos[p] = off
+		}
+		c.positions[topic] = pos
+	}
+	return c, nil
+}
+
+// Poll returns up to max records across all subscribed partitions,
+// advancing in-memory positions. It returns immediately with whatever is
+// available; an empty slice means the consumer is caught up.
+func (c *Consumer) Poll(max int) ([]Record, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("pubsub: non-positive poll size %d", max)
+	}
+	var out []Record
+	for _, topic := range c.sortedTopics() {
+		pos := c.positions[topic]
+		for _, p := range sortedPartitions(pos) {
+			if len(out) >= max {
+				return out, nil
+			}
+			recs, err := c.broker.Fetch(topic, p, pos[p], max-len(out))
+			if err != nil {
+				return nil, err
+			}
+			if len(recs) > 0 {
+				pos[p] = recs[len(recs)-1].Offset + 1
+				out = append(out, recs...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PollWait is Poll that blocks up to timeout for the first record.
+func (c *Consumer) PollWait(max int, timeout time.Duration) ([]Record, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		recs, err := c.Poll(max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, nil
+		}
+		if c.broker.isClosed() {
+			return nil, ErrClosed
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Commit persists the current positions to the broker so another group
+// member can resume after a failure.
+func (c *Consumer) Commit() error {
+	for topic, pos := range c.positions {
+		for p, off := range pos {
+			if err := c.broker.CommitOffset(c.group, topic, p, off); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Lag returns the total number of unread records across subscriptions.
+func (c *Consumer) Lag() (int64, error) {
+	var lag int64
+	for topic, pos := range c.positions {
+		for p, off := range pos {
+			end, err := c.broker.EndOffset(topic, p)
+			if err != nil {
+				return 0, err
+			}
+			lag += end - off
+		}
+	}
+	return lag, nil
+}
+
+func (c *Consumer) sortedTopics() []string {
+	out := make([]string, 0, len(c.positions))
+	for t := range c.positions {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPartitions(pos map[int]int64) []int {
+	out := make([]int, 0, len(pos))
+	for p := range pos {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

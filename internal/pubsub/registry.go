@@ -1,0 +1,97 @@
+package pubsub
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is the Zookeeper stand-in: a membership service brokers
+// register with and heartbeat against. Members that miss heartbeats past
+// the TTL are expired; the member with the smallest ID acts as leader
+// (Kafka's controller-election role).
+type Registry struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	members map[string]memberState
+	now     func() time.Time // injectable clock for tests
+}
+
+type memberState struct {
+	addr     string
+	lastBeat time.Time
+}
+
+// ErrUnknownMember reports a heartbeat from an unregistered member.
+var ErrUnknownMember = errors.New("pubsub: unknown member")
+
+// Member is a registered broker.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// NewRegistry returns a registry expiring members after ttl without a
+// heartbeat.
+func NewRegistry(ttl time.Duration) *Registry {
+	return &Registry{
+		ttl:     ttl,
+		members: make(map[string]memberState),
+		now:     time.Now,
+	}
+}
+
+// Register adds or refreshes a member.
+func (r *Registry) Register(id, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.members[id] = memberState{addr: addr, lastBeat: r.now()}
+}
+
+// Heartbeat refreshes a member's lease.
+func (r *Registry) Heartbeat(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return ErrUnknownMember
+	}
+	m.lastBeat = r.now()
+	r.members[id] = m
+	return nil
+}
+
+// Deregister removes a member immediately.
+func (r *Registry) Deregister(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.members, id)
+}
+
+// Members returns live members sorted by ID, expiring stale ones.
+func (r *Registry) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.ttl)
+	var out []Member
+	for id, m := range r.members {
+		if m.lastBeat.Before(cutoff) {
+			delete(r.members, id)
+			continue
+		}
+		out = append(out, Member{ID: id, Addr: m.addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Leader returns the live member with the smallest ID, or false when the
+// registry is empty.
+func (r *Registry) Leader() (Member, bool) {
+	ms := r.Members()
+	if len(ms) == 0 {
+		return Member{}, false
+	}
+	return ms[0], true
+}

@@ -1,0 +1,453 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server exposes a Broker over TCP with the frame protocol in wire.go,
+// so proxies and the aggregator can run as separate processes.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts serving the broker on addr (e.g. "127.0.0.1:0") and
+// returns immediately; Addr reports the bound address.
+func Serve(b *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: listen: %w", err)
+	}
+	s := &Server{broker: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func respErr(err error) []byte {
+	var e enc
+	e.byte(1)
+	e.str(err.Error())
+	return e.buf
+}
+
+func (s *Server) handle(req []byte) []byte {
+	d := &dec{buf: req}
+	op, err := d.byte()
+	if err != nil {
+		return respErr(err)
+	}
+	switch op {
+	case opCreateTopic:
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		parts, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		if err := s.broker.CreateTopic(topic, int(parts)); err != nil {
+			return respErr(err)
+		}
+		return []byte{0}
+	case opPublish:
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		hasKey, err := d.byte()
+		if err != nil {
+			return respErr(err)
+		}
+		var key []byte
+		if hasKey == 1 {
+			if key, err = d.bytes(); err != nil {
+				return respErr(err)
+			}
+		}
+		val, err := d.bytes()
+		if err != nil {
+			return respErr(err)
+		}
+		part, off, err := s.broker.Publish(topic, key, val)
+		if err != nil {
+			return respErr(err)
+		}
+		var e enc
+		e.byte(0)
+		e.uint32(uint32(part))
+		e.uint64(uint64(off))
+		return e.buf
+	case opFetch:
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		part, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		off, err := d.uint64()
+		if err != nil {
+			return respErr(err)
+		}
+		max, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		waitMs, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		var recs []Record
+		if waitMs > 0 {
+			recs, err = s.broker.WaitFetch(topic, int(part), int64(off), int(max), time.Duration(waitMs)*time.Millisecond)
+		} else {
+			recs, err = s.broker.Fetch(topic, int(part), int64(off), int(max))
+		}
+		if err != nil {
+			return respErr(err)
+		}
+		var e enc
+		e.byte(0)
+		e.uint32(uint32(len(recs)))
+		for _, r := range recs {
+			e.uint32(uint32(r.Partition))
+			e.uint64(uint64(r.Offset))
+			e.uint64(uint64(r.Timestamp.UnixNano()))
+			e.bytes(r.Key)
+			e.bytes(r.Value)
+		}
+		return e.buf
+	case opEndOffset:
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		part, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		off, err := s.broker.EndOffset(topic, int(part))
+		if err != nil {
+			return respErr(err)
+		}
+		var e enc
+		e.byte(0)
+		e.uint64(uint64(off))
+		return e.buf
+	case opCommit:
+		group, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		part, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		off, err := d.uint64()
+		if err != nil {
+			return respErr(err)
+		}
+		if err := s.broker.CommitOffset(group, topic, int(part), int64(off)); err != nil {
+			return respErr(err)
+		}
+		return []byte{0}
+	case opCommitted:
+		group, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		part, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		off, err := s.broker.CommittedOffset(group, topic, int(part))
+		if err != nil {
+			return respErr(err)
+		}
+		var e enc
+		e.byte(0)
+		e.uint64(uint64(off))
+		return e.buf
+	case opPartitions:
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		n, err := s.broker.Partitions(topic)
+		if err != nil {
+			return respErr(err)
+		}
+		var e enc
+		e.byte(0)
+		e.uint32(uint32(n))
+		return e.buf
+	default:
+		return respErr(fmt.Errorf("%w: unknown opcode %d", ErrWire, op))
+	}
+}
+
+// Client is a remote handle on a broker served over TCP. It is safe for
+// concurrent use; requests are serialized on one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a broker server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req []byte) (*dec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{buf: resp}
+	status, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		msg, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return nil, errors.New(msg)
+	}
+	return d, nil
+}
+
+// CreateTopic mirrors Broker.CreateTopic.
+func (c *Client) CreateTopic(topic string, partitions int) error {
+	var e enc
+	e.byte(opCreateTopic)
+	e.str(topic)
+	e.uint32(uint32(partitions))
+	_, err := c.roundTrip(e.buf)
+	return err
+}
+
+// Publish mirrors Broker.Publish.
+func (c *Client) Publish(topic string, key, value []byte) (int, int64, error) {
+	var e enc
+	e.byte(opPublish)
+	e.str(topic)
+	if key != nil {
+		e.byte(1)
+		e.bytes(key)
+	} else {
+		e.byte(0)
+	}
+	e.bytes(value)
+	d, err := c.roundTrip(e.buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	part, err := d.uint32()
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := d.uint64()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(part), int64(off), nil
+}
+
+// Fetch mirrors Broker.Fetch; wait > 0 turns it into WaitFetch with that
+// timeout.
+func (c *Client) Fetch(topic string, partition int, offset int64, max int, wait time.Duration) ([]Record, error) {
+	var e enc
+	e.byte(opFetch)
+	e.str(topic)
+	e.uint32(uint32(partition))
+	e.uint64(uint64(offset))
+	e.uint32(uint32(max))
+	e.uint32(uint32(wait / time.Millisecond))
+	d, err := c.roundTrip(e.buf)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, n)
+	for i := uint32(0); i < n; i++ {
+		part, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		off, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		key, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		val, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Record{
+			Topic:     topic,
+			Partition: int(part),
+			Offset:    int64(off),
+			Timestamp: time.Unix(0, int64(ts)),
+			Key:       key,
+			Value:     val,
+		})
+	}
+	return out, nil
+}
+
+// EndOffset mirrors Broker.EndOffset.
+func (c *Client) EndOffset(topic string, partition int) (int64, error) {
+	var e enc
+	e.byte(opEndOffset)
+	e.str(topic)
+	e.uint32(uint32(partition))
+	d, err := c.roundTrip(e.buf)
+	if err != nil {
+		return 0, err
+	}
+	off, err := d.uint64()
+	return int64(off), err
+}
+
+// Partitions mirrors Broker.Partitions.
+func (c *Client) Partitions(topic string) (int, error) {
+	var e enc
+	e.byte(opPartitions)
+	e.str(topic)
+	d, err := c.roundTrip(e.buf)
+	if err != nil {
+		return 0, err
+	}
+	n, err := d.uint32()
+	return int(n), err
+}
+
+// CommitOffset mirrors Broker.CommitOffset.
+func (c *Client) CommitOffset(group, topic string, partition int, offset int64) error {
+	var e enc
+	e.byte(opCommit)
+	e.str(group)
+	e.str(topic)
+	e.uint32(uint32(partition))
+	e.uint64(uint64(offset))
+	_, err := c.roundTrip(e.buf)
+	return err
+}
+
+// CommittedOffset mirrors Broker.CommittedOffset.
+func (c *Client) CommittedOffset(group, topic string, partition int) (int64, error) {
+	var e enc
+	e.byte(opCommitted)
+	e.str(group)
+	e.str(topic)
+	e.uint32(uint32(partition))
+	d, err := c.roundTrip(e.buf)
+	if err != nil {
+		return 0, err
+	}
+	off, err := d.uint64()
+	return int64(off), err
+}

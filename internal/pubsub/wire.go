@@ -1,0 +1,117 @@
+package pubsub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The TCP transport speaks length-prefixed binary frames. Each request
+// frame starts with a one-byte opcode; each response frame starts with a
+// one-byte status (0 = ok, 1 = error followed by a message string).
+
+// maxFrame bounds a frame to keep a misbehaving peer from ballooning
+// memory.
+const maxFrame = 64 << 20
+
+// ErrWire reports a transport protocol violation.
+var ErrWire = errors.New("pubsub: wire protocol error")
+
+// Opcodes.
+const (
+	opCreateTopic = byte(iota + 1)
+	opPublish
+	opFetch
+	opEndOffset
+	opCommit
+	opCommitted
+	opPartitions
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrWire, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// enc is an append-only payload builder.
+type enc struct{ buf []byte }
+
+func (e *enc) byte(b byte)     { e.buf = append(e.buf, b) }
+func (e *enc) uint32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *enc) uint64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *enc) bytes(b []byte) {
+	e.uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *enc) str(s string) { e.bytes([]byte(s)) }
+
+// dec is a sequential payload reader.
+type dec struct{ buf []byte }
+
+func (d *dec) byte() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, fmt.Errorf("%w: short frame", ErrWire)
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *dec) uint32() (uint32, error) {
+	if len(d.buf) < 4 {
+		return 0, fmt.Errorf("%w: short frame", ErrWire)
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+func (d *dec) uint64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, fmt.Errorf("%w: short frame", ErrWire)
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(d.buf)) < n {
+		return nil, fmt.Errorf("%w: short frame", ErrWire)
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out, nil
+}
+
+func (d *dec) str() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}

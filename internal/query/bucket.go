@@ -1,0 +1,116 @@
+// Package query implements PrivApprox's query model (paper §2.2, §3.1):
+// an analyst-signed streaming SQL query whose per-client answer is an
+// n-bit histogram bucket vector, executed periodically as a sliding
+// window computation. Buckets cover numeric ranges for numeric queries
+// and regular-expression matching rules for non-numeric queries.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+)
+
+// ErrBucket reports an invalid bucket specification.
+var ErrBucket = errors.New("query: invalid bucket")
+
+// Bucket decides whether a query answer value falls into one histogram
+// bucket. Numeric buckets receive the value parsed as float64;
+// non-numeric buckets receive the raw string.
+type Bucket interface {
+	// Match reports whether the value belongs to this bucket.
+	Match(value string) bool
+	// Label returns a human-readable description for result tables.
+	Label() string
+}
+
+// RangeBucket matches numeric values in the half-open interval [Lo, Hi).
+// Use math.Inf for open endpoints, e.g. [10, +Inf) for the paper's
+// "10+ miles" taxi bucket.
+type RangeBucket struct {
+	Lo, Hi float64
+}
+
+// Match parses value as a float and tests Lo ≤ v < Hi.
+func (b RangeBucket) Match(value string) bool {
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return false
+	}
+	return v >= b.Lo && v < b.Hi
+}
+
+// Label renders the interval.
+func (b RangeBucket) Label() string {
+	switch {
+	case math.IsInf(b.Hi, 1):
+		return fmt.Sprintf("[%g,+inf)", b.Lo)
+	case math.IsInf(b.Lo, -1):
+		return fmt.Sprintf("(-inf,%g)", b.Hi)
+	default:
+		return fmt.Sprintf("[%g,%g)", b.Lo, b.Hi)
+	}
+}
+
+// PatternBucket matches string values against a compiled regular
+// expression — the paper's "matching rule" for non-numeric queries.
+type PatternBucket struct {
+	re    *regexp.Regexp
+	label string
+}
+
+// NewPatternBucket compiles the pattern.
+func NewPatternBucket(pattern string) (*PatternBucket, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBucket, err)
+	}
+	return &PatternBucket{re: re, label: pattern}, nil
+}
+
+// Match runs the regular expression against the raw value.
+func (b *PatternBucket) Match(value string) bool { return b.re.MatchString(value) }
+
+// Label returns the source pattern.
+func (b *PatternBucket) Label() string { return b.label }
+
+// Buckets is an ordered bucket set defining the answer format A[n].
+type Buckets []Bucket
+
+// UniformRanges builds n equal-width numeric buckets covering [lo, hi),
+// optionally appending a final [hi, +Inf) overflow bucket.
+func UniformRanges(lo, hi float64, n int, overflow bool) (Buckets, error) {
+	if n <= 0 || hi <= lo || math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil, fmt.Errorf("%w: %d ranges over [%g,%g)", ErrBucket, n, lo, hi)
+	}
+	width := (hi - lo) / float64(n)
+	out := make(Buckets, 0, n+1)
+	for i := 0; i < n; i++ {
+		out = append(out, RangeBucket{Lo: lo + float64(i)*width, Hi: lo + float64(i+1)*width})
+	}
+	if overflow {
+		out = append(out, RangeBucket{Lo: hi, Hi: math.Inf(1)})
+	}
+	return out, nil
+}
+
+// Index returns the first bucket matching value, or -1 when none match.
+func (bs Buckets) Index(value string) int {
+	for i, b := range bs {
+		if b.Match(value) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Labels returns the per-bucket labels in order.
+func (bs Buckets) Labels() []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Label()
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package query
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"math"
+	"testing"
+	"time"
+)
+
+func taxiBuckets(t *testing.T) Buckets {
+	t.Helper()
+	bs, err := UniformRanges(0, 10, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+func validQuery(t *testing.T) *Query {
+	t.Helper()
+	return &Query{
+		QID:       ID{Analyst: "alice", Serial: 7},
+		SQL:       "SELECT distance FROM rides",
+		Buckets:   taxiBuckets(t),
+		Frequency: time.Second,
+		Window:    10 * time.Minute,
+		Slide:     time.Minute,
+	}
+}
+
+func TestRangeBucket(t *testing.T) {
+	b := RangeBucket{Lo: 1, Hi: 2}
+	cases := map[string]bool{
+		"1":    true,
+		"1.99": true,
+		"2":    false, // half-open
+		"0.99": false,
+		"abc":  false,
+	}
+	for in, want := range cases {
+		if got := b.Match(in); got != want {
+			t.Errorf("Match(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if b.Label() != "[1,2)" {
+		t.Errorf("Label = %q", b.Label())
+	}
+	inf := RangeBucket{Lo: 10, Hi: math.Inf(1)}
+	if !inf.Match("1000000") {
+		t.Error("overflow bucket should match large values")
+	}
+	if inf.Label() != "[10,+inf)" {
+		t.Errorf("Label = %q", inf.Label())
+	}
+	neg := RangeBucket{Lo: math.Inf(-1), Hi: 0}
+	if neg.Label() != "(-inf,0)" {
+		t.Errorf("Label = %q", neg.Label())
+	}
+}
+
+func TestPatternBucket(t *testing.T) {
+	b, err := NewPatternBucket(`^San Francisco$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Match("San Francisco") || b.Match("San Jose") {
+		t.Error("pattern matching wrong")
+	}
+	if b.Label() != "^San Francisco$" {
+		t.Errorf("Label = %q", b.Label())
+	}
+	if _, err := NewPatternBucket("("); err == nil {
+		t.Error("expected error for bad regexp")
+	}
+}
+
+func TestUniformRanges(t *testing.T) {
+	bs, err := UniformRanges(0, 10, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 11 {
+		t.Fatalf("len = %d, want 11", len(bs))
+	}
+	// The paper's taxi example: 0.5 miles → bucket 0; 9.9 → bucket 9;
+	// 10+ → overflow bucket 10.
+	if got := bs.Index("0.5"); got != 0 {
+		t.Errorf("Index(0.5) = %d", got)
+	}
+	if got := bs.Index("9.9"); got != 9 {
+		t.Errorf("Index(9.9) = %d", got)
+	}
+	if got := bs.Index("15"); got != 10 {
+		t.Errorf("Index(15) = %d", got)
+	}
+	if got := bs.Index("-1"); got != -1 {
+		t.Errorf("Index(-1) = %d, want -1", got)
+	}
+	if got := len(bs.Labels()); got != 11 {
+		t.Errorf("Labels len = %d", got)
+	}
+	if _, err := UniformRanges(5, 5, 3, false); err == nil {
+		t.Error("expected error for empty range")
+	}
+	if _, err := UniformRanges(0, 1, 0, false); err == nil {
+		t.Error("expected error for zero buckets")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	q := validQuery(t)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	broken := []func(*Query){
+		func(q *Query) { q.SQL = "" },
+		func(q *Query) { q.Buckets = nil },
+		func(q *Query) { q.Frequency = 0 },
+		func(q *Query) { q.Window = 0 },
+		func(q *Query) { q.Slide = 0 },
+		func(q *Query) { q.Slide = q.Window + 1 },
+	}
+	for i, mutate := range broken {
+		q := validQuery(t)
+		mutate(q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestIDStringAndHash(t *testing.T) {
+	id := ID{Analyst: "alice", Serial: 42}
+	if id.String() != "alice:42" {
+		t.Errorf("String = %q", id.String())
+	}
+	other := ID{Analyst: "alice", Serial: 43}
+	if id.Uint64() == other.Uint64() {
+		t.Error("different serials should hash differently")
+	}
+	if id.Uint64() != (ID{Analyst: "alice", Serial: 42}).Uint64() {
+		t.Error("hash must be deterministic")
+	}
+}
+
+func TestInvertToggles(t *testing.T) {
+	q := validQuery(t)
+	inv := q.Invert()
+	if !inv.Inverted || q.Inverted {
+		t.Error("Invert should toggle a copy only")
+	}
+	if back := inv.Invert(); back.Inverted {
+		t.Error("double inversion should restore")
+	}
+}
+
+func TestEpochOf(t *testing.T) {
+	q := validQuery(t)
+	origin := time.Unix(1000, 0)
+	if got := q.EpochOf(origin, origin); got != 0 {
+		t.Errorf("epoch at origin = %d", got)
+	}
+	if got := q.EpochOf(origin, origin.Add(2500*time.Millisecond)); got != 2 {
+		t.Errorf("epoch at +2.5s = %d, want 2", got)
+	}
+	if got := q.EpochOf(origin, origin.Add(-time.Hour)); got != 0 {
+		t.Errorf("epoch before origin = %d, want 0", got)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := Sign(validQuery(t), priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := signed.Verify(pub); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Any field tamper must break the signature.
+	signed.Query.SQL = "SELECT speed FROM rides"
+	if err := signed.Verify(pub); err == nil {
+		t.Error("tampered SQL accepted")
+	}
+	signed.Query.SQL = "SELECT distance FROM rides"
+	signed.Query.Inverted = true
+	if err := signed.Verify(pub); err == nil {
+		t.Error("tampered inversion flag accepted")
+	}
+	signed.Query.Inverted = false
+	if err := signed.Verify(pub); err != nil {
+		t.Error("restored query should verify again")
+	}
+	// Wrong key.
+	otherPub, _, _ := ed25519.GenerateKey(rand.Reader)
+	if err := signed.Verify(otherPub); err == nil {
+		t.Error("wrong public key accepted")
+	}
+	if err := signed.Verify(nil); err == nil {
+		t.Error("nil public key accepted")
+	}
+}
+
+func TestSignRejectsInvalid(t *testing.T) {
+	_, priv, _ := ed25519.GenerateKey(rand.Reader)
+	q := validQuery(t)
+	q.SQL = ""
+	if _, err := Sign(q, priv); err == nil {
+		t.Error("expected validation error")
+	}
+	if _, err := Sign(validQuery(t), nil); err == nil {
+		t.Error("expected bad-key error")
+	}
+}

@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStratifiedSumCombines(t *testing.T) {
+	strata := []Stratum{
+		{Name: "a", Population: 100, Sample: []float64{1, 1, 0, 1}},
+		{Name: "b", Population: 50, Sample: []float64{0, 0, 1, 0, 0}},
+	}
+	est, err := EstimateStratifiedSum(strata, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ̂ = 100/4·3 + 50/5·1 = 75 + 10 = 85.
+	if math.Abs(est.Sum-85) > 1e-9 {
+		t.Errorf("Sum = %v, want 85", est.Sum)
+	}
+	if len(est.PerStratum) != 2 {
+		t.Fatalf("PerStratum = %d, want 2", len(est.PerStratum))
+	}
+	if est.Margin <= 0 {
+		t.Errorf("Margin = %v, want > 0", est.Margin)
+	}
+}
+
+func TestStratifiedSumValidation(t *testing.T) {
+	if _, err := EstimateStratifiedSum(nil, 0.95); err == nil {
+		t.Error("expected error for no strata")
+	}
+	if _, err := EstimateStratifiedSum([]Stratum{{Population: 10}}, 0.95); err == nil {
+		t.Error("expected error for empty stratum sample")
+	}
+	strata := []Stratum{{Population: 10, Sample: []float64{1}}}
+	if _, err := EstimateStratifiedSum(strata, 2); err == nil {
+		t.Error("expected error for bad confidence")
+	}
+}
+
+func TestStratifiedSingleSamplesGiveInfiniteMargin(t *testing.T) {
+	strata := []Stratum{
+		{Name: "a", Population: 10, Sample: []float64{1}},
+		{Name: "b", Population: 10, Sample: []float64{0}},
+	}
+	est, err := EstimateStratifiedSum(strata, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(est.Margin, 1) {
+		t.Errorf("Margin = %v, want +Inf with no df", est.Margin)
+	}
+}
+
+// Stratified sampling should beat SRS on a strongly clustered population
+// (the motivation for the extension in the technical report).
+func TestStratifiedBeatsSRSOnSkewedStrata(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const (
+		perStratum = 5000
+		sampleEach = 100
+		trials     = 60
+	)
+	// Stratum A answers ~1, stratum B answers ~0: between-strata variance
+	// dominates.
+	popA := make([]float64, perStratum)
+	popB := make([]float64, perStratum)
+	trueSum := 0.0
+	for i := range popA {
+		if rng.Float64() < 0.95 {
+			popA[i] = 1
+		}
+		if rng.Float64() < 0.05 {
+			popB[i] = 1
+		}
+		trueSum += popA[i] + popB[i]
+	}
+	var srsErr, strErr float64
+	for tr := 0; tr < trials; tr++ {
+		// SRS: draw 2·sampleEach from the merged population.
+		var srsSample []float64
+		for i := 0; i < 2*sampleEach; i++ {
+			if rng.Intn(2) == 0 {
+				srsSample = append(srsSample, popA[rng.Intn(perStratum)])
+			} else {
+				srsSample = append(srsSample, popB[rng.Intn(perStratum)])
+			}
+		}
+		srs, err := EstimateSum(srsSample, 2*perStratum, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srsErr += math.Abs(srs.Sum - trueSum)
+
+		sampleOf := func(pop []float64) []float64 {
+			s := make([]float64, sampleEach)
+			for i := range s {
+				s[i] = pop[rng.Intn(perStratum)]
+			}
+			return s
+		}
+		str, err := EstimateStratifiedSum([]Stratum{
+			{Name: "A", Population: perStratum, Sample: sampleOf(popA)},
+			{Name: "B", Population: perStratum, Sample: sampleOf(popB)},
+		}, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strErr += math.Abs(str.Sum - trueSum)
+	}
+	if strErr >= srsErr {
+		t.Errorf("stratified error %v not below SRS error %v", strErr, srsErr)
+	}
+}
+
+func TestProportionalAllocation(t *testing.T) {
+	got, err := ProportionalAllocation([]int{100, 300}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0]+got[1] != 40 {
+		t.Errorf("allocation %v does not sum to budget", got)
+	}
+	if got[1] <= got[0] {
+		t.Errorf("larger stratum should get more samples: %v", got)
+	}
+}
+
+func TestProportionalAllocationMinimumOne(t *testing.T) {
+	got, err := ProportionalAllocation([]int{1, 1000000}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] < 1 {
+		t.Errorf("tiny stratum starved: %v", got)
+	}
+}
+
+func TestProportionalAllocationErrors(t *testing.T) {
+	if _, err := ProportionalAllocation(nil, 10); err == nil {
+		t.Error("expected error for no strata")
+	}
+	if _, err := ProportionalAllocation([]int{10, 10, 10}, 2); err == nil {
+		t.Error("expected error for budget below strata count")
+	}
+	if _, err := ProportionalAllocation([]int{0}, 2); err == nil {
+		t.Error("expected error for zero population")
+	}
+}
+
+func TestProportionalAllocationCapsAtPopulation(t *testing.T) {
+	got, err := ProportionalAllocation([]int{2, 1000}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] > 2 {
+		t.Errorf("allocation %v exceeds stratum population", got)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket counter used for query results: bucket i
+// holds the (estimated) number of answers that fell in range i.
+type Histogram struct {
+	counts []float64
+}
+
+// NewHistogram returns a histogram with n buckets, all zero.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{counts: make([]float64, n)}
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Add increments bucket i by delta.
+func (h *Histogram) Add(i int, delta float64) {
+	h.counts[i] += delta
+}
+
+// Count returns the value of bucket i.
+func (h *Histogram) Count(i int) float64 { return h.counts[i] }
+
+// SetCount overwrites bucket i.
+func (h *Histogram) SetCount(i int, v float64) { h.counts[i] = v }
+
+// Counts returns a copy of the per-bucket values.
+func (h *Histogram) Counts() []float64 {
+	out := make([]float64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Total returns the sum over all buckets.
+func (h *Histogram) Total() float64 {
+	s := 0.0
+	for _, c := range h.counts {
+		s += c
+	}
+	return s
+}
+
+// Normalize returns per-bucket fractions that sum to 1 (or all zeros when
+// the histogram is empty).
+func (h *Histogram) Normalize() []float64 {
+	out := make([]float64, len(h.counts))
+	tot := h.Total()
+	if tot == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = c / tot
+	}
+	return out
+}
+
+// MergeFrom adds every bucket of o into h. The histograms must have the
+// same number of buckets.
+func (h *Histogram) MergeFrom(o *Histogram) error {
+	if len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: merging histograms with %d and %d buckets", len(h.counts), len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	return nil
+}
+
+// MeanAbsRelativeError returns the mean over buckets of the relative error
+// between the estimated and exact histograms, skipping exact-zero buckets.
+// This is the per-histogram generalization of the paper's accuracy loss.
+func MeanAbsRelativeError(estimate, exact *Histogram) (float64, error) {
+	if estimate.Buckets() != exact.Buckets() {
+		return 0, fmt.Errorf("stats: comparing histograms with %d and %d buckets", estimate.Buckets(), exact.Buckets())
+	}
+	var sum float64
+	var n int
+	for i := range exact.counts {
+		if exact.counts[i] == 0 {
+			continue
+		}
+		sum += math.Abs(estimate.counts[i]-exact.counts[i]) / math.Abs(exact.counts[i])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// String renders the histogram as one line of counts, handy in examples.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range h.counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f", c)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

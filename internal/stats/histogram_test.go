@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(3)
+	if h.Buckets() != 3 {
+		t.Fatalf("Buckets = %d, want 3", h.Buckets())
+	}
+	h.Add(0, 2)
+	h.Add(1, 3)
+	h.Add(1, 1)
+	if h.Count(0) != 2 || h.Count(1) != 4 || h.Count(2) != 0 {
+		t.Errorf("counts = %v", h.Counts())
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %v, want 6", h.Total())
+	}
+	h.SetCount(2, 4)
+	if h.Count(2) != 4 {
+		t.Error("SetCount failed")
+	}
+}
+
+func TestHistogramNormalize(t *testing.T) {
+	h := NewHistogram(2)
+	if n := h.Normalize(); n[0] != 0 || n[1] != 0 {
+		t.Error("empty histogram should normalize to zeros")
+	}
+	h.Add(0, 1)
+	h.Add(1, 3)
+	n := h.Normalize()
+	if !almostEqual(n[0], 0.25, 1e-12) || !almostEqual(n[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", n)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(2), NewHistogram(2)
+	a.Add(0, 1)
+	b.Add(0, 2)
+	b.Add(1, 5)
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count(0) != 3 || a.Count(1) != 5 {
+		t.Errorf("merged counts = %v", a.Counts())
+	}
+	c := NewHistogram(3)
+	if err := a.MergeFrom(c); err == nil {
+		t.Error("expected bucket-mismatch error")
+	}
+}
+
+func TestHistogramCountsIsCopy(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(0, 1)
+	c := h.Counts()
+	c[0] = 99
+	if h.Count(0) != 1 {
+		t.Error("Counts should return a copy")
+	}
+}
+
+func TestMeanAbsRelativeError(t *testing.T) {
+	exact := NewHistogram(3)
+	exact.SetCount(0, 100)
+	exact.SetCount(1, 200)
+	// Bucket 2 stays 0 and must be skipped.
+	est := NewHistogram(3)
+	est.SetCount(0, 110) // 10% off
+	est.SetCount(1, 180) // 10% off
+	est.SetCount(2, 5)   // ignored
+	got, err := MeanAbsRelativeError(est, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("MeanAbsRelativeError = %v, want 0.1", got)
+	}
+	if _, err := MeanAbsRelativeError(NewHistogram(2), exact); err == nil {
+		t.Error("expected bucket-mismatch error")
+	}
+	allZero := NewHistogram(3)
+	if v, err := MeanAbsRelativeError(est, allZero); err != nil || v != 0 {
+		t.Errorf("all-zero exact: got %v, %v", v, err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(0, 1.25)
+	s := h.String()
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors reported by the share joiner.
+var (
+	ErrJoinArity = errors.New("stream: invalid join arity")
+	ErrDuplicate = errors.New("stream: duplicate share")
+)
+
+// Joined is a completed join group: all n share payloads for one message
+// identifier, in arrival order.
+type Joined struct {
+	Key      string
+	Payloads [][]byte
+}
+
+// ShareJoiner implements the aggregator's first stage (paper §3.2.4):
+// it pairs the encrypted answer stream with the n−1 key streams by
+// message identifier. A group completes when one share has arrived from
+// each of the Expect source streams; stale partial groups can be swept
+// out (messages whose shares were lost at a proxy).
+//
+// Duplicate suppression is source-aware: a second share from the same
+// proxy stream for the same key is rejected (a replayed share would
+// otherwise pair with itself and XOR to garbage), and arrivals for a
+// recently completed key are rejected too, bounding the damage of a
+// client replaying shares to distort results (the paper defers to
+// triple-splitting [26] for the full defense).
+type ShareJoiner struct {
+	expect   int
+	pending  map[string]*pendingGroup
+	complete map[string]time.Time // recently completed, for duplicate detection
+	retain   time.Duration
+}
+
+type pendingGroup struct {
+	payloads [][]byte
+	filled   int
+	first    time.Time
+}
+
+// NewShareJoiner expects one share from each of expect ≥ 2 source
+// streams per message and remembers completed keys for retain to reject
+// replays.
+func NewShareJoiner(expect int, retain time.Duration) (*ShareJoiner, error) {
+	if expect < 2 {
+		return nil, fmt.Errorf("%w: %d", ErrJoinArity, expect)
+	}
+	return &ShareJoiner{
+		expect:   expect,
+		pending:  make(map[string]*pendingGroup),
+		complete: make(map[string]time.Time),
+		retain:   retain,
+	}, nil
+}
+
+// Add folds in one share from the given source stream (0 ≤ source <
+// expect). It returns a non-nil Joined when the group completes, and
+// ErrDuplicate when the key already completed or this source already
+// contributed.
+func (j *ShareJoiner) Add(key string, source int, payload []byte, at time.Time) (*Joined, error) {
+	if source < 0 || source >= j.expect {
+		return nil, fmt.Errorf("%w: source %d of %d", ErrJoinArity, source, j.expect)
+	}
+	if _, done := j.complete[key]; done {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, key)
+	}
+	g, ok := j.pending[key]
+	if !ok {
+		g = &pendingGroup{payloads: make([][]byte, j.expect), first: at}
+		j.pending[key] = g
+	}
+	if g.payloads[source] != nil {
+		return nil, fmt.Errorf("%w: %q from source %d", ErrDuplicate, key, source)
+	}
+	g.payloads[source] = payload
+	g.filled++
+	if g.filled < j.expect {
+		return nil, nil
+	}
+	delete(j.pending, key)
+	j.complete[key] = at
+	return &Joined{Key: key, Payloads: g.payloads}, nil
+}
+
+// PendingCount returns the number of incomplete groups.
+func (j *ShareJoiner) PendingCount() int { return len(j.pending) }
+
+// Sweep drops incomplete groups whose first share arrived before cutoff
+// and forgets completed keys older than the retain horizon. It returns
+// the number of dropped incomplete groups.
+func (j *ShareJoiner) Sweep(cutoff time.Time) int {
+	dropped := 0
+	for key, g := range j.pending {
+		if g.first.Before(cutoff) {
+			delete(j.pending, key)
+			dropped++
+		}
+	}
+	retainCutoff := cutoff.Add(-j.retain)
+	for key, at := range j.complete {
+		if at.Before(retainCutoff) {
+			delete(j.complete, key)
+		}
+	}
+	return dropped
+}

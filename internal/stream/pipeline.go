@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+// Pipeline pieces: small composable dataflow stages over channels, the
+// shape Flink jobs take. Each stage runs in its own goroutine and stops
+// on context cancellation or upstream close.
+
+// Map applies f to every event; it owns and closes the output channel.
+func Map[In, Out any](ctx context.Context, in <-chan Event[In], f func(In) Out) <-chan Event[Out] {
+	out := make(chan Event[Out])
+	go func() {
+		defer close(out)
+		for ev := range in {
+			select {
+			case out <- Event[Out]{Time: ev.Time, Value: f(ev.Value)}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Filter forwards events whose value satisfies pred.
+func Filter[T any](ctx context.Context, in <-chan Event[T], pred func(T) bool) <-chan Event[T] {
+	out := make(chan Event[T])
+	go func() {
+		defer close(out)
+		for ev := range in {
+			if !pred(ev.Value) {
+				continue
+			}
+			select {
+			case out <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// FanIn merges several event streams into one; the output closes when
+// every input has closed.
+func FanIn[T any](ctx context.Context, ins ...<-chan Event[T]) <-chan Event[T] {
+	out := make(chan Event[T])
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for _, in := range ins {
+		go func(in <-chan Event[T]) {
+			defer wg.Done()
+			for ev := range in {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// WindowStage runs a WindowedOp over a stream, emitting fired window
+// results downstream and flushing open windows at end of input.
+func WindowStage[In, Acc, Out any](ctx context.Context, in <-chan Event[In], op *WindowedOp[In, Acc, Out]) <-chan WindowResult[Out] {
+	out := make(chan WindowResult[Out])
+	go func() {
+		defer close(out)
+		emit := func(rs []WindowResult[Out]) bool {
+			for _, r := range rs {
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return false
+				}
+			}
+			return true
+		}
+		for ev := range in {
+			if !emit(op.Process(ev)) {
+				return
+			}
+		}
+		emit(op.Flush())
+	}()
+	return out
+}
+
+// Collect drains a channel into a slice (a test/batch sink).
+func Collect[T any](ch <-chan T) []T {
+	var out []T
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}

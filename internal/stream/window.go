@@ -1,0 +1,136 @@
+// Package stream is the stream-processing substrate standing in for
+// Apache Flink at the aggregator (paper §5): event-time records,
+// sliding/tumbling window assignment, watermark tracking, a keyed join
+// for the XOR share streams, and windowed aggregation operators that
+// fire when the watermark passes a window's end.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrWindow reports invalid window geometry.
+var ErrWindow = errors.New("stream: invalid window")
+
+// Window is the half-open event-time interval [Start, End).
+type Window struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// String renders the window for logs and tests.
+func (w Window) String() string {
+	return fmt.Sprintf("[%s,%s)", w.Start.Format(time.RFC3339Nano), w.End.Format(time.RFC3339Nano))
+}
+
+// SlidingAssigner maps an event time to every sliding window containing
+// it: windows of length Size starting every Slide, aligned to Origin
+// (the query's start; zero means Unix-epoch alignment). Size == Slide
+// degenerates to tumbling windows.
+type SlidingAssigner struct {
+	Size   time.Duration
+	Slide  time.Duration
+	Origin time.Time
+}
+
+// NewSlidingAssigner validates the geometry (paper §2.2 requires
+// δ ≤ w; the aggregator updates results every slide interval).
+func NewSlidingAssigner(size, slide time.Duration) (*SlidingAssigner, error) {
+	if size <= 0 || slide <= 0 {
+		return nil, fmt.Errorf("%w: size %v slide %v", ErrWindow, size, slide)
+	}
+	if slide > size {
+		return nil, fmt.Errorf("%w: slide %v exceeds size %v", ErrWindow, slide, size)
+	}
+	return &SlidingAssigner{Size: size, Slide: slide}, nil
+}
+
+// NewSlidingAssignerAt is NewSlidingAssigner with window boundaries
+// aligned to origin, so the first window of a query covers exactly its
+// first Size of epochs.
+func NewSlidingAssignerAt(size, slide time.Duration, origin time.Time) (*SlidingAssigner, error) {
+	a, err := NewSlidingAssigner(size, slide)
+	if err != nil {
+		return nil, err
+	}
+	a.Origin = origin
+	return a, nil
+}
+
+// WindowsFor returns every window containing t, earliest first.
+func (a *SlidingAssigner) WindowsFor(t time.Time) []Window {
+	var off int64
+	if !a.Origin.IsZero() {
+		off = a.Origin.UnixNano()
+	}
+	ts := t.UnixNano() - off
+	slide := int64(a.Slide)
+	size := int64(a.Size)
+	last := ts - mod(ts, slide) // latest window start ≤ t
+	var out []Window
+	for start := last; start > ts-size; start -= slide {
+		out = append(out, Window{
+			Start: time.Unix(0, start+off),
+			End:   time.Unix(0, start+size+off),
+		})
+	}
+	// Reverse into earliest-first order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// mod is a floored modulo that behaves for negative timestamps.
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// WatermarkTracker derives the event-time watermark as the maximum
+// observed event time minus an allowed lateness; records older than the
+// watermark are dropped by the windowed operators, matching the paper's
+// "removing all old data items" step in §3.2.4.
+type WatermarkTracker struct {
+	maxEvent time.Time
+	lateness time.Duration
+	seen     bool
+}
+
+// NewWatermarkTracker allows records to arrive up to lateness behind the
+// newest observed event time.
+func NewWatermarkTracker(lateness time.Duration) *WatermarkTracker {
+	return &WatermarkTracker{lateness: lateness}
+}
+
+// Observe folds in an event time and returns the current watermark.
+func (w *WatermarkTracker) Observe(t time.Time) time.Time {
+	if !w.seen || t.After(w.maxEvent) {
+		w.maxEvent = t
+		w.seen = true
+	}
+	return w.Current()
+}
+
+// Current returns the watermark, or the zero time before any event.
+func (w *WatermarkTracker) Current() time.Time {
+	if !w.seen {
+		return time.Time{}
+	}
+	return w.maxEvent.Add(-w.lateness)
+}
+
+// IsLate reports whether an event time is behind the watermark.
+func (w *WatermarkTracker) IsLate(t time.Time) bool {
+	return w.seen && t.Before(w.Current())
+}

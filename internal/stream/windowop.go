@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"sort"
+	"time"
+)
+
+// Event is a timestamped record flowing through operators.
+type Event[T any] struct {
+	Time  time.Time
+	Value T
+}
+
+// WindowResult is an aggregate emitted when a window closes.
+type WindowResult[Out any] struct {
+	Window Window
+	Value  Out
+}
+
+// Aggregation folds events of type In into a per-window state of type
+// Acc and extracts a result of type Out when the window fires.
+type Aggregation[In, Acc, Out any] struct {
+	New    func() Acc
+	Add    func(Acc, In) Acc
+	Result func(Acc) Out
+}
+
+// WindowedOp assigns events to sliding windows, drops late records
+// behind the watermark, and fires windows whose end has passed the
+// watermark — the aggregator's per-window computation (paper §3.2.4).
+type WindowedOp[In, Acc, Out any] struct {
+	assigner *SlidingAssigner
+	wm       *WatermarkTracker
+	agg      Aggregation[In, Acc, Out]
+	windows  map[int64]windowState[Acc] // keyed by window start UnixNano
+	dropped  int64
+}
+
+type windowState[Acc any] struct {
+	window Window
+	acc    Acc
+}
+
+// NewWindowedOp wires an assigner, a lateness bound, and an aggregation.
+func NewWindowedOp[In, Acc, Out any](assigner *SlidingAssigner, lateness time.Duration, agg Aggregation[In, Acc, Out]) *WindowedOp[In, Acc, Out] {
+	return &WindowedOp[In, Acc, Out]{
+		assigner: assigner,
+		wm:       NewWatermarkTracker(lateness),
+		agg:      agg,
+		windows:  make(map[int64]windowState[Acc]),
+	}
+}
+
+// Process folds one event in and returns any windows that fired as a
+// consequence of the watermark advancing, earliest first. Late events
+// (behind the watermark) are counted and dropped.
+func (op *WindowedOp[In, Acc, Out]) Process(ev Event[In]) []WindowResult[Out] {
+	if op.wm.IsLate(ev.Time) {
+		op.dropped++
+		return op.fire()
+	}
+	for _, w := range op.assigner.WindowsFor(ev.Time) {
+		key := w.Start.UnixNano()
+		st, ok := op.windows[key]
+		if !ok {
+			st = windowState[Acc]{window: w, acc: op.agg.New()}
+		}
+		st.acc = op.agg.Add(st.acc, ev.Value)
+		op.windows[key] = st
+	}
+	op.wm.Observe(ev.Time)
+	return op.fire()
+}
+
+// AdvanceTo moves the watermark forward without an event (idle-source
+// progress) and returns any windows that fire.
+func (op *WindowedOp[In, Acc, Out]) AdvanceTo(t time.Time) []WindowResult[Out] {
+	op.wm.Observe(t)
+	return op.fire()
+}
+
+// Flush fires every open window regardless of the watermark — used at
+// end of stream.
+func (op *WindowedOp[In, Acc, Out]) Flush() []WindowResult[Out] {
+	var out []WindowResult[Out]
+	for key, st := range op.windows {
+		out = append(out, WindowResult[Out]{Window: st.window, Value: op.agg.Result(st.acc)})
+		delete(op.windows, key)
+	}
+	sortResults(out)
+	return out
+}
+
+// Dropped returns the number of late-discarded events.
+func (op *WindowedOp[In, Acc, Out]) Dropped() int64 { return op.dropped }
+
+// OpenWindows returns the number of windows still accumulating.
+func (op *WindowedOp[In, Acc, Out]) OpenWindows() int { return len(op.windows) }
+
+func (op *WindowedOp[In, Acc, Out]) fire() []WindowResult[Out] {
+	wm := op.wm.Current()
+	var out []WindowResult[Out]
+	for key, st := range op.windows {
+		if !st.window.End.After(wm) {
+			out = append(out, WindowResult[Out]{Window: st.window, Value: op.agg.Result(st.acc)})
+			delete(op.windows, key)
+		}
+	}
+	sortResults(out)
+	return out
+}
+
+func sortResults[Out any](rs []WindowResult[Out]) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Window.Start.Before(rs[j].Window.Start) })
+}

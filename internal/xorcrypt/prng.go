@@ -1,0 +1,126 @@
+// Package xorcrypt implements PrivApprox's XOR-based encryption
+// (paper §3.2.3): a client splits each message M into one encrypted
+// share ME = M ⊕ MK and n−1 pseudo-random key shares MK2…MKn with
+// MK = MK2 ⊕ … ⊕ MKn, tagging all n shares with a random message
+// identifier MID. Any n−1 shares are information-theoretically
+// independent of M; the aggregator recovers M by XOR-ing all n shares,
+// never needing to know which one was the ciphertext.
+package xorcrypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrPRNG reports keystream generator failures.
+var ErrPRNG = errors.New("xorcrypt: prng failure")
+
+// PRNG produces cryptographically strong pseudo-random key shares. The
+// paper requires "a cryptographic pseudo-random number generator seeded
+// with a cryptographically strong random number".
+type PRNG interface {
+	// Fill overwrites dst with pseudo-random bytes.
+	Fill(dst []byte) error
+}
+
+// aesPRNG is an AES-128-CTR keystream: the production generator.
+type aesPRNG struct {
+	stream cipher.Stream
+}
+
+// NewAESPRNG seeds an AES-CTR generator. A nil seed draws 32 bytes from
+// crypto/rand; otherwise the seed must be at least 16 bytes (first 16
+// become the key, next up to 16 the IV) — deterministic seeding is only
+// meant for tests and benchmarks.
+func NewAESPRNG(seed []byte) (PRNG, error) {
+	if seed == nil {
+		seed = make([]byte, 32)
+		if _, err := io.ReadFull(rand.Reader, seed); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPRNG, err)
+		}
+	}
+	if len(seed) < aes.BlockSize {
+		return nil, fmt.Errorf("%w: seed must be ≥ %d bytes", ErrPRNG, aes.BlockSize)
+	}
+	key := seed[:16]
+	iv := make([]byte, aes.BlockSize)
+	copy(iv, seed[16:])
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPRNG, err)
+	}
+	return &aesPRNG{stream: cipher.NewCTR(block, iv)}, nil
+}
+
+// Fill writes keystream bytes into dst (XOR of zeros with the stream).
+func (p *aesPRNG) Fill(dst []byte) error {
+	for i := range dst {
+		dst[i] = 0
+	}
+	p.stream.XORKeyStream(dst, dst)
+	return nil
+}
+
+// shaPRNG is a SHA-256 counter-mode generator — the ablation alternative
+// benchmarked against AES-CTR (DESIGN.md §5).
+type shaPRNG struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte // unread tail of the last block
+}
+
+// NewSHAPRNG seeds a SHA-256 counter-mode generator. A nil seed draws 32
+// bytes from crypto/rand.
+func NewSHAPRNG(seed []byte) (PRNG, error) {
+	p := &shaPRNG{}
+	if seed == nil {
+		seed = make([]byte, 32)
+		if _, err := io.ReadFull(rand.Reader, seed); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPRNG, err)
+		}
+	}
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("%w: empty seed", ErrPRNG)
+	}
+	p.seed = sha256.Sum256(seed)
+	return p, nil
+}
+
+// Fill writes keystream bytes: SHA-256(seed || counter) blocks.
+func (p *shaPRNG) Fill(dst []byte) error {
+	for len(dst) > 0 {
+		if len(p.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], p.seed[:])
+			binary.BigEndian.PutUint64(block[32:], p.counter)
+			p.counter++
+			sum := sha256.Sum256(block[:])
+			p.buf = sum[:]
+		}
+		n := copy(dst, p.buf)
+		p.buf = p.buf[n:]
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// cryptoRandPRNG reads directly from crypto/rand — the slowest but
+// simplest option, used as a correctness oracle in tests.
+type cryptoRandPRNG struct{}
+
+// NewCryptoRandPRNG returns a generator backed by the OS entropy source.
+func NewCryptoRandPRNG() PRNG { return cryptoRandPRNG{} }
+
+// Fill reads from crypto/rand.
+func (cryptoRandPRNG) Fill(dst []byte) error {
+	if _, err := io.ReadFull(rand.Reader, dst); err != nil {
+		return fmt.Errorf("%w: %v", ErrPRNG, err)
+	}
+	return nil
+}

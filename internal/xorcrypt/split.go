@@ -1,0 +1,136 @@
+package xorcrypt
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors reported by the splitter and joiner.
+var (
+	ErrShareCount = errors.New("xorcrypt: invalid share count")
+	ErrShapes     = errors.New("xorcrypt: mismatched share shapes")
+)
+
+// MIDSize is the byte length of a message identifier.
+const MIDSize = 16
+
+// MID is the unique message identifier joining a message's shares at the
+// aggregator (paper Eq. 12).
+type MID [MIDSize]byte
+
+// String renders the identifier in hex.
+func (m MID) String() string { return hex.EncodeToString(m[:]) }
+
+// Share is one of the n pieces a message is split into: either the
+// encrypted message ME or a key share MKi — by construction the two are
+// computationally indistinguishable.
+type Share struct {
+	MID     MID
+	Payload []byte
+}
+
+// Splitter splits messages for a fixed number of proxies.
+type Splitter struct {
+	n      int
+	prng   PRNG
+	midSrc io.Reader
+}
+
+// NewSplitter returns a splitter targeting n ≥ 2 proxies. A nil prng
+// defaults to a freshly seeded AES-CTR generator; a nil midSrc defaults
+// to crypto/rand.
+func NewSplitter(n int, prng PRNG, midSrc io.Reader) (*Splitter, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need ≥ 2 proxies, got %d", ErrShareCount, n)
+	}
+	if prng == nil {
+		p, err := NewAESPRNG(nil)
+		if err != nil {
+			return nil, err
+		}
+		prng = p
+	}
+	if midSrc == nil {
+		midSrc = rand.Reader
+	}
+	return &Splitter{n: n, prng: prng, midSrc: midSrc}, nil
+}
+
+// Proxies returns the share fan-out n.
+func (s *Splitter) Proxies() int { return s.n }
+
+// Split produces the n shares of message (Eq. 10–12): n−1 pseudo-random
+// key shares and the ciphertext ME = M ⊕ MK2 ⊕ … ⊕ MKn, all tagged with
+// a fresh MID. Share i is destined for proxy i. The input is not
+// modified.
+func (s *Splitter) Split(message []byte) ([]Share, error) {
+	if len(message) == 0 {
+		return nil, fmt.Errorf("%w: empty message", ErrShapes)
+	}
+	var mid MID
+	if _, err := io.ReadFull(s.midSrc, mid[:]); err != nil {
+		return nil, fmt.Errorf("xorcrypt: mid generation: %w", err)
+	}
+	shares := make([]Share, s.n)
+	cipher := make([]byte, len(message))
+	copy(cipher, message)
+	for i := 1; i < s.n; i++ {
+		key := make([]byte, len(message))
+		if err := s.prng.Fill(key); err != nil {
+			return nil, err
+		}
+		xorInto(cipher, key)
+		shares[i] = Share{MID: mid, Payload: key}
+	}
+	shares[0] = Share{MID: mid, Payload: cipher}
+	return shares, nil
+}
+
+// Join recovers the original message by XOR-ing all share payloads. The
+// aggregator cannot tell which share is the ciphertext and does not need
+// to (paper §3.2.4). All shares must carry the same MID and length.
+func Join(shares []Share) ([]byte, error) {
+	if len(shares) < 2 {
+		return nil, fmt.Errorf("%w: got %d shares", ErrShareCount, len(shares))
+	}
+	mid := shares[0].MID
+	size := len(shares[0].Payload)
+	if size == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrShapes)
+	}
+	out := make([]byte, size)
+	copy(out, shares[0].Payload)
+	for _, sh := range shares[1:] {
+		if sh.MID != mid {
+			return nil, fmt.Errorf("%w: MID %s vs %s", ErrShapes, sh.MID, mid)
+		}
+		if len(sh.Payload) != size {
+			return nil, fmt.Errorf("%w: payload %d vs %d bytes", ErrShapes, len(sh.Payload), size)
+		}
+		xorInto(out, sh.Payload)
+	}
+	return out, nil
+}
+
+// xorInto XORs src into dst in place; both must have equal length.
+func xorInto(dst, src []byte) {
+	// Word-at-a-time XOR: this is the hot path of Table 2.
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
