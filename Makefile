@@ -1,0 +1,29 @@
+# Tier-1 verification plus the race gate over the concurrency-sensitive
+# packages (the parallel epoch pipeline: core, aggregator, answer,
+# pubsub). `make ci` is the pre-merge check.
+
+GO ?= go
+RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/...
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEpochPipelineParallel -benchmem .

@@ -11,6 +11,7 @@ import (
 	"privapprox/internal/answer"
 	"privapprox/internal/baseline/splitx"
 	"privapprox/internal/budget"
+	"privapprox/internal/core"
 	"privapprox/internal/cryptobench"
 	"privapprox/internal/minisql"
 	"privapprox/internal/netsim"
@@ -491,6 +492,69 @@ func measureAggregatorRate(msgs, bits int) (float64, error) {
 		return 0, fmt.Errorf("fig8: decoded %d of %d", agg.Decoded(), msgs)
 	}
 	return float64(msgs) / elapsed.Seconds(), nil
+}
+
+// Pipeline: end-to-end epoch throughput of the parallel pipeline
+// (worker-pool clients → proxies → parallel drain → sharded
+// aggregator), swept over workers × shards. The workers=1/shards=1 row
+// is the sequential baseline; under a fixed seed every row produces
+// identical results, so the sweep isolates pure scheduling/locking
+// cost.
+func runPipeline(fast bool) error {
+	clients := 2000
+	epochs := 6
+	if fast {
+		clients = 500
+		epochs = 3
+	}
+	q, err := workload.TaxiQuery("pipeline", 1, time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	params := budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}}
+	maxProcs := runtime.GOMAXPROCS(0)
+	sweep := [][2]int{{1, 1}, {2, 2}, {4, 4}, {maxProcs, 1}, {1, maxProcs}, {maxProcs, maxProcs}}
+	var baseline float64
+	fmt.Printf("%8s  %8s  %16s  %10s\n", "workers", "shards", "answers/sec", "speedup")
+	seen := map[[2]int]bool{}
+	for _, knobs := range sweep {
+		if seen[knobs] {
+			continue
+		}
+		seen[knobs] = true
+		workers, shards := knobs[0], knobs[1]
+		sys, err := core.New(core.Config{
+			Clients: clients,
+			Query:   q,
+			Params:  &params,
+			Seed:    12,
+			Workers: workers,
+			Shards:  shards,
+			Populate: func(i int, db *minisql.DB) error {
+				rng := rand.New(rand.NewSource(int64(i)))
+				return workload.PopulateTaxi(db, rng, 2, time.Unix(0, 0), time.Minute)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for e := 0; e < epochs; e++ {
+			if _, _, err := sys.RunEpoch(); err != nil {
+				sys.Close()
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		sys.Close()
+		rate := float64(clients*epochs) / elapsed.Seconds()
+		if baseline == 0 {
+			baseline = rate
+		}
+		fmt.Printf("%8d  %8d  %16.0f  %9.2fx\n", workers, shards, rate, rate/baseline)
+	}
+	fmt.Println("expected: workers=GOMAXPROCS ≥ 2x over the sequential row on multi-core hosts")
+	return nil
 }
 
 func maxInt(a, b int) int {

@@ -34,6 +34,8 @@ func main() {
 		wl       = flag.String("workload", "taxi", "workload: taxi or electricity")
 		seed     = flag.Int64("seed", 1, "deterministic run seed")
 		feedback = flag.Bool("feedback", false, "enable the adaptive budget controller")
+		workers  = flag.Int("workers", 0, "concurrent answering clients per epoch (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "aggregator lock shards (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,8 @@ func main() {
 		Query:    q,
 		Seed:     *seed,
 		Populate: populate,
+		Workers:  *workers,
+		Shards:   *shards,
 	}
 	if *sFlag > 0 {
 		cfg.Params = &privapprox.Params{S: *sFlag, RR: privapprox.RRParams{P: *pFlag, Q: *qFlag}}

@@ -1,0 +1,3 @@
+module privapprox
+
+go 1.24

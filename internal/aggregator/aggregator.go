@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,9 +51,21 @@ type Config struct {
 	// Seed makes the RR-loss micro-benchmark deterministic; 0 draws a
 	// random seed.
 	Seed int64
+	// Shards splits the share-join map and the per-window accumulators
+	// into independently locked shards keyed by message-ID hash, so
+	// SubmitShare from concurrent drain goroutines scales instead of
+	// serializing on one lock. Defaults to GOMAXPROCS. Results and
+	// counters are identical for every shard count: per-bucket counts
+	// are integer sums, so the merged window state does not depend on
+	// how messages were distributed over shards.
+	Shards int
 	// OnDecoded, when set, receives every decoded answer message (its
 	// wire bytes and event time) — the hook the historical store uses
-	// (§3.3.1).
+	// (§3.3.1). It may be invoked concurrently from multiple
+	// SubmitShare goroutines, so the callback must be safe for
+	// concurrent use, and the order of invocations within an epoch is
+	// scheduling-dependent (a reproducible store sequence requires a
+	// single submitter).
 	OnDecoded func(raw []byte, eventTime time.Time)
 }
 
@@ -76,19 +91,59 @@ type Result struct {
 	Buckets    []BucketEstimate
 }
 
-// Aggregator processes share streams for a single query.
+// Aggregator processes share streams for a single query. It is safe
+// for concurrent use: shares from any number of drain goroutines may be
+// submitted at once. The hot path — join, decrypt, decode, window
+// accumulation — is sharded by message-ID hash with per-shard locks;
+// only watermark advancement and window firing serialize, which keeps
+// the sequence of fired results (and the rng the estimator consumes)
+// deterministic under a fixed seed regardless of submission
+// interleaving within an epoch.
 type Aggregator struct {
-	cfg     Config
-	joiner  *stream.ShareJoiner
-	op      *stream.WindowedOp[*answer.BitVector, *answer.Accumulator, *answer.Accumulator]
-	qidWire uint64
-	rng     *rand.Rand
+	cfg      Config
+	assigner *stream.SlidingAssigner
+	shards   []joinShard
+	qidWire  uint64
 
+	// winMu guards the registry of open windows; accumulation inside a
+	// window goes through the sharded accumulator, not this lock.
+	winMu   sync.RWMutex
+	windows map[int64]*openWindow // keyed by window start UnixNano
+
+	// fireMu serializes window firing so each window fires exactly once
+	// and results come out in global window-start order. Lock order:
+	// fireMu before winMu.
+	fireMu sync.Mutex
+	// wmMax is the maximum observed event time as UnixNano (wmUnseen
+	// before any event); the watermark is wmMax − Lateness. Kept atomic
+	// so the sharded add path never serializes on watermark reads.
+	wmMax   atomic.Int64
+	dropped atomic.Int64
+
+	// estMu guards the estimator's rng and memoized RR-loss cache
+	// (estimates normally run under fireMu; BatchAnalyze calls the
+	// estimator directly).
+	estMu       sync.Mutex
+	rng         *rand.Rand
 	rrLossCache map[int]float64 // yes-fraction percent → simulated loss
 
 	malformed  atomic.Int64
 	duplicates atomic.Int64
 	decoded    atomic.Int64
+}
+
+// joinShard is one lock's worth of share-join state, padded to 64
+// bytes so adjacent shard locks do not false-share a cache line.
+type joinShard struct {
+	mu     sync.Mutex
+	joiner *stream.ShareJoiner
+	_      [48]byte
+}
+
+// openWindow is one window still accumulating answers.
+type openWindow struct {
+	window stream.Window
+	acc    *answer.ShardedAccumulator
 }
 
 // New validates the configuration and builds the aggregator.
@@ -123,35 +178,58 @@ func New(cfg Config) (*Aggregator, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = rand.Int63()
 	}
-	joiner, err := stream.NewShareJoiner(cfg.Proxies, cfg.Query.Window)
-	if err != nil {
-		return nil, err
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("%w: %d shards", ErrConfig, cfg.Shards)
 	}
 	assigner, err := stream.NewSlidingAssignerAt(cfg.Query.Window, cfg.Query.Slide, cfg.Origin)
 	if err != nil {
 		return nil, err
 	}
-	nbuckets := len(cfg.Query.Buckets)
-	agg := stream.Aggregation[*answer.BitVector, *answer.Accumulator, *answer.Accumulator]{
-		New: func() *answer.Accumulator {
-			acc, _ := answer.NewAccumulator(nbuckets)
-			return acc
-		},
-		Add: func(acc *answer.Accumulator, v *answer.BitVector) *answer.Accumulator {
-			// Size mismatches were filtered at decode time.
-			_ = acc.Add(v)
-			return acc
-		},
-		Result: func(acc *answer.Accumulator) *answer.Accumulator { return acc },
+	shards := make([]joinShard, cfg.Shards)
+	for i := range shards {
+		joiner, err := stream.NewShareJoiner(cfg.Proxies, cfg.Query.Window)
+		if err != nil {
+			return nil, err
+		}
+		shards[i].joiner = joiner
 	}
-	return &Aggregator{
+	a := &Aggregator{
 		cfg:         cfg,
-		joiner:      joiner,
-		op:          stream.NewWindowedOp(assigner, cfg.Lateness, agg),
+		assigner:    assigner,
+		shards:      shards,
+		windows:     make(map[int64]*openWindow),
 		qidWire:     cfg.Query.QID.Uint64(),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		rrLossCache: make(map[int]float64),
-	}, nil
+	}
+	a.wmMax.Store(wmUnseen)
+	return a, nil
+}
+
+// Shards returns the configured shard count.
+func (a *Aggregator) Shards() int { return len(a.shards) }
+
+// shardOf routes a message ID to its shard; all shares of one message
+// land on the same shard, so each join group lives under exactly one
+// lock. FNV-1a is inlined — hash.Hash32 would allocate per share on
+// the hot path.
+func (a *Aggregator) shardOf(mid xorcrypt.MID) int {
+	if len(a.shards) == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range mid {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return int(h % uint32(len(a.shards)))
 }
 
 // SubmitShare folds in one share from proxy stream source (0 ≤ source <
@@ -159,7 +237,11 @@ func New(cfg Config) (*Aggregator, error) {
 // decrypted, decoded, and assigned to windows; any windows closed by
 // the advancing watermark are returned as results.
 func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.Time) ([]Result, error) {
-	joined, err := a.joiner.Add(share.MID.String(), source, share.Payload, arrival)
+	shard := a.shardOf(share.MID)
+	js := &a.shards[shard]
+	js.mu.Lock()
+	joined, err := js.joiner.Add(share.MID.String(), source, share.Payload, arrival)
+	js.mu.Unlock()
 	if err != nil {
 		if errors.Is(err, stream.ErrDuplicate) {
 			a.duplicates.Add(1)
@@ -193,20 +275,191 @@ func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.
 	if a.cfg.OnDecoded != nil {
 		a.cfg.OnDecoded(plain, eventTime)
 	}
-	fired := a.op.Process(stream.Event[*answer.BitVector]{Time: eventTime, Value: msg.Answer})
-	return a.results(fired)
+	return a.ingest(eventTime, msg.Answer, shard)
+}
+
+// ingest assigns one decoded answer to its windows and advances the
+// watermark, firing any windows the advance closes. Only an observation
+// that actually moves the watermark takes the fire path — within an
+// epoch all event times are equal, so the drain goroutines run the
+// sharded adds without ever touching fireMu.
+//
+// ingest/isLate/observe/fireLocked intentionally fork the windowing
+// semantics of stream.WindowedOp + stream.WatermarkTracker (watermark =
+// max event time − lateness, strict-Before late check, fire on window
+// End ≤ watermark, start-ordered results) into this sharded,
+// concurrency-safe form; the stream package keeps the generic
+// single-threaded operator. A semantic change to either must be made in
+// both.
+func (a *Aggregator) ingest(eventTime time.Time, vec *answer.BitVector, shard int) ([]Result, error) {
+	if a.isLate(eventTime) {
+		// A late event can never advance the watermark, so nothing can
+		// fire on its account.
+		a.dropped.Add(1)
+		return nil, nil
+	}
+
+	refused := false
+	for _, w := range a.assigner.WindowsFor(eventTime) {
+		ow := a.openWindowFor(w)
+		if ow == nil {
+			// The window fired while we raced to it; the answer is by
+			// definition late there.
+			refused = true
+			continue
+		}
+		if err := ow.acc.Add(shard, vec); err != nil {
+			// ErrClosed: the window fired between our lookup and the
+			// add — late, same as above. (Size mismatches were filtered
+			// at decode time.)
+			if errors.Is(err, answer.ErrClosed) {
+				refused = true
+			}
+		}
+	}
+	if refused {
+		// Count per answer, not per window: an answer racing a fire may
+		// be refused by several of its sliding windows (and in rare
+		// interleavings still land in others), but it is one discarded
+		// answer.
+		a.dropped.Add(1)
+	}
+
+	if !a.observe(eventTime) {
+		return nil, nil
+	}
+	a.fireMu.Lock()
+	res, err := a.fireLocked(false)
+	a.fireMu.Unlock()
+	return res, err
+}
+
+// wmUnseen marks "no event observed yet"; it cannot collide with a
+// real UnixNano (event times near the int64 minimum are out of range
+// for the window arithmetic anyway).
+const wmUnseen = math.MinInt64
+
+// isLate, observe, and watermark implement the watermark tracker over
+// one atomic so the sharded add path reads it without any lock
+// (matching stream.WatermarkTracker semantics: watermark = max event
+// time − lateness).
+func (a *Aggregator) isLate(t time.Time) bool {
+	m := a.wmMax.Load()
+	return m != wmUnseen && t.Before(time.Unix(0, m).Add(-a.cfg.Lateness))
+}
+
+// observe reports whether the observation advanced the watermark; only
+// an advance can close a window, so non-advancing callers skip the
+// serialized fire path entirely.
+func (a *Aggregator) observe(t time.Time) bool {
+	n := t.UnixNano()
+	for {
+		m := a.wmMax.Load()
+		if m != wmUnseen && n <= m {
+			return false
+		}
+		if a.wmMax.CompareAndSwap(m, n) {
+			return true
+		}
+	}
+}
+
+func (a *Aggregator) watermark() time.Time {
+	m := a.wmMax.Load()
+	if m == wmUnseen {
+		return time.Time{}
+	}
+	return time.Unix(0, m).Add(-a.cfg.Lateness)
+}
+
+// openWindowFor returns the accumulating state for w, creating it if
+// needed. It returns nil when w already closed (its end is behind the
+// watermark), so a racing late answer can never resurrect a fired
+// window.
+func (a *Aggregator) openWindowFor(w stream.Window) *openWindow {
+	key := w.Start.UnixNano()
+	a.winMu.RLock()
+	ow := a.windows[key]
+	a.winMu.RUnlock()
+	if ow != nil {
+		return ow
+	}
+	a.winMu.Lock()
+	defer a.winMu.Unlock()
+	if ow := a.windows[key]; ow != nil {
+		return ow
+	}
+	if !w.End.After(a.watermark()) {
+		return nil
+	}
+	acc, err := answer.NewShardedAccumulator(len(a.cfg.Query.Buckets), len(a.shards))
+	if err != nil {
+		return nil
+	}
+	ow = &openWindow{window: w, acc: acc}
+	a.windows[key] = ow
+	return ow
+}
+
+// fireLocked closes every window behind the watermark (or all windows
+// when flush is set), earliest first, and estimates each. Caller holds
+// fireMu.
+func (a *Aggregator) fireLocked(flush bool) ([]Result, error) {
+	wm := a.watermark()
+	a.winMu.Lock()
+	var closing []*openWindow
+	for key, ow := range a.windows {
+		if flush || !ow.window.End.After(wm) {
+			closing = append(closing, ow)
+			delete(a.windows, key)
+		}
+	}
+	a.winMu.Unlock()
+	if len(closing) == 0 {
+		return nil, nil
+	}
+	sort.Slice(closing, func(i, j int) bool {
+		return closing[i].window.Start.Before(closing[j].window.Start)
+	})
+	var out []Result
+	for _, ow := range closing {
+		// Close-and-merge: an add racing this fire either lands before
+		// its shard is folded in or is refused and counted dropped —
+		// never silently lost.
+		acc, err := ow.acc.CloseAndMerge()
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.estimate(ow.window, acc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 // AdvanceTo moves the watermark forward (e.g. on an epoch timer) and
 // returns any windows that close; it also sweeps stale partial joins.
 func (a *Aggregator) AdvanceTo(t time.Time) ([]Result, error) {
-	a.joiner.Sweep(t.Add(-a.cfg.Query.Window))
-	return a.results(a.op.AdvanceTo(t))
+	cutoff := t.Add(-a.cfg.Query.Window)
+	for i := range a.shards {
+		js := &a.shards[i]
+		js.mu.Lock()
+		js.joiner.Sweep(cutoff)
+		js.mu.Unlock()
+	}
+	a.fireMu.Lock()
+	defer a.fireMu.Unlock()
+	a.observe(t)
+	return a.fireLocked(false)
 }
 
 // Flush closes all open windows at end of stream.
 func (a *Aggregator) Flush() ([]Result, error) {
-	return a.results(a.op.Flush())
+	a.fireMu.Lock()
+	defer a.fireMu.Unlock()
+	return a.fireLocked(true)
 }
 
 // Decoded returns the number of successfully decoded answers.
@@ -220,19 +473,28 @@ func (a *Aggregator) Malformed() int64 { return a.malformed.Load() }
 // joiner.
 func (a *Aggregator) Duplicates() int64 { return a.duplicates.Load() }
 
-// PendingJoins returns the number of messages waiting for shares.
-func (a *Aggregator) PendingJoins() int { return a.joiner.PendingCount() }
+// Dropped returns the number of answers discarded for arriving behind
+// the watermark.
+func (a *Aggregator) Dropped() int64 { return a.dropped.Load() }
 
-func (a *Aggregator) results(fired []stream.WindowResult[*answer.Accumulator]) ([]Result, error) {
-	var out []Result
-	for _, f := range fired {
-		res, err := a.estimate(f.Window, f.Value)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+// PendingJoins returns the number of messages waiting for shares across
+// all shards.
+func (a *Aggregator) PendingJoins() int {
+	n := 0
+	for i := range a.shards {
+		js := &a.shards[i]
+		js.mu.Lock()
+		n += js.joiner.PendingCount()
+		js.mu.Unlock()
 	}
-	return out, nil
+	return n
+}
+
+// OpenWindows returns the number of windows still accumulating.
+func (a *Aggregator) OpenWindows() int {
+	a.winMu.RLock()
+	defer a.winMu.RUnlock()
+	return len(a.windows)
 }
 
 // estimate turns a window's accumulated randomized answers into the
@@ -318,6 +580,8 @@ func (a *Aggregator) rrLoss(fraction float64, n int) (float64, error) {
 	if pct == 0 {
 		pct = 1
 	}
+	a.estMu.Lock()
+	defer a.estMu.Unlock()
 	if loss, ok := a.rrLossCache[pct]; ok {
 		return loss, nil
 	}

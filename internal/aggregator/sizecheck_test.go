@@ -1,0 +1,12 @@
+package aggregator
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestJoinShardCacheLineSize(t *testing.T) {
+	if size := unsafe.Sizeof(joinShard{}); size%64 != 0 {
+		t.Errorf("joinShard is %d bytes; want a multiple of 64", size)
+	}
+}

@@ -1,0 +1,116 @@
+package answer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed reports an Add against an accumulator that has already been
+// closed and merged; the caller decides how to account for the answer
+// (the aggregator counts it as late-dropped).
+var ErrClosed = errors.New("answer: accumulator closed")
+
+// ShardedAccumulator splits per-bucket "Yes" counting across N
+// independently locked shards so goroutines decoding different messages
+// (routed by message-ID hash) never contend on one counter. Merging the
+// shards recovers exactly the counts a single Accumulator would hold:
+// Add is integer addition, so the merged result is independent of how
+// answers were distributed over shards or interleaved in time.
+type ShardedAccumulator struct {
+	nbuckets int
+	shards   []accShard
+}
+
+type accShard struct {
+	mu     sync.Mutex
+	acc    *Accumulator
+	closed bool
+	_      [47]byte // pad the struct to 64 bytes so shard locks don't false-share
+}
+
+// NewShardedAccumulator returns an accumulator for nbuckets buckets
+// split over shards ≥ 1 locks.
+func NewShardedAccumulator(nbuckets, shards int) (*ShardedAccumulator, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: %d shards", ErrSize, shards)
+	}
+	s := &ShardedAccumulator{nbuckets: nbuckets, shards: make([]accShard, shards)}
+	for i := range s.shards {
+		acc, err := NewAccumulator(nbuckets)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].acc = acc
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedAccumulator) Shards() int { return len(s.shards) }
+
+// Add folds one answer vector into shard i (callers route by message-ID
+// hash; any stable assignment yields identical merged counts). Safe for
+// concurrent use across shards and within one shard. After
+// CloseAndMerge it fails with ErrClosed instead of mutating counts the
+// merge no longer sees.
+func (s *ShardedAccumulator) Add(shard int, v *BitVector) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("%w: shard %d of %d", ErrSize, shard, len(s.shards))
+	}
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	err := sh.acc.Add(v)
+	sh.mu.Unlock()
+	return err
+}
+
+// Merge combines all shards into one fresh Accumulator — the counts a
+// single-lock Accumulator fed the same vectors would hold.
+func (s *ShardedAccumulator) Merge() (*Accumulator, error) {
+	return s.merge(false)
+}
+
+// CloseAndMerge merges like Merge but also marks every shard closed
+// under its own lock, so an Add racing the merge deterministically
+// either lands before its shard is folded in or fails with ErrClosed —
+// it can never mutate counts the merge has already read.
+func (s *ShardedAccumulator) CloseAndMerge() (*Accumulator, error) {
+	return s.merge(true)
+}
+
+func (s *ShardedAccumulator) merge(close bool) (*Accumulator, error) {
+	out, err := NewAccumulator(s.nbuckets)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if close {
+			sh.closed = true
+		}
+		err := out.Merge(sh.acc)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// N returns the total number of answers across all shards.
+func (s *ShardedAccumulator) N() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.acc.N()
+		sh.mu.Unlock()
+	}
+	return n
+}

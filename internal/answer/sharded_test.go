@@ -1,0 +1,139 @@
+package answer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// The shard struct is padded so adjacent shard locks sit on separate
+// cache lines.
+func TestAccShardCacheLineSize(t *testing.T) {
+	if size := unsafe.Sizeof(accShard{}); size%64 != 0 {
+		t.Errorf("accShard is %d bytes; want a multiple of 64", size)
+	}
+}
+
+// Concurrent sharded adds must merge to exactly the counts a single
+// accumulator sees, for any shard count and interleaving.
+func TestShardedAccumulatorMatchesSequential(t *testing.T) {
+	const nbuckets = 7
+	const vectors = 500
+	vecs := make([]*BitVector, vectors)
+	for i := range vecs {
+		v, err := OneHot(nbuckets, i%nbuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			// Some multi-bit vectors, as randomized response produces.
+			if err := v.Set((i+2)%nbuckets, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		vecs[i] = v
+	}
+
+	want, err := NewAccumulator(nbuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vecs {
+		if err := want.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 8} {
+		sharded, err := NewShardedAccumulator(nbuckets, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const goroutines = 8
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < vectors; i += goroutines {
+					if err := sharded.Add(i%shards, vecs[i]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		if sharded.N() != want.N() {
+			t.Errorf("shards=%d: N = %d, want %d", shards, sharded.N(), want.N())
+		}
+		merged, err := sharded.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < nbuckets; i++ {
+			if merged.Yes(i) != want.Yes(i) {
+				t.Errorf("shards=%d: bucket %d = %d, want %d", shards, i, merged.Yes(i), want.Yes(i))
+			}
+		}
+	}
+}
+
+// After CloseAndMerge, racing adds must be refused with ErrClosed
+// rather than silently mutating counts the merge no longer sees.
+func TestShardedAccumulatorCloseAndMerge(t *testing.T) {
+	s, err := NewShardedAccumulator(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := OneHot(3, 1)
+	if err := s.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := s.CloseAndMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.N() != 1 || merged.Yes(1) != 1 {
+		t.Errorf("merged N=%d yes(1)=%d, want 1/1", merged.N(), merged.Yes(1))
+	}
+	for shard := 0; shard < 2; shard++ {
+		if err := s.Add(shard, v); !errors.Is(err, ErrClosed) {
+			t.Errorf("Add to closed shard %d = %v, want ErrClosed", shard, err)
+		}
+	}
+	// Plain Merge leaves the accumulator open.
+	s2, _ := NewShardedAccumulator(3, 2)
+	if _, err := s2.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Add(0, v); err != nil {
+		t.Errorf("Add after plain Merge = %v, want nil", err)
+	}
+}
+
+func TestShardedAccumulatorValidation(t *testing.T) {
+	if _, err := NewShardedAccumulator(3, 0); err == nil {
+		t.Error("expected error for zero shards")
+	}
+	s, err := NewShardedAccumulator(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 2 {
+		t.Errorf("Shards() = %d", s.Shards())
+	}
+	v, _ := OneHot(3, 0)
+	if err := s.Add(-1, v); err == nil {
+		t.Error("expected error for negative shard")
+	}
+	if err := s.Add(2, v); err == nil {
+		t.Error("expected error for out-of-range shard")
+	}
+	wrong, _ := OneHot(4, 0)
+	if err := s.Add(0, wrong); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}

@@ -6,6 +6,25 @@
 // and produces results with error bounds; and a feedback controller
 // re-tunes the sampling parameter when the measured error drifts from
 // the budget.
+//
+// # Parallel epoch pipeline
+//
+// The epoch hot path is parallel end-to-end. RunEpoch fans the client
+// answering step (sample, local query, randomized response, XOR split,
+// submit) over a bounded pool of Config.Workers goroutines; drain runs
+// one goroutine per proxy consumer, all feeding the aggregator, whose
+// join and window state is sharded by message-ID hash (Config.Shards
+// per-shard locks). Exactly-once consumption is preserved by the
+// persistent per-proxy consumer groups — each consumer is owned by a
+// single drain goroutine.
+//
+// Determinism contract: under a fixed Config.Seed, epoch results are
+// byte-identical for every Workers and Shards setting. Each client owns
+// a private seeded RNG, so worker scheduling cannot reorder its coin
+// flips; per-bucket window counts are integer sums, so share
+// interleaving and shard routing cannot change them; and the
+// aggregator serializes window firing, so the estimator's seeded RNG is
+// consumed in the same window order regardless of concurrency.
 package core
 
 import (
@@ -14,6 +33,10 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"privapprox/internal/aggregator"
@@ -55,12 +78,24 @@ type Config struct {
 	// Confidence for result error bounds; defaults to 0.95.
 	Confidence float64
 	// StoreDir, when non-empty, persists decoded responses for
-	// historical analytics.
+	// historical analytics. The stored contents are deterministic under
+	// a fixed Seed, but with Workers > 1 the record order within an
+	// epoch is scheduling-dependent; batch analytics whose second-round
+	// sampling must be replayable record-for-record should run with
+	// Workers == 1.
 	StoreDir string
 	// Seed makes the whole run deterministic; 0 draws a random seed.
 	Seed int64
 	// AnalystKey optionally supplies the signing key.
 	AnalystKey ed25519.PrivateKey
+	// Workers bounds how many clients answer concurrently per epoch and
+	// gates the parallel drain; defaults to GOMAXPROCS. Workers == 1
+	// reproduces the sequential pipeline. Results are identical for
+	// every worker count under a fixed Seed.
+	Workers int
+	// Shards is the aggregator's lock-shard count (see
+	// aggregator.Config.Shards); defaults to GOMAXPROCS.
+	Shards int
 }
 
 // System is a fully wired in-process PrivApprox deployment.
@@ -76,6 +111,9 @@ type System struct {
 	ctrl      *budget.Controller
 	epoch     uint64
 	consumers []*pubsub.Consumer
+	// now stamps record arrival once per poll batch (tests inject a
+	// fake clock to pin down per-poll latency accounting).
+	now func() time.Time
 }
 
 // New builds and wires the system: initializer (budget → parameters),
@@ -102,6 +140,15 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Origin.IsZero() {
 		cfg.Origin = time.Unix(1_700_000_000, 0)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("%w: %d workers", ErrConfig, cfg.Workers)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: %d shards", ErrConfig, cfg.Shards)
 	}
 
 	// Initializer: budget → (s, p, q).
@@ -149,7 +196,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, fleet: fleet}
+	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, fleet: fleet, now: time.Now}
 
 	if cfg.StoreDir != "" {
 		store, err := histstore.Open(cfg.StoreDir, 0)
@@ -168,6 +215,7 @@ func New(cfg Config) (*System, error) {
 		Origin:     cfg.Origin,
 		Confidence: cfg.Confidence,
 		Seed:       cfg.Seed + 1,
+		Shards:     cfg.Shards,
 	}
 	if sys.store != nil {
 		aggCfg.OnDecoded = func(raw []byte, eventTime time.Time) {
@@ -232,31 +280,113 @@ func (s *System) Aggregator() *aggregator.Aggregator { return s.agg }
 // Store returns the historical store, or nil when not configured.
 func (s *System) Store() *histstore.Store { return s.store }
 
-// RunEpoch executes one answer epoch across all clients, drains the
-// proxies into the aggregator, and returns any window results that
-// fired plus the number of participating clients.
+// RunEpoch executes one answer epoch across all clients — concurrently
+// on Config.Workers goroutines — drains the proxies into the
+// aggregator, and returns any window results that fired plus the number
+// of participating clients. Results are deterministic under a fixed
+// Config.Seed for any worker count.
 func (s *System) RunEpoch() ([]aggregator.Result, int, error) {
 	epoch := s.epoch
 	s.epoch++
-	participants := 0
-	for _, c := range s.clients {
-		ok, err := c.AnswerOnce(epoch)
-		if err != nil {
-			return nil, participants, err
-		}
-		if ok {
-			participants++
-		}
+	participants, err := s.answerAll(epoch)
+	if err != nil {
+		return nil, participants, err
 	}
 	results, err := s.drain()
 	return results, participants, err
+}
+
+// answerAll fans AnswerOnce over the client population with a bounded
+// worker pool. Each client is answered exactly once per epoch; clients
+// never share mutable state (each owns its database, RNG, and
+// splitter), and the proxies' brokers are concurrency-safe, so the only
+// cross-worker effect is the interleaving of shares at the proxies —
+// which the sharded aggregator is insensitive to.
+func (s *System) answerAll(epoch uint64) (int, error) {
+	workers := s.cfg.Workers
+	if workers > len(s.clients) {
+		workers = len(s.clients)
+	}
+	if workers <= 1 {
+		participants := 0
+		for _, c := range s.clients {
+			ok, err := c.AnswerOnce(epoch)
+			if err != nil {
+				return participants, err
+			}
+			if ok {
+				participants++
+			}
+		}
+		return participants, nil
+	}
+
+	var (
+		next         atomic.Int64
+		participants atomic.Int64
+		latch        errLatch
+		wg           sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.clients) || latch.failed() {
+					return
+				}
+				ok, err := s.clients[i].AnswerOnce(epoch)
+				if err != nil {
+					latch.fail(err)
+					return
+				}
+				if ok {
+					participants.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(participants.Load()), latch.err()
+}
+
+// errLatch records the first error a group of goroutines hits and flags
+// the others to wind down.
+type errLatch struct {
+	mu    sync.Mutex
+	bad   atomic.Bool
+	first error
+}
+
+func (l *errLatch) fail(err error) {
+	l.mu.Lock()
+	if l.first == nil {
+		l.first = err
+	}
+	l.mu.Unlock()
+	l.bad.Store(true)
+}
+
+func (l *errLatch) failed() bool { return l.bad.Load() }
+
+func (l *errLatch) err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
 }
 
 // Epoch returns the next epoch number to run.
 func (s *System) Epoch() uint64 { return s.epoch }
 
 // drain forwards everything sitting at the proxies to the aggregator,
-// using persistent consumers so records are read exactly once.
+// using persistent consumers so records are read exactly once. With
+// Workers > 1 each proxy's consumer is drained by its own goroutine,
+// all feeding the sharded aggregator concurrently; each poll batch is
+// stamped with its own arrival time so join-latency accounting stays
+// honest however long the drain runs. Fired windows are returned in
+// window-start order, which makes the output independent of goroutine
+// scheduling.
 func (s *System) drain() ([]aggregator.Result, error) {
 	if s.consumers == nil {
 		cs, err := s.fleet.Consumers("aggregator")
@@ -266,7 +396,25 @@ func (s *System) drain() ([]aggregator.Result, error) {
 		s.consumers = cs
 	}
 	var fired []aggregator.Result
-	now := time.Now()
+	var err error
+	if s.cfg.Workers <= 1 || len(s.consumers) == 1 {
+		fired, err = s.drainSequential()
+	} else {
+		fired, err = s.drainParallel()
+	}
+	if err != nil {
+		return fired, err
+	}
+	sort.SliceStable(fired, func(i, j int) bool {
+		return fired[i].Window.Start.Before(fired[j].Window.Start)
+	})
+	return fired, nil
+}
+
+// drainSequential is the Workers == 1 path: one goroutine round-robins
+// the consumers until all are dry.
+func (s *System) drainSequential() ([]aggregator.Result, error) {
+	var fired []aggregator.Result
 	for {
 		any := false
 		for src, c := range s.consumers {
@@ -274,12 +422,9 @@ func (s *System) drain() ([]aggregator.Result, error) {
 			if err != nil {
 				return fired, err
 			}
+			now := s.now()
 			for _, rec := range recs {
-				share, err := proxy.DecodeRecord(rec)
-				if err != nil {
-					return fired, err
-				}
-				res, err := s.agg.SubmitShare(share, src, now)
+				res, err := s.submitRecord(rec, src, now)
 				if err != nil {
 					return fired, err
 				}
@@ -293,6 +438,59 @@ func (s *System) drain() ([]aggregator.Result, error) {
 			return fired, nil
 		}
 	}
+}
+
+// drainParallel runs one goroutine per proxy consumer. A consumer is
+// only ever touched by its own goroutine, preserving the exactly-once
+// positions of the persistent consumer group.
+func (s *System) drainParallel() ([]aggregator.Result, error) {
+	var (
+		mu    sync.Mutex
+		fired []aggregator.Result
+		latch errLatch
+		wg    sync.WaitGroup
+	)
+	for src, c := range s.consumers {
+		wg.Add(1)
+		go func(src int, c *pubsub.Consumer) {
+			defer wg.Done()
+			for !latch.failed() {
+				recs, err := c.Poll(4096)
+				if err != nil {
+					latch.fail(err)
+					return
+				}
+				if len(recs) == 0 {
+					return
+				}
+				now := s.now()
+				for _, rec := range recs {
+					res, err := s.submitRecord(rec, src, now)
+					if err != nil {
+						latch.fail(err)
+						return
+					}
+					if len(res) > 0 {
+						mu.Lock()
+						fired = append(fired, res...)
+						mu.Unlock()
+					}
+				}
+			}
+		}(src, c)
+	}
+	wg.Wait()
+	return fired, latch.err()
+}
+
+// submitRecord decodes one pub/sub record and feeds it to the
+// aggregator.
+func (s *System) submitRecord(rec pubsub.Record, src int, now time.Time) ([]aggregator.Result, error) {
+	share, err := proxy.DecodeRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	return s.agg.SubmitShare(share, src, now)
 }
 
 // AdvanceTo pushes the aggregator's watermark to the event time of the

@@ -27,7 +27,11 @@ type Aggregation[In, Acc, Out any] struct {
 
 // WindowedOp assigns events to sliding windows, drops late records
 // behind the watermark, and fires windows whose end has passed the
-// watermark — the aggregator's per-window computation (paper §3.2.4).
+// watermark — the per-window computation of paper §3.2.4. It is the
+// generic single-threaded operator; the aggregator forks these exact
+// semantics into a sharded, concurrency-safe form (see
+// aggregator.Aggregator.ingest), so a semantic change here must be
+// mirrored there.
 type WindowedOp[In, Acc, Out any] struct {
 	assigner *SlidingAssigner
 	wm       *WatermarkTracker

@@ -21,6 +21,26 @@
 // sliding-window aggregation with a confidence interval that combines
 // the sampling and randomization error bounds.
 //
+// The epoch pipeline is parallel end-to-end: clients answer on a
+// bounded worker pool (SystemConfig.Workers, default GOMAXPROCS), each
+// proxy is drained by its own goroutine, and the aggregator's join and
+// window state is sharded by message-ID hash (SystemConfig.Shards).
+// Under a fixed SystemConfig.Seed, results are byte-identical for every
+// Workers/Shards setting — tune the knobs for the hardware, not for the
+// answer. (One caveat: with StoreDir set, the historical store's
+// record *order* within an epoch is scheduling-dependent when
+// Workers > 1, so BatchAnalyze runs whose second-round sampling must be
+// replayable record-for-record should produce the store with
+// Workers == 1.)
+//
+//	sys, _ := privapprox.NewSystem(privapprox.SystemConfig{
+//		Clients: 1_000_000,
+//		Query:   q,
+//		Budget:  &privapprox.Budget{EpsilonZK: 2.0},
+//		Workers: 16, // client fan-out per epoch (0 = GOMAXPROCS)
+//		Shards:  16, // aggregator lock shards (0 = GOMAXPROCS)
+//	})
+//
 // # Quick start
 //
 //	q, _ := privapprox.TaxiQuery("analyst", 1, time.Second, 10*time.Second, time.Second)
