@@ -5,9 +5,9 @@
 GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/...
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race smoke bench
 
-ci: fmt vet build test race
+ci: fmt vet build test race smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,11 +19,19 @@ vet:
 build:
 	$(GO) build ./...
 
+# -short skips the multi-process smoke test here; the dedicated smoke
+# target runs it once (tier-1 `go test ./...` without -short still
+# covers everything in one go).
 test:
-	$(GO) test ./...
+	$(GO) test -short ./...
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# The multi-process loopback deployment: 2 proxy processes + clients +
+# aggregator, asserted byte-identical to the in-process pipeline.
+smoke:
+	$(GO) test -run TestMultiProcessSmoke -count=1 ./cmd/privapprox-node
+
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkEpochPipelineParallel -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkEpochPipelineParallel|BenchmarkTCPPipeline' -benchmem .

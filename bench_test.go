@@ -440,6 +440,60 @@ func BenchmarkEpochPipelineParallel(b *testing.B) {
 	}
 }
 
+// --- Networked transport: TCP batch × connections sweep. ---
+
+// BenchmarkTCPPipeline measures client → TCP proxy share throughput
+// over the batched, pipelined transport on loopback. batch=1,conns=1
+// is the old one-share-per-round-trip protocol; batch ≥ 256 should beat
+// it by ≥ 5× (one frame amortizes hundreds of shares), mirroring the
+// netbench experiment in cmd/experiments.
+func BenchmarkTCPPipeline(b *testing.B) {
+	for _, conns := range []int{1, 4} {
+		for _, batch := range []int{1, 64, 256, 1024} {
+			b.Run(fmt.Sprintf("batch=%d,conns=%d", batch, conns), func(b *testing.B) {
+				broker := pubsub.NewBroker()
+				if err := broker.CreateTopic("answer", 4); err != nil {
+					b.Fatal(err)
+				}
+				srv, err := pubsub.Serve(broker, "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				cli, err := pubsub.DialPool(srv.Addr(), conns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cli.Close()
+				payload := make([]byte, 32)
+				key := make([]byte, 16)
+				msgs := make([]pubsub.Message, 0, batch)
+				b.SetBytes(int64(len(key) + len(payload)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					key[0], key[1], key[2], key[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+					if batch <= 1 {
+						if _, _, err := cli.Publish("answer", key, payload); err != nil {
+							b.Fatal(err)
+						}
+						continue
+					}
+					msgs = append(msgs, pubsub.Message{Key: append([]byte(nil), key...), Value: payload})
+					if len(msgs) == batch || i == b.N-1 {
+						if _, err := cli.PublishBatch("answer", msgs); err != nil {
+							b.Fatal(err)
+						}
+						msgs = msgs[:0]
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "shares/sec")
+			})
+		}
+	}
+}
+
 // --- Fig 8: aggregator hot path (join + decrypt + window). ---
 
 func BenchmarkFig8Scalability(b *testing.B) {

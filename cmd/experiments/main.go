@@ -43,6 +43,7 @@ var experiments = []experiment{
 	{"fig8", "Fig 8: proxy & aggregator scalability", runFig8},
 	{"fig9", "Fig 9: network traffic & latency vs sampling fraction", runFig9},
 	{"pipeline", "Parallel epoch pipeline: workers × shards throughput sweep", runPipeline},
+	{"netbench", "Networked transport: TCP share throughput, batch × connections sweep", runNetbench},
 }
 
 func main() {

@@ -1,16 +1,26 @@
 // Command privapprox-node runs one PrivApprox role as a standalone
-// networked process, communicating over the TCP pub/sub protocol — the
-// deployment shape of the paper's Fig. 3 with Kafka-style brokers.
+// networked process, communicating over the batched TCP pub/sub
+// protocol — the deployment shape of the paper's Fig. 3 with
+// Kafka-style brokers at the proxies.
+//
+// The roles share the in-process pipeline's code: clients and the
+// aggregator attach proxy.Proxy handles over pubsub.Client transports
+// (a small pipelined connection pool each), clients flush an epoch's
+// shares to each proxy in one publish frame via client.Batcher, and the
+// aggregator drains with the same consumer code the in-process system
+// uses. Under the same seed conventions as core.Config (client i's seed
+// is seed+i+2, the aggregator's is seed+1), a networked run produces
+// results identical to the in-process pipeline — the multi-process
+// smoke test asserts exactly that.
 //
 // Start two proxies, an aggregator, and a few clients (each in its own
 // terminal or backgrounded):
 //
 //	privapprox-node proxy -listen 127.0.0.1:9101 -index 0
 //	privapprox-node proxy -listen 127.0.0.1:9102 -index 1
-//	privapprox-node aggregator -proxies 127.0.0.1:9101,127.0.0.1:9102 -clients 3 -epochs 4
-//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -id c0 -epochs 4
-//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -id c1 -epochs 4
-//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -id c2 -epochs 4
+//	privapprox-node aggregator -proxies 127.0.0.1:9101,127.0.0.1:9102 -clients 6 -epochs 4
+//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -offset 0 -n 3 -epochs 4
+//	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -offset 3 -n 3 -epochs 4
 package main
 
 import (
@@ -20,7 +30,11 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"privapprox/internal/aggregator"
@@ -32,13 +46,13 @@ import (
 	"privapprox/internal/query"
 	"privapprox/internal/rr"
 	"privapprox/internal/workload"
-	"privapprox/internal/xorcrypt"
 )
 
 // The networked demo pins a shared parameter set and query so the
 // processes agree without a distribution channel; a production
 // deployment would push the signed query through the proxies
-// (paper §3.1).
+// (paper §3.1). defaultOrigin matches core.Config's default so the two
+// pipelines line up epoch for epoch.
 var defaultOrigin = time.Unix(1_700_000_000, 0)
 
 func sharedQuery() (*query.Query, error) {
@@ -49,11 +63,11 @@ func sharedParams(s, p, q float64) budget.Params {
 	return budget.Params{S: s, RR: rr.Params{P: p, Q: q}}
 }
 
-func topicFor(index int) string {
-	if index == 0 {
-		return proxy.TopicAnswer
-	}
-	return proxy.TopicKey
+// populateClient fills logical client i's database; the seed convention
+// is shared with the smoke test's in-process reference run.
+func populateClient(i int, db *minisql.DB) error {
+	rng := rand.New(rand.NewSource(int64(i) + 1))
+	return workload.PopulateTaxi(db, rng, 3, time.Unix(0, 0), time.Minute)
 }
 
 func main() {
@@ -86,16 +100,16 @@ func runProxy(args []string) error {
 	fs.Parse(args)
 
 	broker := pubsub.NewBroker()
-	if err := broker.CreateTopic(topicFor(*index), *partitions); err != nil {
+	if err := broker.CreateTopic(proxy.TopicFor(*index), *partitions); err != nil {
 		return err
 	}
 	srv, err := pubsub.Serve(broker, *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("proxy %d serving topic %q on %s\n", *index, topicFor(*index), srv.Addr())
+	fmt.Printf("proxy %d serving topic %q on %s\n", *index, proxy.TopicFor(*index), srv.Addr())
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := broker.Stats()
 	fmt.Printf("\nproxy stats: %d msgs in (%.1f KB), %d msgs out\n",
@@ -103,74 +117,180 @@ func runProxy(args []string) error {
 	return srv.Close()
 }
 
-// tcpSink adapts a remote proxy connection to the client's ShareSink.
-type tcpSink struct {
-	cli   *pubsub.Client
-	topic string
+// dialFleet connects to every proxy address with a pooled pipelined
+// client and attaches a fleet handle over the transports.
+func dialFleet(proxyList string, conns int) (*proxy.Fleet, []*pubsub.Client, error) {
+	addrs := strings.Split(proxyList, ",")
+	if len(addrs) < 2 {
+		return nil, nil, fmt.Errorf("need ≥ 2 proxies, got %q", proxyList)
+	}
+	clients := make([]*pubsub.Client, 0, len(addrs))
+	transports := make([]pubsub.Transport, 0, len(addrs))
+	for _, addr := range addrs {
+		cli, err := pubsub.DialPool(strings.TrimSpace(addr), conns)
+		if err != nil {
+			for _, c := range clients {
+				c.Close()
+			}
+			return nil, nil, err
+		}
+		clients = append(clients, cli)
+		transports = append(transports, cli)
+	}
+	fleet, err := proxy.AttachFleet(transports)
+	if err != nil {
+		for _, c := range clients {
+			c.Close()
+		}
+		return nil, nil, err
+	}
+	return fleet, clients, nil
 }
 
-func (s *tcpSink) Submit(share xorcrypt.Share) error {
-	_, _, err := s.cli.Publish(s.topic, share.MID[:], share.Payload)
-	return err
+func closeAll(clients []*pubsub.Client) {
+	for _, c := range clients {
+		c.Close()
+	}
 }
 
 func runClient(args []string) error {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
-	id := fs.String("id", "client-0", "client identifier")
+	n := fs.Int("n", 1, "logical clients simulated by this process")
+	offset := fs.Int("offset", 0, "global index of this process's first logical client")
 	epochs := fs.Int("epochs", 4, "epochs to answer")
+	conns := fs.Int("conns", 2, "TCP connections per proxy")
+	batch := fs.Int("batch", 0, "shares per publish frame (0 = one frame per proxy per epoch)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent answering clients")
 	s := fs.Float64("s", 0.9, "sampling fraction")
 	p := fs.Float64("p", 0.9, "first randomization coin")
 	q := fs.Float64("q", 0.6, "second randomization coin")
-	seed := fs.Int64("seed", 0, "data seed (0 = from id hash)")
+	seed := fs.Int64("seed", 1, "system seed (client i uses seed+i+2, as in core.Config)")
 	fs.Parse(args)
-
-	addrs := strings.Split(*proxyList, ",")
-	if len(addrs) < 2 {
-		return fmt.Errorf("need ≥ 2 proxies, got %q", *proxyList)
-	}
-	sinks := make([]client.ShareSink, len(addrs))
-	for i, addr := range addrs {
-		cli, err := pubsub.Dial(strings.TrimSpace(addr))
-		if err != nil {
-			return err
-		}
-		defer cli.Close()
-		sinks[i] = &tcpSink{cli: cli, topic: topicFor(i)}
+	if *n <= 0 {
+		return fmt.Errorf("need ≥ 1 logical clients, got %d", *n)
 	}
 
-	dataSeed := *seed
-	if dataSeed == 0 {
-		for _, c := range *id {
-			dataSeed = dataSeed*31 + int64(c)
-		}
-	}
-	db := minisql.NewDB()
-	rng := rand.New(rand.NewSource(dataSeed))
-	if err := workload.PopulateTaxi(db, rng, 3, time.Unix(0, 0), time.Minute); err != nil {
-		return err
-	}
-	c, err := client.New(client.Config{ID: *id, DB: db, Sinks: sinks, Seed: dataSeed + 1})
+	fleet, tcps, err := dialFleet(*proxyList, *conns)
 	if err != nil {
 		return err
 	}
+	defer closeAll(tcps)
+
+	// One batcher per proxy: every logical client submits into it, and
+	// the epoch loop flushes it as one frame — O(1) round-trips per
+	// (process, proxy) per epoch instead of one per share.
+	batchers := make([]*client.Batcher, fleet.Size())
+	sinks := make([]client.ShareSink, fleet.Size())
+	for i := range batchers {
+		batchers[i] = client.NewBatcher(fleet.Proxy(i), *batch)
+		sinks[i] = batchers[i]
+	}
+
 	qy, err := sharedQuery()
 	if err != nil {
 		return err
 	}
-	if err := c.Subscribe(&query.Signed{Query: qy}, sharedParams(*s, *p, *q)); err != nil {
-		return err
-	}
-	for e := uint64(0); e < uint64(*epochs); e++ {
-		ok, err := c.AnswerOnce(e)
+	params := sharedParams(*s, *p, *q)
+	clients := make([]*client.Client, *n)
+	for j := range clients {
+		global := *offset + j
+		db := minisql.NewDB()
+		if err := populateClient(global, db); err != nil {
+			return err
+		}
+		c, err := client.New(client.Config{
+			ID:    fmt.Sprintf("client-%06d", global),
+			DB:    db,
+			Sinks: sinks,
+			Seed:  *seed + int64(global) + 2,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("epoch %d: participated=%v\n", e, ok)
+		if err := c.Subscribe(&query.Signed{Query: qy}, params); err != nil {
+			return err
+		}
+		clients[j] = c
 	}
-	st := c.Stats()
-	fmt.Printf("client %s done: %d answers, %d bytes\n", *id, st.AnswersSent, st.BytesSent)
+
+	for e := uint64(0); e < uint64(*epochs); e++ {
+		participants, err := answerAll(clients, e, *workers)
+		if err != nil {
+			return err
+		}
+		for _, b := range batchers {
+			if err := b.Flush(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("epoch %d: %d/%d participated\n", e, participants, *n)
+	}
+	var answers, bytes int64
+	for _, c := range clients {
+		st := c.Stats()
+		answers += st.AnswersSent
+		bytes += st.BytesSent
+	}
+	fmt.Printf("clients %d..%d done: %d answers, %d bytes\n",
+		*offset, *offset+*n-1, answers, bytes)
 	return nil
+}
+
+// answerAll fans AnswerOnce over the logical clients with a bounded
+// worker pool (the networked twin of core.System's epoch fan-out).
+func answerAll(clients []*client.Client, epoch uint64, workers int) (int, error) {
+	if workers > len(clients) {
+		workers = len(clients)
+	}
+	if workers <= 1 {
+		participants := 0
+		for _, c := range clients {
+			ok, err := c.AnswerOnce(epoch)
+			if err != nil {
+				return participants, err
+			}
+			if ok {
+				participants++
+			}
+		}
+		return participants, nil
+	}
+	var (
+		next         atomic.Int64
+		participants atomic.Int64
+		failed       atomic.Bool
+		errMu        sync.Mutex
+		firstErr     error
+		wg           sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(clients) || failed.Load() {
+					return
+				}
+				ok, err := clients[i].AnswerOnce(epoch)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				if ok {
+					participants.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(participants.Load()), firstErr
 }
 
 func runAggregator(args []string) error {
@@ -178,16 +298,20 @@ func runAggregator(args []string) error {
 	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
 	clients := fs.Int("clients", 3, "population size U")
 	epochs := fs.Int("epochs", 4, "epochs to wait for")
+	conns := fs.Int("conns", 2, "TCP connections per proxy")
 	s := fs.Float64("s", 0.9, "sampling fraction")
 	p := fs.Float64("p", 0.9, "first randomization coin")
 	q := fs.Float64("q", 0.6, "second randomization coin")
+	seed := fs.Int64("seed", 1, "system seed (the aggregator uses seed+1, as in core.Config)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without new shares")
 	fs.Parse(args)
 
-	addrs := strings.Split(*proxyList, ",")
-	if len(addrs) < 2 {
-		return fmt.Errorf("need ≥ 2 proxies, got %q", *proxyList)
+	fleet, tcps, err := dialFleet(*proxyList, *conns)
+	if err != nil {
+		return err
 	}
+	defer closeAll(tcps)
+
 	qy, err := sharedQuery()
 	if err != nil {
 		return err
@@ -196,30 +320,19 @@ func runAggregator(args []string) error {
 		Query:      qy,
 		Params:     sharedParams(*s, *p, *q),
 		Population: *clients,
-		Proxies:    len(addrs),
+		Proxies:    fleet.Size(),
 		Origin:     defaultOrigin,
+		Seed:       *seed + 1,
 	})
 	if err != nil {
 		return err
 	}
-	type cursor struct {
-		cli     *pubsub.Client
-		topic   string
-		offsets []int64
-	}
-	cursors := make([]*cursor, len(addrs))
-	for i, addr := range addrs {
-		cli, err := pubsub.Dial(strings.TrimSpace(addr))
-		if err != nil {
-			return err
-		}
-		defer cli.Close()
-		topic := topicFor(i)
-		parts, err := cli.Partitions(topic)
-		if err != nil {
-			return err
-		}
-		cursors[i] = &cursor{cli: cli, topic: topic, offsets: make([]int64, parts)}
+
+	// The same consumer code the in-process pipeline drains with, now
+	// running over the TCP transports.
+	consumers, err := fleet.Consumers("aggregator")
+	if err != nil {
+		return err
 	}
 
 	expected := int64(*clients) * int64(*epochs)
@@ -227,27 +340,25 @@ func runAggregator(args []string) error {
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, *idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < *idle {
 		progressed := false
-		for src, cur := range cursors {
-			for part := range cur.offsets {
-				recs, err := cur.cli.Fetch(cur.topic, part, cur.offsets[part], 1024, 100*time.Millisecond)
+		for src, c := range consumers {
+			recs, err := c.PollWait(4096, 50*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			now := time.Now()
+			for _, rec := range recs {
+				share, err := proxy.DecodeRecord(rec)
 				if err != nil {
 					return err
 				}
-				for _, rec := range recs {
-					share, err := proxy.DecodeRecord(rec)
-					if err != nil {
-						return err
-					}
-					results, err := agg.SubmitShare(share, src, time.Now())
-					if err != nil {
-						return err
-					}
-					printResults(results)
+				results, err := agg.SubmitShare(share, src, now)
+				if err != nil {
+					return err
 				}
-				if len(recs) > 0 {
-					cur.offsets[part] += int64(len(recs))
-					progressed = true
-				}
+				printResults(results)
+			}
+			if len(recs) > 0 {
+				progressed = true
 			}
 		}
 		if progressed {
@@ -264,12 +375,23 @@ func runAggregator(args []string) error {
 	return nil
 }
 
-func printResults(results []aggregator.Result) {
+// formatResults renders fired windows in the node's canonical result
+// format; the multi-process smoke test renders its in-process reference
+// run through the same function and compares byte for byte.
+func formatResults(results []aggregator.Result) string {
+	var b strings.Builder
 	for _, res := range results {
-		fmt.Printf("window [%s → %s): %d answers\n",
+		fmt.Fprintf(&b, "window [%s → %s): %d answers\n",
 			res.Window.Start.Format("15:04:05"), res.Window.End.Format("15:04:05"), res.Responses)
-		for _, b := range res.Buckets {
-			fmt.Printf("  %-12s %10.1f ± %.1f\n", b.Label, b.Estimate.Estimate, b.Estimate.Margin)
+		for _, bk := range res.Buckets {
+			fmt.Fprintf(&b, "  %-12s %10.1f ± %.1f\n", bk.Label, bk.Estimate.Estimate, bk.Estimate.Margin)
 		}
+	}
+	return b.String()
+}
+
+func printResults(results []aggregator.Result) {
+	if len(results) > 0 {
+		fmt.Print(formatResults(results))
 	}
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/core"
+	"privapprox/internal/minisql"
+)
+
+// TestMultiProcessSmoke spawns the real networked deployment on
+// loopback — two proxy processes, two client processes, one aggregator
+// process — and asserts the aggregator's results are byte-identical to
+// an in-process core.System run under the same seed conventions. This
+// is the Fig. 3 deployment shape driven end to end.
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test skipped in -short mode")
+	}
+	bin := buildNode(t)
+
+	const (
+		seedFlag  = "-seed=42"
+		sFlag     = "-s=1" // everyone participates: decoded count is exact
+		clients   = 6
+		epochs    = 4
+		seed      = 42
+		partFlags = "-partitions=4"
+	)
+
+	// Proxies first; their topics must exist before anyone attaches.
+	addr0, stop0 := startProxy(t, bin, 0, partFlags)
+	defer stop0()
+	addr1, stop1 := startProxy(t, bin, 1, partFlags)
+	defer stop1()
+	proxies := "-proxies=" + addr0 + "," + addr1
+
+	// Two client processes, three logical clients each, batched flushes.
+	for _, offset := range []int{0, 3} {
+		out, err := exec.Command(bin, "client", proxies, seedFlag, sFlag,
+			fmt.Sprintf("-offset=%d", offset), "-n=3",
+			fmt.Sprintf("-epochs=%d", epochs), "-conns=2").CombinedOutput()
+		if err != nil {
+			t.Fatalf("client process (offset %d): %v\n%s", offset, err, out)
+		}
+	}
+
+	out, err := exec.Command(bin, "aggregator", proxies, seedFlag, sFlag,
+		fmt.Sprintf("-clients=%d", clients), fmt.Sprintf("-epochs=%d", epochs),
+		"-conns=2", "-idle=5s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("aggregator process: %v\n%s", err, out)
+	}
+	got := string(out)
+
+	// The count line is exact at s=1: no sampling, no loss, no dupes.
+	wantCounts := fmt.Sprintf("decoded=%d malformed=0 duplicates=0", clients*epochs)
+	if !strings.Contains(got, wantCounts) {
+		t.Errorf("aggregator output missing %q:\n%s", wantCounts, got)
+	}
+
+	// Reference: the same population in-process, same seed conventions
+	// (core.Config: client i seed+i+2, aggregator seed+1), same query,
+	// params, and origin — the networked pipeline must reproduce it
+	// byte for byte through the shared result formatter.
+	want := inProcessReference(t, clients, epochs, seed)
+	if want == "" {
+		t.Fatal("in-process reference produced no windows")
+	}
+	if !strings.Contains(got, want) {
+		t.Errorf("networked results differ from in-process pipeline.\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func buildNode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "privapprox-node")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building privapprox-node: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startProxy launches one proxy process on a kernel-chosen port and
+// parses the bound address from its banner line.
+func startProxy(t *testing.T, bin string, index int, extra ...string) (addr string, stop func()) {
+	t.Helper()
+	args := append([]string{"proxy", "-listen=127.0.0.1:0", fmt.Sprintf("-index=%d", index)}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 1)
+	go func() {
+		r := bufio.NewReader(stdout)
+		line, err := r.ReadString('\n')
+		if err == nil {
+			lines <- line
+		}
+		io.Copy(io.Discard, r) // keep the pipe drained
+	}()
+	select {
+	case line := <-lines:
+		i := strings.LastIndex(line, " on ")
+		if i < 0 {
+			t.Fatalf("unexpected proxy banner: %q", line)
+		}
+		addr = strings.TrimSpace(line[i+4:])
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("proxy %d never announced its address", index)
+	}
+	return addr, func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// inProcessReference runs the equivalent single-process deployment and
+// renders every fired window through the node's formatter.
+func inProcessReference(t *testing.T, clients, epochs int, seed int64) string {
+	t.Helper()
+	qy, err := sharedQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sharedParams(1, 0.9, 0.6)
+	sys, err := core.New(core.Config{
+		Clients:    clients,
+		Proxies:    2,
+		Partitions: 4,
+		Query:      qy,
+		Params:     &params,
+		Origin:     defaultOrigin,
+		Seed:       seed,
+		Populate: func(i int, db *minisql.DB) error {
+			return populateClient(i, db)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var all []aggregator.Result
+	for e := 0; e < epochs; e++ {
+		res, _, err := sys.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, res...)
+	}
+	res, err := sys.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, res...)
+	return formatResults(all)
+}

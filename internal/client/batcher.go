@@ -1,0 +1,75 @@
+package client
+
+import (
+	"sync"
+
+	"privapprox/internal/xorcrypt"
+)
+
+// BatchSink accepts many shares in one call — proxy.Proxy implements it
+// over both the in-process broker and the TCP transport, where a batch
+// is one wire frame.
+type BatchSink interface {
+	SubmitBatch(shares []xorcrypt.Share) error
+}
+
+// Batcher is a ShareSink that buffers submitted shares and forwards
+// them to the underlying BatchSink in batches: automatically whenever
+// limit shares have accumulated (0 means no automatic flush), and on
+// Flush. It is safe for concurrent use, so a worker pool of clients can
+// share one Batcher per proxy; the epoch driver calls Flush once after
+// all clients answered, turning an epoch's O(N) proxy round-trips into
+// O(1).
+type Batcher struct {
+	sink  BatchSink
+	limit int
+
+	mu  sync.Mutex
+	buf []xorcrypt.Share
+}
+
+// NewBatcher wraps sink in a Batcher that auto-flushes every limit
+// shares (limit <= 0 disables auto-flush; every share then waits for an
+// explicit Flush).
+func NewBatcher(sink BatchSink, limit int) *Batcher {
+	return &Batcher{sink: sink, limit: limit}
+}
+
+// Submit buffers one share, flushing if the batch limit is reached.
+func (b *Batcher) Submit(share xorcrypt.Share) error {
+	b.mu.Lock()
+	b.buf = append(b.buf, share)
+	if b.limit > 0 && len(b.buf) >= b.limit {
+		return b.flushLocked()
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Flush forwards everything buffered to the sink as one batch.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	return b.flushLocked()
+}
+
+// Pending returns the number of buffered shares.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// flushLocked sends the buffer and releases b.mu. The send happens
+// outside the lock so a slow sink does not serialize other submitters;
+// the buffer swap keeps batches disjoint.
+func (b *Batcher) flushLocked() error {
+	buf := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if len(buf) == 0 {
+		return nil
+	}
+	return b.sink.SubmitBatch(buf)
+}
+
+var _ ShareSink = (*Batcher)(nil)

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"sync"
+	"testing"
+
+	"privapprox/internal/xorcrypt"
+)
+
+// recordingSink counts batches and shares it receives.
+type recordingSink struct {
+	mu      sync.Mutex
+	batches [][]xorcrypt.Share
+}
+
+func (r *recordingSink) SubmitBatch(shares []xorcrypt.Share) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches = append(r.batches, shares)
+	return nil
+}
+
+func (r *recordingSink) totals() (batches, shares int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.batches {
+		shares += len(b)
+	}
+	return len(r.batches), shares
+}
+
+func share(i int) xorcrypt.Share {
+	var mid xorcrypt.MID
+	mid[0], mid[1] = byte(i), byte(i>>8)
+	return xorcrypt.Share{MID: mid, Payload: []byte{byte(i)}}
+}
+
+func TestBatcherFlushDelivesEverythingInOneBatch(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 0)
+	const n = 37
+	for i := 0; i < n; i++ {
+		if err := b.Submit(share(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Pending(); got != n {
+		t.Fatalf("Pending = %d", got)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batches, shares := sink.totals()
+	if batches != 1 || shares != n {
+		t.Fatalf("sink saw %d batches / %d shares, want 1 / %d", batches, shares, n)
+	}
+	// Empty flush is a no-op, not an empty batch.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batches, _ := sink.totals(); batches != 1 {
+		t.Errorf("empty Flush produced a batch")
+	}
+}
+
+func TestBatcherAutoFlushAtLimit(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 8)
+	for i := 0; i < 20; i++ {
+		if err := b.Submit(share(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batches, shares := sink.totals()
+	if shares != 20 {
+		t.Fatalf("shares = %d", shares)
+	}
+	if batches != 3 { // 8 + 8 + 4
+		t.Errorf("batches = %d, want 3", batches)
+	}
+}
+
+func TestBatcherConcurrentSubmitters(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 16)
+	const goroutines = 8
+	const each = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := b.Submit(share(g*each + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, shares := sink.totals()
+	if shares != goroutines*each {
+		t.Fatalf("shares = %d, want %d", shares, goroutines*each)
+	}
+}

@@ -500,12 +500,26 @@ func (s *System) AdvanceTo(epoch uint64) ([]aggregator.Result, error) {
 	return s.agg.AdvanceTo(t)
 }
 
-// Flush closes all open windows (end of run).
+// Flush drains anything still sitting at the proxies and closes all
+// open windows (end of run). Windows fired by the final drain are
+// returned together with the flushed ones, merged in window-start
+// order — earlier versions discarded the drain's results, silently
+// dropping any window the last batch of shares pushed past the
+// watermark.
 func (s *System) Flush() ([]aggregator.Result, error) {
-	if _, err := s.drain(); err != nil {
+	drained, err := s.drain()
+	if err != nil {
 		return nil, err
 	}
-	return s.agg.Flush()
+	final, err := s.agg.Flush()
+	if err != nil {
+		return drained, err
+	}
+	merged := append(drained, final...)
+	sort.SliceStable(merged, func(i, j int) bool {
+		return merged[i].Window.Start.Before(merged[j].Window.Start)
+	})
+	return merged, nil
 }
 
 // EnableFeedback installs the adaptive controller (paper §5): after each

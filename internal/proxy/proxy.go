@@ -5,6 +5,12 @@
 // stream. A proxy cannot tell an encrypted answer from a key share —
 // both are fixed-length pseudo-random payloads keyed by the message
 // identifier.
+//
+// A Proxy runs over any pubsub.Transport: New builds an in-process
+// broker (the single-process pipeline), while Attach binds the same
+// Proxy type to a broker served elsewhere — typically a pubsub.Client
+// dialed at a remote proxy process — so clients and the aggregator use
+// identical code in both deployment shapes (paper Fig. 3).
 package proxy
 
 import (
@@ -27,10 +33,22 @@ const (
 	TopicKey    = "key"
 )
 
+// TopicFor returns the topic a proxy at the given fleet index serves.
+func TopicFor(index int) string {
+	if index == 0 {
+		return TopicAnswer
+	}
+	return TopicKey
+}
+
 // Proxy is one forwarding node.
 type Proxy struct {
-	name   string
-	topic  string
+	name  string
+	topic string
+	t     pubsub.Transport
+	// broker is non-nil only for proxies built by New, which own their
+	// in-process broker; attached proxies leave lifecycle and stats to
+	// the remote process.
 	broker *pubsub.Broker
 }
 
@@ -41,15 +59,26 @@ func New(name string, index, partitions int) (*Proxy, error) {
 	if partitions <= 0 {
 		return nil, fmt.Errorf("proxy: %d partitions", partitions)
 	}
-	topic := TopicKey
-	if index == 0 {
-		topic = TopicAnswer
-	}
+	topic := TopicFor(index)
 	b := pubsub.NewBroker()
 	if err := b.CreateTopic(topic, partitions); err != nil {
 		return nil, err
 	}
-	return &Proxy{name: name, topic: topic, broker: b}, nil
+	return &Proxy{name: name, topic: topic, t: b, broker: b}, nil
+}
+
+// Attach binds a proxy handle to an already-running broker reachable
+// through t — e.g. a pubsub.Client dialed at a networked proxy process
+// that created its topic at startup. The topic must already exist.
+func Attach(name string, index int, t pubsub.Transport) (*Proxy, error) {
+	if t == nil {
+		return nil, fmt.Errorf("proxy: nil transport")
+	}
+	topic := TopicFor(index)
+	if _, err := t.Partitions(topic); err != nil {
+		return nil, fmt.Errorf("proxy: attach %s: %w", name, err)
+	}
+	return &Proxy{name: name, topic: topic, t: t}, nil
 }
 
 // Name returns the proxy name.
@@ -63,20 +92,53 @@ func (p *Proxy) Topic() string { return p.topic }
 // inter-proxy coordination (the property Fig. 6 measures).
 func (p *Proxy) Submit(share xorcrypt.Share) error {
 	mid := share.MID
-	_, _, err := p.broker.Publish(p.topic, mid[:], share.Payload)
+	_, _, err := p.t.Publish(p.topic, mid[:], share.Payload)
+	return err
+}
+
+// SubmitBatch accepts many shares in one transport call. Over TCP the
+// whole batch travels as one frame — one round-trip per (client, proxy)
+// per epoch instead of one per share, the batching lever the paper's
+// scalability results depend on.
+func (p *Proxy) SubmitBatch(shares []xorcrypt.Share) error {
+	if len(shares) == 0 {
+		return nil
+	}
+	msgs := make([]pubsub.Message, len(shares))
+	for i, sh := range shares {
+		mid := sh.MID
+		msgs[i] = pubsub.Message{Key: mid[:], Value: sh.Payload}
+	}
+	_, err := p.t.PublishBatch(p.topic, msgs)
 	return err
 }
 
 // Consumer returns an aggregator-side consumer over this proxy's stream.
 func (p *Proxy) Consumer(group string) (*pubsub.Consumer, error) {
-	return pubsub.NewConsumer(p.broker, group, p.topic)
+	if p.broker != nil {
+		return pubsub.NewConsumer(p.broker, group, p.topic)
+	}
+	return pubsub.NewTransportConsumer(p.t, group, p.topic)
 }
 
-// Stats exposes the underlying broker's traffic counters.
-func (p *Proxy) Stats() pubsub.Stats { return p.broker.Stats() }
+// Stats exposes the underlying broker's traffic counters. Attached
+// (remote) proxies report zero — the counters live in the remote
+// process.
+func (p *Proxy) Stats() pubsub.Stats {
+	if p.broker == nil {
+		return pubsub.Stats{}
+	}
+	return p.broker.Stats()
+}
 
-// Close shuts the underlying broker down.
-func (p *Proxy) Close() { p.broker.Close() }
+// Close shuts the underlying broker down when this proxy owns it; for
+// attached proxies the remote process owns the lifecycle and Close is a
+// no-op.
+func (p *Proxy) Close() {
+	if p.broker != nil {
+		p.broker.Close()
+	}
+}
 
 // DecodeRecord converts a consumed pub/sub record back into the share a
 // client submitted.
@@ -95,15 +157,33 @@ type Fleet struct {
 	proxies []*Proxy
 }
 
-// NewFleet builds n proxies with the given partition count each.
+// NewFleet builds n in-process proxies with the given partition count
+// each.
 func NewFleet(n, partitions int) (*Fleet, error) {
+	return newFleet(n, func(i int) (*Proxy, error) {
+		return New(fmt.Sprintf("proxy-%d", i), i, partitions)
+	})
+}
+
+// AttachFleet binds a fleet handle to one remote proxy per transport,
+// transport i serving the index-i topic.
+func AttachFleet(transports []pubsub.Transport) (*Fleet, error) {
+	return newFleet(len(transports), func(i int) (*Proxy, error) {
+		return Attach(fmt.Sprintf("proxy-%d", i), i, transports[i])
+	})
+}
+
+// newFleet assembles n proxies from build, closing any already-built
+// proxies when a later one fails so no broker leaks.
+func newFleet(n int, build func(i int) (*Proxy, error)) (*Fleet, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("proxy: fleet needs ≥ 2 proxies, got %d", n)
 	}
 	f := &Fleet{}
 	for i := 0; i < n; i++ {
-		p, err := New(fmt.Sprintf("proxy-%d", i), i, partitions)
+		p, err := build(i)
 		if err != nil {
+			f.Close()
 			return nil, err
 		}
 		f.proxies = append(f.proxies, p)

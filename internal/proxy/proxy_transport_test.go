@@ -1,0 +1,174 @@
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"privapprox/internal/pubsub"
+	"privapprox/internal/xorcrypt"
+)
+
+func TestSubmitBatchRoundTrip(t *testing.T) {
+	p, err := New("p", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	shares := make([]xorcrypt.Share, 32)
+	for i := range shares {
+		shares[i] = randomShare(t, []byte{byte(i)})
+	}
+	if err := p.SubmitBatch(shares); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Consumer("agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.PollWait(100, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(shares) {
+		t.Fatalf("polled %d records, want %d", len(recs), len(shares))
+	}
+	if st := p.Stats(); st.MessagesIn != int64(len(shares)) {
+		t.Errorf("MessagesIn = %d", st.MessagesIn)
+	}
+}
+
+// An attached proxy over a live TCP server behaves like a local one:
+// same topics, same submit/consume surface.
+func TestAttachOverTCP(t *testing.T) {
+	broker := pubsub.NewBroker()
+	if err := broker.CreateTopic(TopicAnswer, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := pubsub.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := pubsub.DialPool(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	p, err := Attach("remote-0", 0, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Topic() != TopicAnswer {
+		t.Errorf("topic = %q", p.Topic())
+	}
+	share := randomShare(t, []byte("over-the-wire"))
+	if err := p.Submit(share); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitBatch([]xorcrypt.Share{randomShare(t, []byte("b0")), randomShare(t, []byte("b1"))}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Consumer("agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.PollWait(10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("polled %d records, want 3", len(recs))
+	}
+	found := false
+	for _, rec := range recs {
+		got, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MID == share.MID && bytes.Equal(got.Payload, share.Payload) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("submitted share not found in consumed records")
+	}
+	// Attaching to a topic the remote never created must fail.
+	if _, err := Attach("remote-1", 1, cli); err == nil {
+		t.Error("Attach to a missing topic succeeded")
+	}
+	// Close on an attached proxy must not shut the remote broker down.
+	p.Close()
+	if err := p.Submit(randomShare(t, []byte("after-close"))); err != nil {
+		t.Errorf("remote broker closed by attached proxy Close: %v", err)
+	}
+}
+
+// Regression: a mid-loop constructor failure must close the proxies
+// already built instead of leaking their brokers.
+func TestFleetBuildFailureClosesBuiltProxies(t *testing.T) {
+	var built []*Proxy
+	_, err := newFleet(3, func(i int) (*Proxy, error) {
+		if i == 2 {
+			return nil, fmt.Errorf("injected failure at %d", i)
+		}
+		p, err := New(fmt.Sprintf("p%d", i), i, 1)
+		if err == nil {
+			built = append(built, p)
+		}
+		return p, err
+	})
+	if err == nil {
+		t.Fatal("expected fleet build error")
+	}
+	if len(built) != 2 {
+		t.Fatalf("built %d proxies before the failure", len(built))
+	}
+	for i, p := range built {
+		if err := p.Submit(randomShare(t, []byte("x"))); err == nil {
+			t.Errorf("proxy %d still accepts submissions: its broker leaked", i)
+		}
+	}
+}
+
+func TestAttachFleet(t *testing.T) {
+	// Two in-process brokers stand in for two remote proxy processes.
+	var transports []pubsub.Transport
+	for i := 0; i < 2; i++ {
+		b := pubsub.NewBroker()
+		if err := b.CreateTopic(TopicFor(i), 2); err != nil {
+			t.Fatal(err)
+		}
+		transports = append(transports, b)
+	}
+	f, err := AttachFleet(transports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != 2 || f.Proxy(0).Topic() != TopicAnswer || f.Proxy(1).Topic() != TopicKey {
+		t.Fatalf("fleet roles wrong: %q %q", f.Proxy(0).Topic(), f.Proxy(1).Topic())
+	}
+	sh := randomShare(t, []byte("fan"))
+	for i := 0; i < 2; i++ {
+		if err := f.Proxy(i).Submit(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	err = f.Drain("agg", 0, func(idx int, share xorcrypt.Share) error {
+		seen++
+		return nil
+	})
+	if err != nil || seen != 2 {
+		t.Fatalf("drained %d shares, err %v", seen, err)
+	}
+	if _, err := AttachFleet(transports[:1]); err == nil {
+		t.Error("one-transport fleet accepted")
+	}
+}

@@ -169,6 +169,86 @@ func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 	return part, offset, nil
 }
 
+// PublishBatch appends a batch of records in one call, amortizing lock
+// acquisitions: messages are grouped by destination partition, each
+// partition is locked once, and the traffic counters are updated once
+// for the whole batch. Results are returned in input order. Partition
+// selection matches Publish (key hash, nil key round-robins).
+func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[topic]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+
+	// Route every message to its partition.
+	results := make([]PubResult, len(msgs))
+	byPart := make(map[int][]int) // partition → indexes into msgs
+	var keyless []int
+	var bytesIn int64
+	for i, m := range msgs {
+		bytesIn += int64(len(m.Key) + len(m.Value))
+		if m.Key != nil {
+			h := fnv.New32a()
+			h.Write(m.Key)
+			part := int(h.Sum32()) % len(t.partitions)
+			if part < 0 {
+				part += len(t.partitions)
+			}
+			results[i].Partition = part
+			byPart[part] = append(byPart[part], i)
+		} else {
+			keyless = append(keyless, i)
+		}
+	}
+	if len(keyless) > 0 {
+		b.statsMu.Lock()
+		rr := b.rr
+		b.rr += uint64(len(keyless))
+		b.statsMu.Unlock()
+		for j, i := range keyless {
+			part := int((rr + uint64(j)) % uint64(len(t.partitions)))
+			results[i].Partition = part
+			byPart[part] = append(byPart[part], i)
+		}
+	}
+
+	// Append per partition under one lock each, broadcasting once.
+	now := time.Now()
+	for part, idxs := range byPart {
+		p := t.partitions[part]
+		p.mu.Lock()
+		for _, i := range idxs {
+			offset := int64(len(p.records))
+			results[i].Offset = offset
+			p.records = append(p.records, Record{
+				Topic:     topic,
+				Partition: part,
+				Offset:    offset,
+				Key:       append([]byte(nil), msgs[i].Key...),
+				Value:     append([]byte(nil), msgs[i].Value...),
+				Timestamp: now,
+			})
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+
+	b.statsMu.Lock()
+	b.stats.MessagesIn += int64(len(msgs))
+	b.stats.BytesIn += bytesIn
+	b.statsMu.Unlock()
+	return results, nil
+}
+
 // Fetch returns up to max records from a partition starting at offset.
 // It never blocks; an offset at the log end returns an empty slice.
 func (b *Broker) Fetch(topic string, partition int, offset int64, max int) ([]Record, error) {
@@ -228,6 +308,15 @@ func (b *Broker) WaitFetch(topic string, partition int, offset int64, max int, t
 		waitWithTimeout(p.cond, 5*time.Millisecond)
 	}
 	p.mu.Unlock()
+	return b.Fetch(topic, partition, offset, max)
+}
+
+// FetchWait unifies Fetch and WaitFetch behind the Transport interface:
+// wait <= 0 is a non-blocking Fetch, wait > 0 blocks like WaitFetch.
+func (b *Broker) FetchWait(topic string, partition int, offset int64, max int, wait time.Duration) ([]Record, error) {
+	if wait > 0 {
+		return b.WaitFetch(topic, partition, offset, max, wait)
+	}
 	return b.Fetch(topic, partition, offset, max)
 }
 

@@ -8,31 +8,47 @@ import (
 
 // Consumer reads one or more topics on behalf of a consumer group,
 // tracking in-memory positions and committing them to the broker on
-// demand — the subset of Kafka's consumer API the aggregator needs.
+// demand — the subset of Kafka's consumer API the aggregator needs. It
+// works over any Transport, so the same consumer code drains an
+// in-process broker or a remote TCP proxy.
 type Consumer struct {
-	broker    *Broker
+	t         Transport
 	group     string
 	positions map[string]map[int]int64 // topic → partition → next offset
+	// closed, when non-nil, reports that the backing broker shut down;
+	// PollWait uses it to stop instead of spinning until its deadline.
+	closed func() bool
 }
 
-// NewConsumer subscribes a group member to the given topics, resuming
-// from the group's committed offsets.
+// NewConsumer subscribes a group member to an in-process broker's
+// topics, resuming from the group's committed offsets.
 func NewConsumer(b *Broker, group string, topics ...string) (*Consumer, error) {
+	c, err := NewTransportConsumer(b, group, topics...)
+	if err != nil {
+		return nil, err
+	}
+	c.closed = b.isClosed
+	return c, nil
+}
+
+// NewTransportConsumer subscribes a group member to the given topics
+// over any Transport, resuming from the group's committed offsets.
+func NewTransportConsumer(t Transport, group string, topics ...string) (*Consumer, error) {
 	if group == "" {
 		return nil, fmt.Errorf("pubsub: empty consumer group")
 	}
 	if len(topics) == 0 {
 		return nil, fmt.Errorf("pubsub: no topics to subscribe")
 	}
-	c := &Consumer{broker: b, group: group, positions: make(map[string]map[int]int64)}
+	c := &Consumer{t: t, group: group, positions: make(map[string]map[int]int64)}
 	for _, topic := range topics {
-		nparts, err := b.Partitions(topic)
+		nparts, err := t.Partitions(topic)
 		if err != nil {
 			return nil, err
 		}
 		pos := make(map[int]int64, nparts)
 		for p := 0; p < nparts; p++ {
-			off, err := b.CommittedOffset(group, topic, p)
+			off, err := t.CommittedOffset(group, topic, p)
 			if err != nil {
 				return nil, err
 			}
@@ -57,7 +73,7 @@ func (c *Consumer) Poll(max int) ([]Record, error) {
 			if len(out) >= max {
 				return out, nil
 			}
-			recs, err := c.broker.Fetch(topic, p, pos[p], max-len(out))
+			recs, err := c.t.FetchWait(topic, p, pos[p], max-len(out), 0)
 			if err != nil {
 				return nil, err
 			}
@@ -71,20 +87,40 @@ func (c *Consumer) Poll(max int) ([]Record, error) {
 }
 
 // PollWait is Poll that blocks up to timeout for the first record.
+// After an empty sweep it parks in a sliced blocking fetch on its
+// first subscribed partition rather than spinning — over the TCP
+// transport that is one round-trip per wait slice instead of one per
+// partition per spin (a record arriving on another partition is picked
+// up by the re-sweep after at most one slice).
 func (c *Consumer) PollWait(max int, timeout time.Duration) ([]Record, error) {
+	const slice = 20 * time.Millisecond
 	deadline := time.Now().Add(timeout)
 	for {
 		recs, err := c.Poll(max)
 		if err != nil || len(recs) > 0 {
 			return recs, err
 		}
-		if !time.Now().Before(deadline) {
+		remain := time.Until(deadline)
+		if remain <= 0 {
 			return nil, nil
 		}
-		if c.broker.isClosed() {
+		if c.closed != nil && c.closed() {
 			return nil, ErrClosed
 		}
-		time.Sleep(200 * time.Microsecond)
+		if remain > slice {
+			remain = slice
+		}
+		topic := c.sortedTopics()[0]
+		pos := c.positions[topic]
+		p := sortedPartitions(pos)[0]
+		recs, err = c.t.FetchWait(topic, p, pos[p], max, remain)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			pos[p] = recs[len(recs)-1].Offset + 1
+			return recs, nil
+		}
 	}
 }
 
@@ -93,7 +129,7 @@ func (c *Consumer) PollWait(max int, timeout time.Duration) ([]Record, error) {
 func (c *Consumer) Commit() error {
 	for topic, pos := range c.positions {
 		for p, off := range pos {
-			if err := c.broker.CommitOffset(c.group, topic, p, off); err != nil {
+			if err := c.t.CommitOffset(c.group, topic, p, off); err != nil {
 				return err
 			}
 		}
@@ -106,7 +142,7 @@ func (c *Consumer) Lag() (int64, error) {
 	var lag int64
 	for topic, pos := range c.positions {
 		for p, off := range pos {
-			end, err := c.broker.EndOffset(topic, p)
+			end, err := c.t.EndOffset(topic, p)
 			if err != nil {
 				return 0, err
 			}

@@ -1,15 +1,21 @@
 package pubsub
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Server exposes a Broker over TCP with the frame protocol in wire.go,
-// so proxies and the aggregator can run as separate processes.
+// so proxies and the aggregator can run as separate processes. Requests
+// on one connection are handled strictly in order and answered in the
+// same order — clients may pipeline any number of requests without
+// waiting for responses, and match responses to requests FIFO.
 type Server struct {
 	broker *Broker
 	ln     net.Listener
@@ -35,7 +41,10 @@ func Serve(b *Broker, addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections. Handlers blocked in a
+// server-side WaitFetch observe the close within one wait slice, so
+// Close returns promptly even with long client fetch timeouts in
+// flight.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -50,6 +59,12 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *Server) acceptLoop() {
@@ -83,6 +98,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
+			// Includes oversized frames: the payload was never read, so
+			// the stream cannot be resynchronized — drop the connection.
 			return
 		}
 		resp := s.handle(req)
@@ -124,15 +141,9 @@ func (s *Server) handle(req []byte) []byte {
 		if err != nil {
 			return respErr(err)
 		}
-		hasKey, err := d.byte()
+		key, err := decodeOptBytes(d)
 		if err != nil {
 			return respErr(err)
-		}
-		var key []byte
-		if hasKey == 1 {
-			if key, err = d.bytes(); err != nil {
-				return respErr(err)
-			}
 		}
 		val, err := d.bytes()
 		if err != nil {
@@ -146,6 +157,42 @@ func (s *Server) handle(req []byte) []byte {
 		e.byte(0)
 		e.uint32(uint32(part))
 		e.uint64(uint64(off))
+		return e.buf
+	case opPublishBatch:
+		topic, err := d.str()
+		if err != nil {
+			return respErr(err)
+		}
+		n, err := d.uint32()
+		if err != nil {
+			return respErr(err)
+		}
+		// The frame is already bounded by maxFrame; cap the initial
+		// allocation so a lying count cannot balloon memory before the
+		// short-frame check trips.
+		msgs := make([]Message, 0, min(int(n), 4096))
+		for i := uint32(0); i < n; i++ {
+			key, err := decodeOptBytes(d)
+			if err != nil {
+				return respErr(err)
+			}
+			val, err := d.bytes()
+			if err != nil {
+				return respErr(err)
+			}
+			msgs = append(msgs, Message{Key: key, Value: val})
+		}
+		results, err := s.broker.PublishBatch(topic, msgs)
+		if err != nil {
+			return respErr(err)
+		}
+		var e enc
+		e.byte(0)
+		e.uint32(uint32(len(results)))
+		for _, r := range results {
+			e.uint32(uint32(r.Partition))
+			e.uint64(uint64(r.Offset))
+		}
 		return e.buf
 	case opFetch:
 		topic, err := d.str()
@@ -170,7 +217,7 @@ func (s *Server) handle(req []byte) []byte {
 		}
 		var recs []Record
 		if waitMs > 0 {
-			recs, err = s.broker.WaitFetch(topic, int(part), int64(off), int(max), time.Duration(waitMs)*time.Millisecond)
+			recs, err = s.waitFetch(topic, int(part), int64(off), int(max), time.Duration(waitMs)*time.Millisecond)
 		} else {
 			recs, err = s.broker.Fetch(topic, int(part), int64(off), int(max))
 		}
@@ -265,36 +312,189 @@ func (s *Server) handle(req []byte) []byte {
 	}
 }
 
+// waitFetch is the server side of a blocking fetch. The wait is sliced
+// so a handler parked in the broker's WaitFetch observes Server.Close
+// within one slice instead of pinning Close for the client's full
+// timeout.
+func (s *Server) waitFetch(topic string, part int, off int64, max int, wait time.Duration) ([]Record, error) {
+	const slice = 20 * time.Millisecond
+	deadline := time.Now().Add(wait)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return s.broker.Fetch(topic, part, off, max)
+		}
+		if remain > slice {
+			remain = slice
+		}
+		recs, err := s.broker.WaitFetch(topic, part, off, max, remain)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if s.isClosed() {
+			return nil, ErrClosed
+		}
+	}
+}
+
+// decodeOptBytes reads the hasKey-prefixed optional byte string used by
+// the publish opcodes: a 0 marker means nil, a 1 marker is followed by
+// a length-prefixed value.
+func decodeOptBytes(d *dec) ([]byte, error) {
+	has, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch has {
+	case 0:
+		return nil, nil
+	case 1:
+		return d.bytes()
+	default:
+		return nil, fmt.Errorf("%w: bad optional-bytes marker %d", ErrWire, has)
+	}
+}
+
+func encodeOptBytes(e *enc, b []byte) {
+	if b != nil {
+		e.byte(1)
+		e.bytes(b)
+	} else {
+		e.byte(0)
+	}
+}
+
 // Client is a remote handle on a broker served over TCP. It is safe for
-// concurrent use; requests are serialized on one connection.
+// concurrent use and pipelines: a request is written and its response
+// awaited without blocking other goroutines' requests, which flow on
+// the same connections back to back. Dial opens a single connection;
+// DialPool spreads requests over a small pool so a server-side blocking
+// fetch parked on one connection does not stall unrelated requests.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	conns []*clientConn
+	rr    atomic.Uint64
 }
 
-// Dial connects to a broker server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+// DefaultPoolConns is the pool size DialPool uses for conns <= 0.
+const DefaultPoolConns = 4
+
+// Dial connects to a broker server with a single connection.
+func Dial(addr string) (*Client, error) { return DialPool(addr, 1) }
+
+// DialPool connects to a broker server with a pool of conns
+// connections (DefaultPoolConns when conns <= 0). Requests pick the
+// least-loaded connection, so blocking fetches and bulk publishes
+// spread out instead of queueing head-of-line.
+func DialPool(addr string, conns int) (*Client, error) {
+	if conns <= 0 {
+		conns = DefaultPoolConns
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conns: make([]*clientConn, 0, conns)}
+	for i := 0; i < conns; i++ {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+		}
+		cc := &clientConn{conn: conn}
+		c.conns = append(c.conns, cc)
+		go cc.readLoop()
+	}
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes all connections; outstanding requests fail.
+func (c *Client) Close() error {
+	var err error
+	for _, cc := range c.conns {
+		if e := cc.conn.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
 
-func (c *Client) roundTrip(req []byte) (*dec, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, req); err != nil {
+// clientConn is one pipelined connection: requests are framed under mu
+// (which also fixes their FIFO position in queue), and a dedicated
+// reader goroutine matches each response frame to the oldest waiter.
+type clientConn struct {
+	conn  net.Conn
+	mu    sync.Mutex
+	queue []chan connResult
+	err   error
+}
+
+type connResult struct {
+	resp []byte
+	err  error
+}
+
+func (cc *clientConn) pending() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.queue)
+}
+
+// fail poisons the connection, closing it and delivering err to every
+// waiter still in the queue.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	waiters := cc.queue
+	cc.queue = nil
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range waiters {
+		ch <- connResult{err: err}
+	}
+}
+
+func (cc *clientConn) readLoop() {
+	for {
+		resp, err := readFrame(cc.conn)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		var ch chan connResult
+		if len(cc.queue) > 0 {
+			ch = cc.queue[0]
+			cc.queue = cc.queue[1:]
+		}
+		cc.mu.Unlock()
+		if ch == nil {
+			cc.fail(fmt.Errorf("%w: unsolicited response", ErrWire))
+			return
+		}
+		ch <- connResult{resp: resp}
+	}
+}
+
+func (cc *clientConn) roundTrip(req []byte) (*dec, error) {
+	ch := make(chan connResult, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
 		return nil, err
 	}
-	resp, err := readFrame(c.conn)
+	cc.queue = append(cc.queue, ch)
+	err := writeFrame(cc.conn, req)
+	cc.mu.Unlock()
 	if err != nil {
+		// The request may be half-framed on the wire; the stream is
+		// unusable. fail() wakes every waiter, including our ch.
+		cc.fail(err)
 		return nil, err
 	}
-	d := &dec{buf: resp}
+	r := <-ch
+	if r.err != nil {
+		return nil, r.err
+	}
+	d := &dec{buf: r.resp}
 	status, err := d.byte()
 	if err != nil {
 		return nil, err
@@ -307,6 +507,28 @@ func (c *Client) roundTrip(req []byte) (*dec, error) {
 		return nil, errors.New(msg)
 	}
 	return d, nil
+}
+
+// pick returns the connection with the fewest in-flight requests,
+// breaking ties round-robin.
+func (c *Client) pick() *clientConn {
+	if len(c.conns) == 1 {
+		return c.conns[0]
+	}
+	start := int(c.rr.Add(1))
+	best := c.conns[start%len(c.conns)]
+	bestLoad := best.pending()
+	for i := 1; i < len(c.conns) && bestLoad > 0; i++ {
+		cc := c.conns[(start+i)%len(c.conns)]
+		if load := cc.pending(); load < bestLoad {
+			best, bestLoad = cc, load
+		}
+	}
+	return best
+}
+
+func (c *Client) roundTrip(req []byte) (*dec, error) {
+	return c.pick().roundTrip(req)
 }
 
 // CreateTopic mirrors Broker.CreateTopic.
@@ -324,12 +546,7 @@ func (c *Client) Publish(topic string, key, value []byte) (int, int64, error) {
 	var e enc
 	e.byte(opPublish)
 	e.str(topic)
-	if key != nil {
-		e.byte(1)
-		e.bytes(key)
-	} else {
-		e.byte(0)
-	}
+	encodeOptBytes(&e, key)
 	e.bytes(value)
 	d, err := c.roundTrip(e.buf)
 	if err != nil {
@@ -346,8 +563,78 @@ func (c *Client) Publish(topic string, key, value []byte) (int, int64, error) {
 	return int(part), int64(off), nil
 }
 
-// Fetch mirrors Broker.Fetch; wait > 0 turns it into WaitFetch with that
-// timeout.
+// maxBatchBytes caps one batched publish frame well under maxFrame;
+// larger batches are split transparently.
+const maxBatchBytes = 8 << 20
+
+// PublishBatch mirrors Broker.PublishBatch: the whole batch travels as
+// one frame (split only past maxBatchBytes) and costs one round-trip,
+// instead of one per message.
+func (c *Client) PublishBatch(topic string, msgs []Message) ([]PubResult, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	out := make([]PubResult, 0, len(msgs))
+	for start := 0; start < len(msgs); {
+		var e enc
+		e.byte(opPublishBatch)
+		e.str(topic)
+		countAt := len(e.buf)
+		e.uint32(0) // patched with the chunk's message count below
+		n := 0
+		for i := start; i < len(msgs); i++ {
+			m := msgs[i]
+			if n > 0 && len(e.buf)+len(m.Key)+len(m.Value)+9 > maxBatchBytes {
+				break
+			}
+			encodeOptBytes(&e, m.Key)
+			e.bytes(m.Value)
+			n++
+		}
+		binary.BigEndian.PutUint32(e.buf[countAt:], uint32(n))
+		d, err := c.roundTrip(e.buf)
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if int(cnt) != n {
+			return nil, fmt.Errorf("%w: batch acked %d of %d messages", ErrWire, cnt, n)
+		}
+		for i := 0; i < n; i++ {
+			part, err := d.uint32()
+			if err != nil {
+				return nil, err
+			}
+			off, err := d.uint64()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PubResult{Partition: int(part), Offset: int64(off)})
+		}
+		start += n
+	}
+	return out, nil
+}
+
+// waitToMillis converts a fetch wait to whole milliseconds for the
+// wire, rounding up so a sub-millisecond wait stays a blocking wait
+// instead of silently degrading into a non-blocking fetch.
+func waitToMillis(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	// Clamp before rounding so the ceiling addition cannot overflow.
+	if d >= math.MaxUint32*time.Millisecond {
+		return math.MaxUint32
+	}
+	return uint32((d + time.Millisecond - 1) / time.Millisecond)
+}
+
+// Fetch mirrors Broker.Fetch; wait > 0 turns it into WaitFetch with
+// that timeout.
 func (c *Client) Fetch(topic string, partition int, offset int64, max int, wait time.Duration) ([]Record, error) {
 	var e enc
 	e.byte(opFetch)
@@ -355,7 +642,7 @@ func (c *Client) Fetch(topic string, partition int, offset int64, max int, wait 
 	e.uint32(uint32(partition))
 	e.uint64(uint64(offset))
 	e.uint32(uint32(max))
-	e.uint32(uint32(wait / time.Millisecond))
+	e.uint32(waitToMillis(wait))
 	d, err := c.roundTrip(e.buf)
 	if err != nil {
 		return nil, err
@@ -396,6 +683,11 @@ func (c *Client) Fetch(topic string, partition int, offset int64, max int, wait 
 		})
 	}
 	return out, nil
+}
+
+// FetchWait aliases Fetch to satisfy the Transport interface.
+func (c *Client) FetchWait(topic string, partition int, offset int64, max int, wait time.Duration) ([]Record, error) {
+	return c.Fetch(topic, partition, offset, max, wait)
 }
 
 // EndOffset mirrors Broker.EndOffset.

@@ -90,11 +90,11 @@ func TestTCPNilKeyPublish(t *testing.T) {
 }
 
 func TestTCPWaitFetch(t *testing.T) {
-	_, _, cli := startServer(t)
+	_, srv, cli := startServer(t)
 	if err := cli.CreateTopic("t", 1); err != nil {
 		t.Fatal(err)
 	}
-	cli2, err := Dial(cli.conn.RemoteAddr().String())
+	cli2, err := Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,51 @@
+package pubsub
+
+import "time"
+
+// Message is one record to publish, the unit of the batched publish
+// path: a client flushes an epoch's worth of shares to a proxy as one
+// []Message in a single broker call (and, over TCP, a single frame).
+type Message struct {
+	Key   []byte
+	Value []byte
+}
+
+// PubResult reports where one published message landed.
+type PubResult struct {
+	Partition int
+	Offset    int64
+}
+
+// Transport is the broker surface the rest of the system builds on.
+// Both the in-process *Broker and the TCP *Client implement it, so
+// proxies and the aggregator's consumers run unchanged over either
+// backend — the in-process pipeline and the networked Fig. 3 deployment
+// are the same code with a different Transport plugged in.
+type Transport interface {
+	// CreateTopic registers a topic with the given partition count.
+	CreateTopic(topic string, partitions int) error
+	// Partitions returns a topic's partition count.
+	Partitions(topic string) (int, error)
+	// Publish appends one record; a non-nil key selects the partition
+	// by hash, a nil key round-robins.
+	Publish(topic string, key, value []byte) (int, int64, error)
+	// PublishBatch appends a batch of records in one call, returning
+	// one PubResult per message in input order.
+	PublishBatch(topic string, msgs []Message) ([]PubResult, error)
+	// FetchWait reads up to max records from a partition starting at
+	// offset. wait <= 0 returns immediately with whatever is available;
+	// wait > 0 blocks until at least one record arrives or the wait
+	// elapses (returning an empty slice on timeout).
+	FetchWait(topic string, partition int, offset int64, max int, wait time.Duration) ([]Record, error)
+	// EndOffset returns the next offset to be written in a partition.
+	EndOffset(topic string, partition int) (int64, error)
+	// CommitOffset durably records a consumer group's next-read offset.
+	CommitOffset(group, topic string, partition int, offset int64) error
+	// CommittedOffset returns a group's committed offset, 0 when none.
+	CommittedOffset(group, topic string, partition int) (int64, error)
+}
+
+var (
+	_ Transport = (*Broker)(nil)
+	_ Transport = (*Client)(nil)
+)

@@ -27,6 +27,7 @@ const (
 	opCommit
 	opCommitted
 	opPartitions
+	opPublishBatch
 )
 
 func writeFrame(w io.Writer, payload []byte) error {

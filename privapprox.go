@@ -41,6 +41,12 @@
 //		Shards:  16, // aggregator lock shards (0 = GOMAXPROCS)
 //	})
 //
+// The same pipeline also runs as separate processes — clients, proxies,
+// and aggregator communicating over a batched, pipelined TCP transport
+// (one publish frame per epoch per proxy) — via cmd/privapprox-node,
+// producing results identical to the in-process system under the same
+// seed. See DESIGN.md §2 and §4.
+//
 // # Quick start
 //
 //	q, _ := privapprox.TaxiQuery("analyst", 1, time.Second, 10*time.Second, time.Second)
