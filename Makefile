@@ -1,13 +1,18 @@
 # Tier-1 verification plus the race gate over the concurrency-sensitive
 # packages (the parallel epoch pipeline: core, aggregator, answer,
-# pubsub). `make ci` is the pre-merge check.
+# pubsub) and the hot-path allocs/op gate. `make ci` is the pre-merge
+# check.
 
 GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/...
 
-.PHONY: ci fmt vet build test race smoke bench
+# Benchmarks whose numbers seed BENCH_hotpath.json: the per-answer hot
+# path (split, join+decrypt+decode+window, randomized response).
+HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability
 
-ci: fmt vet build test race smoke
+.PHONY: ci fmt vet build test race smoke allocgate bench bench-json
+
+ci: fmt vet build test race allocgate smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,5 +38,21 @@ race:
 smoke:
 	$(GO) test -run TestMultiProcessSmoke -count=1 ./cmd/privapprox-node
 
+# The allocs/op regression gate: split, join, respond-bits, and
+# accumulate must stay at 0 steady-state allocations per op, and the
+# full aggregator submit tail within its small constant.
+allocgate:
+	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs' -count=1 .
+
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEpochPipelineParallel|BenchmarkTCPPipeline' -benchmem .
+
+# Machine-readable hot-path numbers, seeding the perf trajectory across
+# PRs. The bench run and the JSON conversion are separate commands (not
+# a pipe) so a failing benchmark fails the target instead of silently
+# writing an empty report.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem . > .bench_hotpath.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json < .bench_hotpath.tmp
+	@rm -f .bench_hotpath.tmp
+	@echo wrote BENCH_hotpath.json

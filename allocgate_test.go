@@ -1,0 +1,163 @@
+// The allocs/op regression gate for the share hot path. The paper's
+// performance argument (Table 2, Fig. 8) rests on the per-answer
+// pipeline being XOR-cheap; these gates pin the steady state of every
+// hot-path stage at zero allocations per operation so a regression
+// shows up as a test failure, not as a slow drift back into the Go
+// allocator. Run as part of `make ci` (the allocgate target and the
+// plain test target both cover it).
+package privapprox
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/answer"
+	"privapprox/internal/budget"
+	"privapprox/internal/rr"
+	"privapprox/internal/workload"
+	"privapprox/internal/xorcrypt"
+)
+
+// gate asserts a steady-state zero-allocation contract.
+func gate(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm up scratch buffers; steady state is what's gated
+	if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+	}
+}
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	// Client split (Table 3 / Table 2 encrypt).
+	splitter, err := xorcrypt.NewSplitter(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 32)
+	var scratch xorcrypt.SplitScratch
+	gate(t, "xorcrypt.SplitInto", func() {
+		if _, err := splitter.SplitInto(msg, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Aggregator join (Table 2 decrypt), share- and payload-level.
+	shares, err := splitter.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinBuf []byte
+	gate(t, "xorcrypt.JoinInto", func() {
+		out, err := xorcrypt.JoinInto(joinBuf, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinBuf = out
+	})
+	payloads := make([][]byte, len(shares))
+	for i, sh := range shares {
+		payloads[i] = sh.Payload
+	}
+	gate(t, "xorcrypt.JoinPayloadsInto", func() {
+		out, err := xorcrypt.JoinPayloadsInto(joinBuf, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinBuf = out
+	})
+
+	// Randomized response over a packed answer vector (Table 3).
+	rz, err := rr.NewRandomizer(rr.Params{P: 0.9, Q: 0.6}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := answer.OneHot(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate(t, "rr.RespondBits", func() {
+		rz.RespondBits(vec.Bytes(), vec.Len())
+	})
+
+	// Window accumulation (Fig. 8).
+	acc, err := answer.NewAccumulator(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate(t, "answer.Accumulator.Add", func() {
+		if err := acc.Add(vec); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Message encode + zero-copy decode (the wire legs between them).
+	m := answer.Message{QueryID: 1, Epoch: 2, Answer: vec}
+	var wire []byte
+	gate(t, "answer.Message.AppendBinary", func() {
+		out, err := m.AppendBinary(wire[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = out
+	})
+	var decoded answer.Message
+	var view answer.BitVector
+	gate(t, "answer.Message.UnmarshalBinaryView", func() {
+		if err := decoded.UnmarshalBinaryView(wire, &view); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAggregatorSubmitSteadyStateAllocs bounds the full join → decrypt
+// → decode → accumulate tail. It cannot be exactly zero — the joiner's
+// replay-suppression set records every completed MID until a sweep, and
+// window bookkeeping fires occasionally — but steady state must stay
+// within a small constant, an order of magnitude under the seed's 16
+// allocs/op.
+func TestAggregatorSubmitSteadyStateAllocs(t *testing.T) {
+	q, err := workload.TaxiQuery("gate", 1, time.Second, time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregator.New(aggregator.Config{
+		Query:      q,
+		Params:     budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}},
+		Population: 1 << 20,
+		Proxies:    2,
+		Origin:     time.Unix(0, 0),
+		Seed:       9,
+		Shards:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitter, err := xorcrypt.NewSplitter(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := answer.OneHot(11, 0)
+	raw, err := (&answer.Message{QueryID: q.QID.Uint64(), Epoch: 0, Answer: vec}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(10, 0)
+	var scratch xorcrypt.SplitScratch
+	submit := func() {
+		shares, err := splitter.SplitInto(raw, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src, sh := range shares {
+			if _, err := agg.SubmitShare(sh, src, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit()
+	if allocs := testing.AllocsPerRun(200, submit); allocs > 4 {
+		t.Errorf("aggregator submit tail: %v allocs per message, want ≤ 4", allocs)
+	}
+}

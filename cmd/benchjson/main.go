@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON benchmark record, so perf numbers land in a
+// machine-readable file (BENCH_hotpath.json) instead of scrollback:
+//
+//	go test -run '^$' -bench 'Fig8|CryptoXOR' -benchmem . | benchjson -out BENCH_hotpath.json
+//
+// Each benchmark line becomes one entry with ns/op, B/op, allocs/op and
+// any extra ReportMetric columns; context lines (goos, cpu, …) are kept
+// as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Entry           `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseBench(line); ok {
+				report.Benchmarks = append(report.Benchmarks, e)
+			}
+		default:
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				report.Context[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkFoo/sub-8  123456  987.6 ns/op  16 B/op  2 allocs/op  42 widgets
+func parseBench(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = ptr(v)
+		case "allocs/op":
+			e.AllocsPerOp = ptr(v)
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return e, true
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -132,12 +132,20 @@ type Aggregator struct {
 	decoded    atomic.Int64
 }
 
-// joinShard is one lock's worth of share-join state, padded to 64
-// bytes so adjacent shard locks do not false-share a cache line.
+// joinShard is one lock's worth of share-join state plus the scratch
+// buffers the join → decrypt → decode tail reuses across messages. All
+// scratch is touched only under mu (SubmitShare holds the shard lock
+// through ingest), so buffers never alias across concurrent messages;
+// the struct is larger than a cache line, so adjacent shard locks do
+// not false-share.
 type joinShard struct {
 	mu     sync.Mutex
-	joiner *stream.ShareJoiner
-	_      [48]byte
+	joiner *stream.KeyedShareJoiner[xorcrypt.MID]
+	plain  []byte           // reusable XOR-joined plaintext
+	vec    answer.BitVector // reusable zero-copy decode view
+	msg    answer.Message
+	wins   []stream.Window // reusable window-assignment scratch
+	_      [8]byte         // pad to two cache lines (the size check pins this)
 }
 
 // openWindow is one window still accumulating answers.
@@ -190,7 +198,7 @@ func New(cfg Config) (*Aggregator, error) {
 	}
 	shards := make([]joinShard, cfg.Shards)
 	for i := range shards {
-		joiner, err := stream.NewShareJoiner(cfg.Proxies, cfg.Query.Window)
+		joiner, err := stream.NewKeyedShareJoiner[xorcrypt.MID](cfg.Proxies, cfg.Query.Window)
 		if err != nil {
 			return nil, err
 		}
@@ -236,12 +244,32 @@ func (a *Aggregator) shardOf(mid xorcrypt.MID) int {
 // Proxies). When the share completes a message, the message is
 // decrypted, decoded, and assigned to windows; any windows closed by
 // the advancing watermark are returned as results.
+//
+// SubmitShare takes ownership of share.Payload: the joiner retains it
+// until the message's remaining shares arrive (or a sweep drops the
+// group), so the caller must not reuse the payload's backing bytes
+// after submitting. Consumers polling the pub/sub transports always
+// hand over freshly copied record values, so the pipeline satisfies
+// this for free.
 func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.Time) ([]Result, error) {
 	shard := a.shardOf(share.MID)
 	js := &a.shards[shard]
 	js.mu.Lock()
-	joined, err := js.joiner.Add(share.MID.String(), source, share.Payload, arrival)
+	res, err := a.submitLocked(js, share, source, arrival, shard)
 	js.mu.Unlock()
+	return res, err
+}
+
+// submitLocked runs the join → decrypt → decode → accumulate tail under
+// the shard lock so the shard-owned scratch (pooled join group, joined
+// plaintext, decode view, window slice) is reused across messages
+// without ever being shared between goroutines. The caller holds js.mu.
+//
+// Lock order: js.mu may be taken before fireMu (via ingest); nothing
+// acquires a shard lock while holding fireMu or winMu, so the order is
+// acyclic.
+func (a *Aggregator) submitLocked(js *joinShard, share xorcrypt.Share, source int, arrival time.Time, shard int) ([]Result, error) {
+	joined, err := js.joiner.Add(share.MID, source, share.Payload, arrival)
 	if err != nil {
 		if errors.Is(err, stream.ErrDuplicate) {
 			a.duplicates.Add(1)
@@ -252,20 +280,22 @@ func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.
 	if joined == nil {
 		return nil, nil
 	}
-	shares := make([]xorcrypt.Share, len(joined.Payloads))
-	for i, p := range joined.Payloads {
-		shares[i] = xorcrypt.Share{MID: share.MID, Payload: p}
+	// The group's payloads are consumed by the XOR join right here, so
+	// the group can go straight back to the joiner's pool.
+	plain, err := xorcrypt.JoinPayloadsInto(js.plain[:0], joined.Payloads)
+	js.joiner.Recycle(joined)
+	if plain != nil {
+		js.plain = plain
 	}
-	plain, err := xorcrypt.Join(shares)
 	if err != nil {
 		a.malformed.Add(1)
 		return nil, nil
 	}
-	var msg answer.Message
-	if err := msg.UnmarshalBinary(plain); err != nil {
+	if err := js.msg.UnmarshalBinaryView(plain, &js.vec); err != nil {
 		a.malformed.Add(1)
 		return nil, nil
 	}
+	msg := &js.msg
 	if msg.QueryID != a.qidWire || msg.Answer.Len() != len(a.cfg.Query.Buckets) {
 		a.malformed.Add(1)
 		return nil, nil
@@ -273,9 +303,12 @@ func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.
 	a.decoded.Add(1)
 	eventTime := a.cfg.Origin.Add(time.Duration(msg.Epoch) * a.cfg.Query.Frequency)
 	if a.cfg.OnDecoded != nil {
+		// Ownership contract: plain is shard scratch, valid only for
+		// the duration of the callback — the hook must copy what it
+		// keeps (histstore.Append serializes into its own buffer).
 		a.cfg.OnDecoded(plain, eventTime)
 	}
-	return a.ingest(eventTime, msg.Answer, shard)
+	return a.ingest(js, eventTime, msg.Answer, shard)
 }
 
 // ingest assigns one decoded answer to its windows and advances the
@@ -291,7 +324,7 @@ func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.
 // concurrency-safe form; the stream package keeps the generic
 // single-threaded operator. A semantic change to either must be made in
 // both.
-func (a *Aggregator) ingest(eventTime time.Time, vec *answer.BitVector, shard int) ([]Result, error) {
+func (a *Aggregator) ingest(js *joinShard, eventTime time.Time, vec *answer.BitVector, shard int) ([]Result, error) {
 	if a.isLate(eventTime) {
 		// A late event can never advance the watermark, so nothing can
 		// fire on its account.
@@ -300,7 +333,8 @@ func (a *Aggregator) ingest(eventTime time.Time, vec *answer.BitVector, shard in
 	}
 
 	refused := false
-	for _, w := range a.assigner.WindowsFor(eventTime) {
+	js.wins = a.assigner.AppendWindowsFor(js.wins[:0], eventTime)
+	for _, w := range js.wins {
 		ow := a.openWindowFor(w)
 		if ow == nil {
 			// The window fired while we raced to it; the answer is by

@@ -6,8 +6,11 @@
 package answer
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrSize reports a size mismatch or an out-of-range bit index.
@@ -15,6 +18,11 @@ var ErrSize = errors.New("answer: size mismatch")
 
 // BitVector is a packed vector of n answer bits, bit i corresponding to
 // histogram bucket i.
+//
+// Invariant: bits past nbits in the final byte are always zero. Every
+// constructor and mutator maintains it (FromBytes and SetView mask, Set
+// bounds-checks), and PopCount/Equal rely on it to run word-at-a-time
+// over whole bytes.
 type BitVector struct {
 	bits  []byte
 	nbits int
@@ -52,15 +60,32 @@ func (v *BitVector) Get(i int) (bool, error) {
 	return v.bits[i/8]&(1<<(i%8)) != 0, nil
 }
 
-// PopCount returns the number of set bits.
+// PopCount returns the number of set bits, eight bytes at a time. It
+// relies on the zeroed-trailing-bits invariant: whole bytes can be
+// counted because no bit past Len() is ever set.
 func (v *BitVector) PopCount() int {
+	v.assertTrailingZeros()
 	n := 0
-	for i := 0; i < v.nbits; i++ {
-		if v.bits[i/8]&(1<<(i%8)) != 0 {
-			n++
-		}
+	b := v.bits
+	for len(b) >= 8 {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	for _, x := range b {
+		n += bits.OnesCount8(x)
 	}
 	return n
+}
+
+// assertTrailingZeros checks the package invariant that bits past Len()
+// are zero; a violation means a constructor or caller broke the masking
+// contract, so it panics rather than silently miscounting.
+func (v *BitVector) assertTrailingZeros() {
+	if rem := v.nbits % 8; rem != 0 && len(v.bits) > 0 {
+		if v.bits[len(v.bits)-1]&^(byte(1)<<rem-1) != 0 {
+			panic("answer: BitVector trailing bits past Len() are set")
+		}
+	}
 }
 
 // Bytes exposes the packed backing bytes; the caller must not mutate bits
@@ -75,16 +100,15 @@ func (v *BitVector) Clone() *BitVector {
 }
 
 // Equal reports whether both vectors have identical length and bits.
+// The byte-wise comparison is exact because of the zeroed-trailing-bits
+// invariant: equal answer bits imply equal packed bytes.
 func (v *BitVector) Equal(o *BitVector) bool {
-	if v.nbits != o.nbits {
-		return false
-	}
-	for i := range v.bits {
-		if v.bits[i] != o.bits[i] {
-			return false
-		}
-	}
-	return true
+	return v.nbits == o.nbits && bytes.Equal(v.bits, o.bits)
+}
+
+// Reset clears every bit, keeping the backing buffer.
+func (v *BitVector) Reset() {
+	clear(v.bits)
 }
 
 // FromBits builds a vector from a bool slice.
@@ -113,6 +137,23 @@ func FromBytes(raw []byte, nbits int) (*BitVector, error) {
 		bits[len(bits)-1] &= byte(1)<<rem - 1
 	}
 	return &BitVector{bits: bits, nbits: nbits}, nil
+}
+
+// SetView repoints v at raw without copying: the zero-allocation decode
+// path. Trailing bits beyond nbits are masked off in place (raw must be
+// caller-owned and mutable), restoring the invariant for garbage
+// plaintexts. The view stays valid only while raw's bytes do; a caller
+// reusing raw as scratch must finish with v before overwriting it.
+func (v *BitVector) SetView(raw []byte, nbits int) error {
+	if nbits <= 0 || (nbits+7)/8 != len(raw) {
+		return fmt.Errorf("%w: %d bytes for %d bits", ErrSize, len(raw), nbits)
+	}
+	if rem := nbits % 8; rem != 0 {
+		raw[len(raw)-1] &= byte(1)<<rem - 1
+	}
+	v.bits = raw
+	v.nbits = nbits
+	return nil
 }
 
 // OneHot returns a vector of n bits with only bit i set — the shape of a

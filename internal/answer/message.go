@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Message is the plaintext a client produces per epoch (paper Eq. 9):
@@ -32,28 +33,36 @@ func EncodedLen(nbits int) int {
 
 // MarshalBinary encodes the message into its fixed wire layout.
 func (m *Message) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, EncodedLen(m.answerLen())))
+}
+
+func (m *Message) answerLen() int {
+	if m.Answer == nil {
+		return 0
+	}
+	return m.Answer.Len()
+}
+
+// AppendBinary appends the wire encoding to dst and returns the extended
+// slice — the allocation-free encode path: a caller passing
+// buf[:0] with sufficient capacity reuses one buffer across epochs.
+func (m *Message) AppendBinary(dst []byte) ([]byte, error) {
 	if m.Answer == nil {
 		return nil, fmt.Errorf("%w: nil answer", ErrCorrupt)
 	}
-	buf := make([]byte, EncodedLen(m.Answer.Len()))
-	binary.BigEndian.PutUint64(buf[0:8], m.QueryID)
-	binary.BigEndian.PutUint64(buf[8:16], m.Epoch)
-	binary.BigEndian.PutUint32(buf[16:20], uint32(m.Answer.Len()))
-	copy(buf[msgHeaderLen:], m.Answer.Bytes())
-	return buf, nil
+	dst = binary.BigEndian.AppendUint64(dst, m.QueryID)
+	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Answer.Len()))
+	return append(dst, m.Answer.Bytes()...), nil
 }
 
-// UnmarshalBinary decodes a wire message produced by MarshalBinary.
+// UnmarshalBinary decodes a wire message produced by MarshalBinary. The
+// decoded Answer owns a copy of the payload; use UnmarshalBinaryView on
+// the hot path to decode without copying.
 func (m *Message) UnmarshalBinary(data []byte) error {
-	if len(data) < msgHeaderLen {
-		return fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
-	}
-	nbits := int(binary.BigEndian.Uint32(data[16:20]))
-	if nbits <= 0 || nbits > 1<<24 {
-		return fmt.Errorf("%w: %d answer bits", ErrCorrupt, nbits)
-	}
-	if len(data) != EncodedLen(nbits) {
-		return fmt.Errorf("%w: %d bytes for %d bits", ErrCorrupt, len(data), nbits)
+	nbits, err := checkWire(data)
+	if err != nil {
+		return err
 	}
 	v, err := FromBytes(data[msgHeaderLen:], nbits)
 	if err != nil {
@@ -63,6 +72,40 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Epoch = binary.BigEndian.Uint64(data[8:16])
 	m.Answer = v
 	return nil
+}
+
+// UnmarshalBinaryView decodes like UnmarshalBinary but without copying:
+// vec is repointed at the answer bytes inside data (masking trailing
+// bits in place) and installed as m.Answer. The caller owns data and
+// must keep it unmodified for as long as it uses m — the zero-copy leg
+// of the buffer-ownership contract (DESIGN.md §6).
+func (m *Message) UnmarshalBinaryView(data []byte, vec *BitVector) error {
+	nbits, err := checkWire(data)
+	if err != nil {
+		return err
+	}
+	if err := vec.SetView(data[msgHeaderLen:], nbits); err != nil {
+		return err
+	}
+	m.QueryID = binary.BigEndian.Uint64(data[0:8])
+	m.Epoch = binary.BigEndian.Uint64(data[8:16])
+	m.Answer = vec
+	return nil
+}
+
+// checkWire validates the fixed layout and returns the answer bit count.
+func checkWire(data []byte) (int, error) {
+	if len(data) < msgHeaderLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	nbits := int(binary.BigEndian.Uint32(data[16:20]))
+	if nbits <= 0 || nbits > 1<<24 {
+		return 0, fmt.Errorf("%w: %d answer bits", ErrCorrupt, nbits)
+	}
+	if len(data) != EncodedLen(nbits) {
+		return 0, fmt.Errorf("%w: %d bytes for %d bits", ErrCorrupt, len(data), nbits)
+	}
+	return nbits, nil
 }
 
 // Accumulator folds decoded answer vectors into per-bucket "Yes" counts,
@@ -80,16 +123,14 @@ func NewAccumulator(nbuckets int) (*Accumulator, error) {
 	return &Accumulator{yes: make([]int, nbuckets)}, nil
 }
 
-// Add folds one answer vector in.
+// Add folds one answer vector in. It walks set bits only — whole zero
+// bytes are skipped and set bits are found with a trailing-zeros scan —
+// so the cost tracks the answer's popcount (one for a truthful one-hot
+// answer), not its bucket count. The zeroed-trailing-bits invariant
+// guarantees every scanned bit index is a valid bucket.
 func (a *Accumulator) Add(v *BitVector) error {
-	if v.Len() != len(a.yes) {
-		return fmt.Errorf("%w: vector %d bits, accumulator %d buckets", ErrSize, v.Len(), len(a.yes))
-	}
-	for i := 0; i < v.Len(); i++ {
-		set, _ := v.Get(i)
-		if set {
-			a.yes[i]++
-		}
+	if err := a.fold(v, 1); err != nil {
+		return err
 	}
 	a.n++
 	return nil
@@ -98,19 +139,27 @@ func (a *Accumulator) Add(v *BitVector) error {
 // Remove subtracts a previously added vector (used by sliding windows
 // when old epochs fall out of the window).
 func (a *Accumulator) Remove(v *BitVector) error {
-	if v.Len() != len(a.yes) {
-		return fmt.Errorf("%w: vector %d bits, accumulator %d buckets", ErrSize, v.Len(), len(a.yes))
-	}
 	if a.n == 0 {
 		return fmt.Errorf("%w: removing from empty accumulator", ErrSize)
 	}
-	for i := 0; i < v.Len(); i++ {
-		set, _ := v.Get(i)
-		if set {
-			a.yes[i]--
-		}
+	if err := a.fold(v, -1); err != nil {
+		return err
 	}
 	a.n--
+	return nil
+}
+
+// fold adds delta to the count of every bucket whose bit is set.
+func (a *Accumulator) fold(v *BitVector, delta int) error {
+	if v.Len() != len(a.yes) {
+		return fmt.Errorf("%w: vector %d bits, accumulator %d buckets", ErrSize, v.Len(), len(a.yes))
+	}
+	v.assertTrailingZeros()
+	for bi, b := range v.bits {
+		for ; b != 0; b &= b - 1 {
+			a.yes[bi*8+bits.TrailingZeros8(b)] += delta
+		}
+	}
 	return nil
 }
 

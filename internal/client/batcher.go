@@ -8,7 +8,8 @@ import (
 
 // BatchSink accepts many shares in one call — proxy.Proxy implements it
 // over both the in-process broker and the TCP transport, where a batch
-// is one wire frame.
+// is one wire frame. SubmitBatch must copy or fully consume the shares
+// before returning; the slice and every payload belong to the caller.
 type BatchSink interface {
 	SubmitBatch(shares []xorcrypt.Share) error
 }
@@ -20,12 +21,27 @@ type BatchSink interface {
 // share one Batcher per proxy; the epoch driver calls Flush once after
 // all clients answered, turning an epoch's O(N) proxy round-trips into
 // O(1).
+//
+// Submit copies each share's payload into a batch-owned arena, so it
+// honours the ShareSink ownership contract (clients reuse their split
+// scratch immediately) without holding references into caller buffers.
+// Batch buffers — the share slice and the arena — are recycled through
+// a free list once the sink consumed them, so steady-state epochs reuse
+// the same memory instead of reallocating it.
 type Batcher struct {
 	sink  BatchSink
 	limit int
 
-	mu  sync.Mutex
-	buf []xorcrypt.Share
+	mu   sync.Mutex
+	cur  *batchBuf
+	free []*batchBuf
+}
+
+// batchBuf is one batch in flight: the share headers plus the arena
+// their payload bytes were copied into.
+type batchBuf struct {
+	shares []xorcrypt.Share
+	arena  []byte
 }
 
 // NewBatcher wraps sink in a Batcher that auto-flushes every limit
@@ -35,11 +51,26 @@ func NewBatcher(sink BatchSink, limit int) *Batcher {
 	return &Batcher{sink: sink, limit: limit}
 }
 
-// Submit buffers one share, flushing if the batch limit is reached.
+// Submit copies one share into the current batch, flushing if the batch
+// limit is reached. The caller keeps ownership of share.Payload.
 func (b *Batcher) Submit(share xorcrypt.Share) error {
 	b.mu.Lock()
-	b.buf = append(b.buf, share)
-	if b.limit > 0 && len(b.buf) >= b.limit {
+	buf := b.cur
+	if buf == nil {
+		buf = b.getBufLocked()
+		b.cur = buf
+	}
+	off := len(buf.arena)
+	buf.arena = append(buf.arena, share.Payload...)
+	// Full-slice expression: the stored payload can never grow into a
+	// neighbour's bytes. (Arena growth may reallocate; earlier payload
+	// headers keep pointing at the old array, whose bytes are already
+	// final — the arena is append-only until recycled.)
+	buf.shares = append(buf.shares, xorcrypt.Share{
+		MID:     share.MID,
+		Payload: buf.arena[off:len(buf.arena):len(buf.arena)],
+	})
+	if b.limit > 0 && len(buf.shares) >= b.limit {
 		return b.flushLocked()
 	}
 	b.mu.Unlock()
@@ -56,20 +87,56 @@ func (b *Batcher) Flush() error {
 func (b *Batcher) Pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.buf)
+	if b.cur == nil {
+		return 0
+	}
+	return len(b.cur.shares)
 }
 
-// flushLocked sends the buffer and releases b.mu. The send happens
-// outside the lock so a slow sink does not serialize other submitters;
-// the buffer swap keeps batches disjoint.
+// flushLocked sends the current batch and releases b.mu. The send
+// happens outside the lock so a slow sink does not serialize other
+// submitters; swapping the whole batchBuf (shares and arena together)
+// keeps batches disjoint. Once the sink returns — having copied or
+// consumed the batch per the BatchSink contract — the buffer goes back
+// on the free list for the next epoch.
 func (b *Batcher) flushLocked() error {
-	buf := b.buf
-	b.buf = nil
+	buf := b.cur
+	b.cur = nil
 	b.mu.Unlock()
-	if len(buf) == 0 {
+	if buf == nil || len(buf.shares) == 0 {
+		if buf != nil {
+			b.putBuf(buf)
+		}
 		return nil
 	}
-	return b.sink.SubmitBatch(buf)
+	err := b.sink.SubmitBatch(buf.shares)
+	b.putBuf(buf)
+	return err
+}
+
+// getBufLocked pops a recycled batch buffer or builds a fresh one; the
+// caller holds b.mu.
+func (b *Batcher) getBufLocked() *batchBuf {
+	if n := len(b.free); n > 0 {
+		buf := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		return buf
+	}
+	return &batchBuf{}
+}
+
+// putBuf resets a consumed batch buffer and returns it to the free
+// list.
+func (b *Batcher) putBuf(buf *batchBuf) {
+	for i := range buf.shares {
+		buf.shares[i].Payload = nil
+	}
+	buf.shares = buf.shares[:0]
+	buf.arena = buf.arena[:0]
+	b.mu.Lock()
+	b.free = append(b.free, buf)
+	b.mu.Unlock()
 }
 
 var _ ShareSink = (*Batcher)(nil)

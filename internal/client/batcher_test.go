@@ -7,16 +7,22 @@ import (
 	"privapprox/internal/xorcrypt"
 )
 
-// recordingSink counts batches and shares it receives.
+// recordingSink counts batches and shares it receives, deep-copying
+// each batch per the BatchSink contract (the Batcher recycles the slice
+// and arena after SubmitBatch returns).
 type recordingSink struct {
 	mu      sync.Mutex
 	batches [][]xorcrypt.Share
 }
 
 func (r *recordingSink) SubmitBatch(shares []xorcrypt.Share) error {
+	cp := make([]xorcrypt.Share, len(shares))
+	for i, sh := range shares {
+		cp[i] = xorcrypt.Share{MID: sh.MID, Payload: append([]byte(nil), sh.Payload...)}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.batches = append(r.batches, shares)
+	r.batches = append(r.batches, cp)
 	return nil
 }
 
@@ -108,5 +114,60 @@ func TestBatcherConcurrentSubmitters(t *testing.T) {
 	_, shares := sink.totals()
 	if shares != goroutines*each {
 		t.Fatalf("shares = %d, want %d", shares, goroutines*each)
+	}
+}
+
+// TestBatcherCopiesPayloadOnSubmit pins the ownership contract: the
+// caller may overwrite its payload buffer immediately after Submit
+// returns, and the flushed batch must still carry the original bytes.
+func TestBatcherCopiesPayloadOnSubmit(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 0)
+	buf := []byte{1, 2, 3, 4}
+	var mid xorcrypt.MID
+	if err := b.Submit(xorcrypt.Share{MID: mid, Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte{9, 9, 9, 9}) // caller reuses its scratch
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	got := sink.batches[0][0].Payload
+	if string(got) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("batch saw %v; Submit must copy the payload", got)
+	}
+}
+
+// TestBatcherRecyclesBuffers: after a flush cycle the next epoch's
+// batch must reuse the same share-slice storage instead of growing a
+// fresh one.
+func TestBatcherRecyclesBuffers(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 0)
+	fill := func() {
+		for i := 0; i < 10; i++ {
+			if err := b.Submit(share(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fill()
+	b.mu.Lock()
+	first := &b.cur.shares[0]
+	b.mu.Unlock()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fill()
+	b.mu.Lock()
+	second := &b.cur.shares[0]
+	b.mu.Unlock()
+	if first != second {
+		t.Error("batch buffer was not recycled across flushes")
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }

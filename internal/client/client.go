@@ -30,6 +30,14 @@ var (
 )
 
 // ShareSink accepts one XOR share — each of the n proxies is one sink.
+//
+// Ownership contract: Submit must copy or fully consume share.Payload
+// before returning. The client splits every epoch's message into
+// caller-owned scratch and reuses those buffers for the next epoch, so
+// a sink that retains the slice uncopied would see its bytes change
+// underneath it. The in-process broker copies on publish, the TCP
+// transport serializes into its frame before returning, and the Batcher
+// copies into its arena — all three satisfy the contract.
 type ShareSink interface {
 	Submit(share xorcrypt.Share) error
 }
@@ -119,6 +127,14 @@ type Client struct {
 	sub      *subscription
 	rng      *rand.Rand
 	splitter *xorcrypt.Splitter
+
+	// Per-epoch scratch, reused across epochs so the steady-state
+	// answering path allocates nothing: the truthful answer vector, the
+	// encoded message, and the split-share buffers. Safe because every
+	// ShareSink copies or consumes before returning (see ShareSink).
+	vec     *answer.BitVector
+	msgBuf  []byte
+	scratch xorcrypt.SplitScratch
 
 	epochsSeen   atomic.Int64
 	participated atomic.Int64
@@ -246,13 +262,15 @@ func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
 	// Step II part 2: randomized response over every bucket bit.
 	sub.rz.RespondBits(vec.Bytes(), vec.Len())
 
-	// Step III: encode, split, transmit.
+	// Step III: encode, split, transmit — all through per-client
+	// scratch buffers reused across epochs.
 	msg := answer.Message{QueryID: sub.qidWire, Epoch: epoch, Answer: vec}
-	raw, err := msg.MarshalBinary()
+	raw, err := msg.AppendBinary(c.msgBuf[:0])
 	if err != nil {
 		return false, err
 	}
-	shares, err := c.splitter.Split(raw)
+	c.msgBuf = raw
+	shares, err := c.splitter.SplitInto(raw, &c.scratch)
 	if err != nil {
 		return false, err
 	}
@@ -266,20 +284,32 @@ func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
 	return true, nil
 }
 
-// truthVector bucketizes the reduced answer value. No value, or a value
-// outside every bucket, yields the all-zero vector: participating
-// clients always transmit, so silence never correlates with data.
+// truthVector bucketizes the reduced answer value into the client's
+// reusable vector. No value, or a value outside every bucket, yields
+// the all-zero vector: participating clients always transmit, so
+// silence never correlates with data.
 func (c *Client) truthVector(sub *subscription, rows *minisql.Rows) (*answer.BitVector, error) {
 	n := len(sub.query.Buckets)
+	if c.vec == nil || c.vec.Len() != n {
+		v, err := answer.NewBitVector(n)
+		if err != nil {
+			return nil, err
+		}
+		c.vec = v
+	}
+	c.vec.Reset()
 	value, ok := c.reducer(rows)
 	if !ok {
-		return answer.NewBitVector(n)
+		return c.vec, nil
 	}
 	idx := sub.query.Buckets.Index(value)
 	if idx < 0 {
-		return answer.NewBitVector(n)
+		return c.vec, nil
 	}
-	return answer.OneHot(n, idx)
+	if err := c.vec.Set(idx, true); err != nil {
+		return nil, err
+	}
+	return c.vec, nil
 }
 
 // Stats returns a snapshot of the client counters.

@@ -16,6 +16,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"privapprox/internal/pubsub"
@@ -89,27 +90,45 @@ func (p *Proxy) Topic() string { return p.topic }
 
 // Submit accepts one share from a client: the processing at a
 // PrivApprox proxy is exactly one publish — no noise addition, no
-// inter-proxy coordination (the property Fig. 6 measures).
+// inter-proxy coordination (the property Fig. 6 measures). The payload
+// is copied (broker) or serialized (TCP) before Submit returns, per the
+// ShareSink ownership contract.
 func (p *Proxy) Submit(share xorcrypt.Share) error {
 	mid := share.MID
 	_, _, err := p.t.Publish(p.topic, mid[:], share.Payload)
 	return err
 }
 
+// batchMsgPool recycles the pubsub.Message header slices SubmitBatch
+// builds, so an epoch's batch flush does not allocate a fresh slice per
+// (client, proxy) pair.
+var batchMsgPool = sync.Pool{New: func() any {
+	s := make([]pubsub.Message, 0, 256)
+	return &s
+}}
+
 // SubmitBatch accepts many shares in one transport call. Over TCP the
 // whole batch travels as one frame — one round-trip per (client, proxy)
 // per epoch instead of one per share, the batching lever the paper's
-// scalability results depend on.
+// scalability results depend on. The shares (and their payloads) are
+// consumed before SubmitBatch returns.
 func (p *Proxy) SubmitBatch(shares []xorcrypt.Share) error {
 	if len(shares) == 0 {
 		return nil
 	}
-	msgs := make([]pubsub.Message, len(shares))
-	for i, sh := range shares {
-		mid := sh.MID
-		msgs[i] = pubsub.Message{Key: mid[:], Value: sh.Payload}
+	mp := batchMsgPool.Get().(*[]pubsub.Message)
+	msgs := (*mp)[:0]
+	for i := range shares {
+		// Key the record by the share's own MID array; the transport
+		// copies or serializes it before PublishBatch returns.
+		msgs = append(msgs, pubsub.Message{Key: shares[i].MID[:], Value: shares[i].Payload})
 	}
 	_, err := p.t.PublishBatch(p.topic, msgs)
+	for i := range msgs {
+		msgs[i] = pubsub.Message{}
+	}
+	*mp = msgs
+	batchMsgPool.Put(mp)
 	return err
 }
 

@@ -541,14 +541,17 @@ func (c *Client) CreateTopic(topic string, partitions int) error {
 	return err
 }
 
-// Publish mirrors Broker.Publish.
+// Publish mirrors Broker.Publish. The request frame is encoded into a
+// pooled buffer that is recycled once the frame is on the wire; key and
+// value are consumed before Publish returns.
 func (c *Client) Publish(topic string, key, value []byte) (int, int64, error) {
-	var e enc
+	e := getEnc()
 	e.byte(opPublish)
 	e.str(topic)
-	encodeOptBytes(&e, key)
+	encodeOptBytes(e, key)
 	e.bytes(value)
 	d, err := c.roundTrip(e.buf)
+	putEnc(e)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -575,8 +578,12 @@ func (c *Client) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 		return nil, nil
 	}
 	out := make([]PubResult, 0, len(msgs))
+	e := getEnc()
+	defer putEnc(e)
 	for start := 0; start < len(msgs); {
-		var e enc
+		// Reuse the pooled frame buffer across chunks; the previous
+		// chunk's frame was fully written before roundTrip returned.
+		e.buf = e.buf[:0]
 		e.byte(opPublishBatch)
 		e.str(topic)
 		countAt := len(e.buf)
@@ -587,7 +594,7 @@ func (c *Client) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 			if n > 0 && len(e.buf)+len(m.Key)+len(m.Value)+9 > maxBatchBytes {
 				break
 			}
-			encodeOptBytes(&e, m.Key)
+			encodeOptBytes(e, m.Key)
 			e.bytes(m.Value)
 			n++
 		}

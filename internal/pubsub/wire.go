@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The TCP transport speaks length-prefixed binary frames. Each request
@@ -58,6 +59,20 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // enc is an append-only payload builder.
 type enc struct{ buf []byte }
+
+// encPool recycles frame-encode buffers across requests: the publish
+// hot path reuses one grown buffer per connectionful of traffic instead
+// of allocating a frame per call. A pooled enc may be reused only after
+// the frame is fully written (roundTrip writes before returning).
+var encPool = sync.Pool{New: func() any { return new(enc) }}
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.buf = e.buf[:0]
+	return e
+}
+
+func putEnc(e *enc) { encPool.Put(e) }
 
 func (e *enc) byte(b byte)     { e.buf = append(e.buf, b) }
 func (e *enc) uint32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }

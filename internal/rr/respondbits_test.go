@@ -1,0 +1,182 @@
+package rr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chiSquare1 returns the 1-degree-of-freedom chi-square statistic for an
+// observed yes-count against an expected probability.
+func chiSquare1(yes, n int, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	expYes := p * float64(n)
+	expNo := (1 - p) * float64(n)
+	dYes := float64(yes) - expYes
+	dNo := float64(n-yes) - expNo
+	return dYes*dYes/expYes + dNo*dNo/expNo
+}
+
+// TestRespondBitsChiSquare checks, per (p, q) setting, that the batched
+// word-drawing RespondBits reproduces the mechanism's exact conditional
+// response distribution: Pr[Yes | truth] = p + (1−p)q and
+// Pr[Yes | ¬truth] = (1−p)q. Each conditional is tested with a 1-dof
+// chi-square; 10.83 is the 0.1% critical value, and the seeds are fixed,
+// so the test is deterministic.
+func TestRespondBitsChiSquare(t *testing.T) {
+	const (
+		rounds  = 2000
+		nbits   = 64
+		critval = 10.83
+	)
+	for _, pr := range []Params{
+		{P: 0.3, Q: 0.3}, {P: 0.3, Q: 0.9}, {P: 0.6, Q: 0.6},
+		{P: 0.9, Q: 0.3}, {P: 0.9, Q: 0.9}, {P: 0.5, Q: 0.0},
+	} {
+		rng := rand.New(rand.NewSource(42))
+		rz, err := NewRandomizer(pr, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truth pattern 0b00001111...: half the bits truthful "Yes".
+		truth := make([]byte, nbits/8)
+		for i := range truth {
+			truth[i] = 0x0F
+		}
+		buf := make([]byte, len(truth))
+		yesTrue, yesFalse, nTrue, nFalse := 0, 0, 0, 0
+		for r := 0; r < rounds; r++ {
+			copy(buf, truth)
+			rz.RespondBits(buf, nbits)
+			for i := 0; i < nbits; i++ {
+				wasSet := truth[i/8]&(1<<(i%8)) != 0
+				isSet := buf[i/8]&(1<<(i%8)) != 0
+				if wasSet {
+					nTrue++
+					if isSet {
+						yesTrue++
+					}
+				} else {
+					nFalse++
+					if isSet {
+						yesFalse++
+					}
+				}
+			}
+		}
+		pTrue := ResponseYesProbability(pr, true)
+		pFalse := ResponseYesProbability(pr, false)
+		if chi := chiSquare1(yesTrue, nTrue, pTrue); chi > critval {
+			t.Errorf("%+v: truthful-yes chi-square %.2f (observed %d/%d, want p=%.3f)",
+				pr, chi, yesTrue, nTrue, pTrue)
+		}
+		if chi := chiSquare1(yesFalse, nFalse, pFalse); chi > critval {
+			t.Errorf("%+v: truthful-no chi-square %.2f (observed %d/%d, want p=%.3f)",
+				pr, chi, yesFalse, nFalse, pFalse)
+		}
+		// Degenerate conditionals must be exact, not just close.
+		if pFalse == 0 && yesFalse != 0 {
+			t.Errorf("%+v: forced-no produced %d yes answers", pr, yesFalse)
+		}
+	}
+}
+
+// TestRespondBitsEstimatorUnbiased feeds RespondBits output through the
+// paper's Eq. 5 estimator: averaged over many randomized windows, the
+// estimate must recover the actual truthful-"Yes" count within a few
+// standard errors.
+func TestRespondBitsEstimatorUnbiased(t *testing.T) {
+	const (
+		nbits     = 1000
+		actualYes = 250
+		rounds    = 400
+	)
+	for _, pr := range []Params{{P: 0.3, Q: 0.6}, {P: 0.6, Q: 0.3}, {P: 0.9, Q: 0.9}} {
+		rng := rand.New(rand.NewSource(7))
+		rz, err := NewRandomizer(pr, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make([]byte, (nbits+7)/8)
+		for i := 0; i < actualYes; i++ {
+			truth[i/8] |= 1 << (i % 8)
+		}
+		buf := make([]byte, len(truth))
+		var sum float64
+		for r := 0; r < rounds; r++ {
+			copy(buf, truth)
+			rz.RespondBits(buf, nbits)
+			yes := 0
+			for i := 0; i < nbits; i++ {
+				if buf[i/8]&(1<<(i%8)) != 0 {
+					yes++
+				}
+			}
+			est, err := EstimateYes(pr, yes, nbits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est
+		}
+		mean := sum / rounds
+		// Std-error of the mean estimate is bounded by
+		// sqrt(n)/(2p·sqrt(rounds)); allow 4 of them.
+		tol := 4 * math.Sqrt(nbits) / (2 * pr.P * math.Sqrt(rounds))
+		if math.Abs(mean-actualYes) > tol {
+			t.Errorf("%+v: mean estimate %.2f, want %d ± %.2f", pr, mean, actualYes, tol)
+		}
+	}
+}
+
+// TestRespondBitsZeroAllocs pins the allocation contract of the batched
+// path.
+func TestRespondBitsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rz, err := NewRandomizer(Params{P: 0.9, Q: 0.6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]byte, 16)
+	if allocs := testing.AllocsPerRun(200, func() {
+		rz.RespondBits(bits, 121)
+	}); allocs != 0 {
+		t.Fatalf("RespondBits: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestRespondAndRespondBitsAgreeOnMarginals: the scalar Respond and the
+// batched RespondBits must implement the same mechanism — equal response
+// marginals for both truth values, checked empirically.
+func TestRespondAndRespondBitsAgreeOnMarginals(t *testing.T) {
+	pr := Params{P: 0.6, Q: 0.3}
+	const trials = 200000
+	rzA, _ := NewRandomizer(pr, rand.New(rand.NewSource(1)))
+	rzB, _ := NewRandomizer(pr, rand.New(rand.NewSource(2)))
+	for _, truth := range []bool{true, false} {
+		yesScalar := 0
+		for i := 0; i < trials; i++ {
+			if rzA.Respond(truth) {
+				yesScalar++
+			}
+		}
+		yesBatch := 0
+		var b [1]byte
+		for i := 0; i < trials; i++ {
+			b[0] = 0
+			if truth {
+				b[0] = 1
+			}
+			rzB.RespondBits(b[:], 1)
+			if b[0]&1 != 0 {
+				yesBatch++
+			}
+		}
+		pScalar := float64(yesScalar) / trials
+		pBatch := float64(yesBatch) / trials
+		if math.Abs(pScalar-pBatch) > 0.01 {
+			t.Errorf("truth=%v: scalar marginal %.4f vs batched %.4f", truth, pScalar, pBatch)
+		}
+	}
+}

@@ -13,17 +13,28 @@ var (
 )
 
 // Joined is a completed join group: all n share payloads for one message
-// identifier, in arrival order.
-type Joined struct {
-	Key      string
+// identifier, in source order. Groups handed out by Add remain owned by
+// the joiner's pool: the caller must consume the payloads (or copy them)
+// and then hand the group back with Recycle; a group is never touched by
+// the joiner between Add returning it and Recycle.
+type Joined[K comparable] struct {
+	Key      K
 	Payloads [][]byte
+
+	// join bookkeeping while the group is pending.
+	filled int
+	first  time.Time
 }
 
-// ShareJoiner implements the aggregator's first stage (paper §3.2.4):
-// it pairs the encrypted answer stream with the n−1 key streams by
-// message identifier. A group completes when one share has arrived from
-// each of the Expect source streams; stale partial groups can be swept
-// out (messages whose shares were lost at a proxy).
+// KeyedShareJoiner implements the aggregator's first stage (paper
+// §3.2.4): it pairs the encrypted answer stream with the n−1 key streams
+// by message identifier. A group completes when one share has arrived
+// from each of the Expect source streams; stale partial groups can be
+// swept out (messages whose shares were lost at a proxy).
+//
+// The key type is generic so the aggregator can join on the raw 16-byte
+// MID value directly — hashing an array key costs nothing per share,
+// where the former string key cost a hex encoding allocation.
 //
 // Duplicate suppression is source-aware: a second share from the same
 // proxy stream for the same key is rejected (a replayed share would
@@ -31,30 +42,37 @@ type Joined struct {
 // recently completed key are rejected too, bounding the damage of a
 // client replaying shares to distort results (the paper defers to
 // triple-splitting [26] for the full defense).
-type ShareJoiner struct {
+type KeyedShareJoiner[K comparable] struct {
 	expect   int
-	pending  map[string]*pendingGroup
-	complete map[string]time.Time // recently completed, for duplicate detection
+	pending  map[K]*Joined[K]
+	complete map[K]time.Time // recently completed, for duplicate detection
 	retain   time.Duration
+	// free recycles completed groups (and their payload-pointer slices)
+	// so the steady-state join path performs no allocations.
+	free []*Joined[K]
 }
 
-type pendingGroup struct {
-	payloads [][]byte
-	filled   int
-	first    time.Time
-}
+// ShareJoiner is the string-keyed joiner, kept for callers joining on
+// opaque keys.
+type ShareJoiner = KeyedShareJoiner[string]
 
 // NewShareJoiner expects one share from each of expect ≥ 2 source
 // streams per message and remembers completed keys for retain to reject
 // replays.
 func NewShareJoiner(expect int, retain time.Duration) (*ShareJoiner, error) {
+	return NewKeyedShareJoiner[string](expect, retain)
+}
+
+// NewKeyedShareJoiner is NewShareJoiner for an arbitrary comparable key
+// type.
+func NewKeyedShareJoiner[K comparable](expect int, retain time.Duration) (*KeyedShareJoiner[K], error) {
 	if expect < 2 {
 		return nil, fmt.Errorf("%w: %d", ErrJoinArity, expect)
 	}
-	return &ShareJoiner{
+	return &KeyedShareJoiner[K]{
 		expect:   expect,
-		pending:  make(map[string]*pendingGroup),
-		complete: make(map[string]time.Time),
+		pending:  make(map[K]*Joined[K]),
+		complete: make(map[K]time.Time),
 		retain:   retain,
 	}, nil
 }
@@ -62,43 +80,72 @@ func NewShareJoiner(expect int, retain time.Duration) (*ShareJoiner, error) {
 // Add folds in one share from the given source stream (0 ≤ source <
 // expect). It returns a non-nil Joined when the group completes, and
 // ErrDuplicate when the key already completed or this source already
-// contributed.
-func (j *ShareJoiner) Add(key string, source int, payload []byte, at time.Time) (*Joined, error) {
+// contributed. The returned group must be handed back via Recycle once
+// its payloads are consumed.
+func (j *KeyedShareJoiner[K]) Add(key K, source int, payload []byte, at time.Time) (*Joined[K], error) {
 	if source < 0 || source >= j.expect {
 		return nil, fmt.Errorf("%w: source %d of %d", ErrJoinArity, source, j.expect)
 	}
 	if _, done := j.complete[key]; done {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicate, key)
+		return nil, fmt.Errorf("%w: %v", ErrDuplicate, key)
 	}
 	g, ok := j.pending[key]
 	if !ok {
-		g = &pendingGroup{payloads: make([][]byte, j.expect), first: at}
+		g = j.getGroup()
+		g.first = at
 		j.pending[key] = g
 	}
-	if g.payloads[source] != nil {
-		return nil, fmt.Errorf("%w: %q from source %d", ErrDuplicate, key, source)
+	if g.Payloads[source] != nil {
+		return nil, fmt.Errorf("%w: %v from source %d", ErrDuplicate, key, source)
 	}
-	g.payloads[source] = payload
+	g.Payloads[source] = payload
 	g.filled++
 	if g.filled < j.expect {
 		return nil, nil
 	}
 	delete(j.pending, key)
 	j.complete[key] = at
-	return &Joined{Key: key, Payloads: g.payloads}, nil
+	g.Key = key
+	return g, nil
+}
+
+// Recycle returns a completed group to the joiner's pool, dropping its
+// payload references. Only groups returned by this joiner's Add may be
+// recycled, each at most once.
+func (j *KeyedShareJoiner[K]) Recycle(g *Joined[K]) {
+	if g == nil {
+		return
+	}
+	clear(g.Payloads)
+	g.filled = 0
+	var zero K
+	g.Key = zero
+	j.free = append(j.free, g)
+}
+
+// getGroup pops a pooled group or builds a fresh one.
+func (j *KeyedShareJoiner[K]) getGroup() *Joined[K] {
+	if n := len(j.free); n > 0 {
+		g := j.free[n-1]
+		j.free[n-1] = nil
+		j.free = j.free[:n-1]
+		return g
+	}
+	return &Joined[K]{Payloads: make([][]byte, j.expect)}
 }
 
 // PendingCount returns the number of incomplete groups.
-func (j *ShareJoiner) PendingCount() int { return len(j.pending) }
+func (j *KeyedShareJoiner[K]) PendingCount() int { return len(j.pending) }
 
 // Sweep drops incomplete groups whose first share arrived before cutoff
 // and forgets completed keys older than the retain horizon. It returns
 // the number of dropped incomplete groups.
-func (j *ShareJoiner) Sweep(cutoff time.Time) int {
+func (j *KeyedShareJoiner[K]) Sweep(cutoff time.Time) int {
 	dropped := 0
 	for key, g := range j.pending {
 		if g.first.Before(cutoff) {
 			delete(j.pending, key)
+			j.Recycle(g)
 			dropped++
 		}
 	}

@@ -66,6 +66,13 @@ func NewSlidingAssignerAt(size, slide time.Duration, origin time.Time) (*Sliding
 
 // WindowsFor returns every window containing t, earliest first.
 func (a *SlidingAssigner) WindowsFor(t time.Time) []Window {
+	return a.AppendWindowsFor(nil, t)
+}
+
+// AppendWindowsFor appends every window containing t to dst, earliest
+// first, and returns the extended slice — the allocation-free variant
+// for callers that assign windows per record.
+func (a *SlidingAssigner) AppendWindowsFor(dst []Window, t time.Time) []Window {
 	var off int64
 	if !a.Origin.IsZero() {
 		off = a.Origin.UnixNano()
@@ -74,18 +81,18 @@ func (a *SlidingAssigner) WindowsFor(t time.Time) []Window {
 	slide := int64(a.Slide)
 	size := int64(a.Size)
 	last := ts - mod(ts, slide) // latest window start ≤ t
-	var out []Window
+	base := len(dst)
 	for start := last; start > ts-size; start -= slide {
-		out = append(out, Window{
+		dst = append(dst, Window{
 			Start: time.Unix(0, start+off),
 			End:   time.Unix(0, start+size+off),
 		})
 	}
-	// Reverse into earliest-first order.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
+	// Reverse the appended tail into earliest-first order.
+	for i, j := base, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }
 
 // mod is a floored modulo that behaves for negative timestamps.

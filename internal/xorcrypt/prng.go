@@ -60,9 +60,7 @@ func NewAESPRNG(seed []byte) (PRNG, error) {
 
 // Fill writes keystream bytes into dst (XOR of zeros with the stream).
 func (p *aesPRNG) Fill(dst []byte) error {
-	for i := range dst {
-		dst[i] = 0
-	}
+	clear(dst)
 	p.stream.XORKeyStream(dst, dst)
 	return nil
 }

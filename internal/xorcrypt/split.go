@@ -1,11 +1,12 @@
 package xorcrypt
 
 import (
-	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Errors reported by the splitter and joiner.
@@ -18,7 +19,9 @@ var (
 const MIDSize = 16
 
 // MID is the unique message identifier joining a message's shares at the
-// aggregator (paper Eq. 12).
+// aggregator (paper Eq. 12). It is a comparable value type so the
+// aggregator can key its join map by MID directly, without a per-share
+// string conversion.
 type MID [MIDSize]byte
 
 // String renders the identifier in hex.
@@ -32,16 +35,32 @@ type Share struct {
 	Payload []byte
 }
 
+// midBlock is how many MIDs are drawn per generator refill: one bulk
+// read every midBlock messages instead of one syscall-backed read per
+// message.
+const midBlock = 64
+
 // Splitter splits messages for a fixed number of proxies.
+//
+// A Splitter is not safe for concurrent use: it owns a PRNG stream and
+// a MID block buffer. Each client owns its own Splitter.
 type Splitter struct {
 	n      int
 	prng   PRNG
 	midSrc io.Reader
+	// midPRNG generates MIDs when no midSrc is supplied. It is a
+	// separate, independently seeded stream so the public MIDs never
+	// reveal bytes of the key-share keystream.
+	midPRNG PRNG
+	midBuf  [midBlock * MIDSize]byte
+	midOff  int // next unread byte; len(midBuf) means exhausted
 }
 
 // NewSplitter returns a splitter targeting n ≥ 2 proxies. A nil prng
-// defaults to a freshly seeded AES-CTR generator; a nil midSrc defaults
-// to crypto/rand.
+// defaults to a freshly seeded AES-CTR generator. MIDs are drawn in
+// blocks of midBlock: from midSrc when non-nil (deterministic MIDs for
+// tests), otherwise from a dedicated freshly seeded AES-CTR generator —
+// never from the key-share stream, and never one OS read per message.
 func NewSplitter(n int, prng PRNG, midSrc io.Reader) (*Splitter, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("%w: need ≥ 2 proxies, got %d", ErrShareCount, n)
@@ -53,39 +72,101 @@ func NewSplitter(n int, prng PRNG, midSrc io.Reader) (*Splitter, error) {
 		}
 		prng = p
 	}
+	s := &Splitter{n: n, prng: prng, midSrc: midSrc}
+	s.midOff = len(s.midBuf)
 	if midSrc == nil {
-		midSrc = rand.Reader
+		p, err := NewAESPRNG(nil)
+		if err != nil {
+			return nil, err
+		}
+		s.midPRNG = p
 	}
-	return &Splitter{n: n, prng: prng, midSrc: midSrc}, nil
+	return s, nil
 }
 
 // Proxies returns the share fan-out n.
 func (s *Splitter) Proxies() int { return s.n }
 
+// nextMID hands out the next identifier from the block buffer, refilling
+// it in bulk when exhausted.
+func (s *Splitter) nextMID() (MID, error) {
+	if s.midOff == len(s.midBuf) {
+		if s.midSrc != nil {
+			if _, err := io.ReadFull(s.midSrc, s.midBuf[:]); err != nil {
+				return MID{}, fmt.Errorf("xorcrypt: mid generation: %w", err)
+			}
+		} else if err := s.midPRNG.Fill(s.midBuf[:]); err != nil {
+			return MID{}, fmt.Errorf("xorcrypt: mid generation: %w", err)
+		}
+		s.midOff = 0
+	}
+	var mid MID
+	copy(mid[:], s.midBuf[s.midOff:s.midOff+MIDSize])
+	s.midOff += MIDSize
+	return mid, nil
+}
+
+// SplitScratch owns the share slice and payload buffers SplitInto
+// reuses across messages. The zero value is ready to use; buffers grow
+// on first use and are reused afterwards, so a steady-state split
+// performs no allocations.
+type SplitScratch struct {
+	shares []Share
+}
+
+// grow shapes the scratch for n shares of size bytes each, reusing
+// buffer capacity from earlier messages.
+func (sc *SplitScratch) grow(n, size int) []Share {
+	if cap(sc.shares) < n {
+		sc.shares = make([]Share, n)
+	}
+	sc.shares = sc.shares[:n]
+	for i := range sc.shares {
+		p := sc.shares[i].Payload
+		if cap(p) < size {
+			p = make([]byte, size)
+		}
+		sc.shares[i].Payload = p[:size]
+	}
+	return sc.shares
+}
+
 // Split produces the n shares of message (Eq. 10–12): n−1 pseudo-random
 // key shares and the ciphertext ME = M ⊕ MK2 ⊕ … ⊕ MKn, all tagged with
 // a fresh MID. Share i is destined for proxy i. The input is not
-// modified.
+// modified. Every call allocates fresh payload buffers the caller owns;
+// the hot path uses SplitInto instead.
 func (s *Splitter) Split(message []byte) ([]Share, error) {
+	var scratch SplitScratch
+	return s.SplitInto(message, &scratch)
+}
+
+// SplitInto is Split reusing caller-owned scratch: the returned shares
+// and their payloads alias scratch's buffers and stay valid only until
+// the next SplitInto with the same scratch. Every sink a share is handed
+// to must copy or fully consume the payload before returning (the
+// buffer-ownership contract of DESIGN.md §6); the splitter itself never
+// aliases bytes between the message and the shares or between shares.
+func (s *Splitter) SplitInto(message []byte, scratch *SplitScratch) ([]Share, error) {
 	if len(message) == 0 {
 		return nil, fmt.Errorf("%w: empty message", ErrShapes)
 	}
-	var mid MID
-	if _, err := io.ReadFull(s.midSrc, mid[:]); err != nil {
-		return nil, fmt.Errorf("xorcrypt: mid generation: %w", err)
+	mid, err := s.nextMID()
+	if err != nil {
+		return nil, err
 	}
-	shares := make([]Share, s.n)
-	cipher := make([]byte, len(message))
+	shares := scratch.grow(s.n, len(message))
+	cipher := shares[0].Payload
 	copy(cipher, message)
 	for i := 1; i < s.n; i++ {
-		key := make([]byte, len(message))
+		key := shares[i].Payload
 		if err := s.prng.Fill(key); err != nil {
 			return nil, err
 		}
 		xorInto(cipher, key)
-		shares[i] = Share{MID: mid, Payload: key}
+		shares[i].MID = mid
 	}
-	shares[0] = Share{MID: mid, Payload: cipher}
+	shares[0].MID = mid
 	return shares, nil
 }
 
@@ -93,44 +174,67 @@ func (s *Splitter) Split(message []byte) ([]Share, error) {
 // aggregator cannot tell which share is the ciphertext and does not need
 // to (paper §3.2.4). All shares must carry the same MID and length.
 func Join(shares []Share) ([]byte, error) {
+	return JoinInto(nil, shares)
+}
+
+// JoinInto is Join writing the plaintext into dst's backing array
+// (grown as needed), so a caller looping over messages reuses one
+// buffer. It returns the plaintext slice, which aliases dst's storage.
+func JoinInto(dst []byte, shares []Share) ([]byte, error) {
 	if len(shares) < 2 {
 		return nil, fmt.Errorf("%w: got %d shares", ErrShareCount, len(shares))
 	}
 	mid := shares[0].MID
-	size := len(shares[0].Payload)
-	if size == 0 {
-		return nil, fmt.Errorf("%w: empty payload", ErrShapes)
-	}
-	out := make([]byte, size)
-	copy(out, shares[0].Payload)
 	for _, sh := range shares[1:] {
 		if sh.MID != mid {
 			return nil, fmt.Errorf("%w: MID %s vs %s", ErrShapes, sh.MID, mid)
 		}
-		if len(sh.Payload) != size {
-			return nil, fmt.Errorf("%w: payload %d vs %d bytes", ErrShapes, len(sh.Payload), size)
-		}
-		xorInto(out, sh.Payload)
 	}
-	return out, nil
+	pp := payloadPool.Get().(*[][]byte)
+	payloads := (*pp)[:0]
+	for _, sh := range shares {
+		payloads = append(payloads, sh.Payload)
+	}
+	out, err := JoinPayloadsInto(dst, payloads)
+	for i := range payloads {
+		payloads[i] = nil
+	}
+	*pp = payloads
+	payloadPool.Put(pp)
+	return out, err
 }
 
-// xorInto XORs src into dst in place; both must have equal length.
+// JoinPayloadsInto XOR-joins raw share payloads (already grouped by MID,
+// as the aggregator's joiner produces them) into dst's backing array and
+// returns the plaintext. All payloads must be the same nonzero length.
+func JoinPayloadsInto(dst []byte, payloads [][]byte) ([]byte, error) {
+	if len(payloads) < 2 {
+		return nil, fmt.Errorf("%w: got %d shares", ErrShareCount, len(payloads))
+	}
+	size := len(payloads[0])
+	if size == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrShapes)
+	}
+	dst = append(dst[:0], payloads[0]...)
+	for _, p := range payloads[1:] {
+		if len(p) != size {
+			return nil, fmt.Errorf("%w: payload %d vs %d bytes", ErrShapes, len(p), size)
+		}
+		xorInto(dst, p)
+	}
+	return dst, nil
+}
+
+// payloadPool backs JoinInto's temporary payload-header slices so the
+// share-slice form of join stays allocation-free too.
+var payloadPool = sync.Pool{New: func() any {
+	p := make([][]byte, 0, 8)
+	return &p
+}}
+
+// xorInto XORs src into dst in place; both must have equal length. The
+// word-at-a-time kernel is crypto/subtle's, which the runtime vectorizes
+// — this is the hot inner loop of Table 2.
 func xorInto(dst, src []byte) {
-	// Word-at-a-time XOR: this is the hot path of Table 2.
-	n := len(dst)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		dst[i] ^= src[i]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
+	subtle.XORBytes(dst, dst, src)
 }
