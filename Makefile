@@ -1,18 +1,18 @@
 # Tier-1 verification plus the race gate over the concurrency-sensitive
 # packages (the parallel epoch pipeline: core, aggregator, answer,
-# pubsub) and the hot-path allocs/op gate. `make ci` is the pre-merge
-# check.
+# pubsub, engine), the hot-path allocs/op gate, and the multi-query
+# determinism gate. `make ci` is the pre-merge check.
 
 GO ?= go
-RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/...
+RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/...
 
 # Benchmarks whose numbers seed BENCH_hotpath.json: the per-answer hot
 # path (split, join+decrypt+decode+window, randomized response).
 HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability
 
-.PHONY: ci fmt vet build test race smoke allocgate bench bench-json
+.PHONY: ci fmt vet build test race smoke multiquery allocgate bench bench-json fuzz
 
-ci: fmt vet build test race allocgate smoke
+ci: fmt vet build test race allocgate multiquery smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,8 +24,8 @@ vet:
 build:
 	$(GO) build ./...
 
-# -short skips the multi-process smoke test here; the dedicated smoke
-# target runs it once (tier-1 `go test ./...` without -short still
+# -short skips the multi-process smoke tests here; the dedicated smoke
+# target runs them once (tier-1 `go test ./...` without -short still
 # covers everything in one go).
 test:
 	$(GO) test -short ./...
@@ -33,26 +33,46 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
-# The multi-process loopback deployment: 2 proxy processes + clients +
-# aggregator, asserted byte-identical to the in-process pipeline.
+# The multi-process loopback deployments: 2 proxy processes + submit +
+# clients + aggregator, single- and multi-query, each asserted
+# byte-identical to the in-process pipeline.
 smoke:
-	$(GO) test -run TestMultiProcessSmoke -count=1 ./cmd/privapprox-node
+	$(GO) test -run 'TestMultiProcessSmoke|TestMultiProcessMultiQuerySmoke' -count=1 ./cmd/privapprox-node
+
+# The multi-query determinism gate: N concurrent queries over one
+# shared fleet must be byte-identical, per query, to N isolated
+# single-query runs under a fixed seed (the TCP half lives in smoke).
+multiquery:
+	$(GO) test -run 'TestMultiQueryMatchesSolo|TestMultiQueryRegisterAndStopMidRun' -count=1 ./internal/core
 
 # The allocs/op regression gate: split, join, respond-bits, and
 # accumulate must stay at 0 steady-state allocations per op, and the
-# full aggregator submit tail within its small constant.
+# full aggregator submit tail within its small constant — with one
+# query and with several active.
 allocgate:
-	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs' -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs|TestAggregatorMultiQuerySubmitAllocs' -count=1 .
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEpochPipelineParallel|BenchmarkTCPPipeline' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkEpochPipelineParallel|BenchmarkTCPPipeline|BenchmarkMultiQuery' -benchmem .
 
-# Machine-readable hot-path numbers, seeding the perf trajectory across
-# PRs. The bench run and the JSON conversion are separate commands (not
-# a pipe) so a failing benchmark fails the target instead of silently
-# writing an empty report.
+# Machine-readable performance numbers, seeding the perf trajectory
+# across PRs: the hot-path microbenchmarks and the multi-query
+# queries-sweep. Each bench run and its JSON conversion are separate
+# commands (not a pipe) so a failing benchmark fails the target instead
+# of silently writing an empty report.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem . > .bench_hotpath.tmp
 	$(GO) run ./cmd/benchjson -out BENCH_hotpath.json < .bench_hotpath.tmp
 	@rm -f .bench_hotpath.tmp
 	@echo wrote BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMultiQuery' -benchmem . > .bench_multiquery.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_multiquery.json < .bench_multiquery.tmp
+	@rm -f .bench_multiquery.tmp
+	@echo wrote BENCH_multiquery.json
+
+# Short fuzz smoke over every wire codec: the share split/join, the
+# answer message, and the control-plane query-set announcement.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSplitJoinRoundTrip -fuzztime 10s ./internal/xorcrypt
+	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 10s ./internal/answer
+	$(GO) test -run '^$$' -fuzz FuzzQuerySetRoundTrip -fuzztime 10s ./internal/engine

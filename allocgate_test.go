@@ -161,3 +161,72 @@ func TestAggregatorSubmitSteadyStateAllocs(t *testing.T) {
 		t.Errorf("aggregator submit tail: %v allocs per message, want ≤ 4", allocs)
 	}
 }
+
+// TestAggregatorMultiQuerySubmitAllocs holds the same steady-state
+// budget with several active queries: the demux by wire QueryID (one
+// atomic state-table load plus a map lookup) must not put the submit
+// tail back in the allocator.
+func TestAggregatorMultiQuerySubmitAllocs(t *testing.T) {
+	agg, err := aggregator.NewMulti(aggregator.Config{
+		Population: 1 << 20,
+		Proxies:    2,
+		Origin:     time.Unix(0, 0),
+		Seed:       9,
+		Shards:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const queries = 4
+	wires := make([]uint64, queries)
+	for i := 0; i < queries; i++ {
+		q, err := workload.TaxiQuery("gate", uint64(i+1), time.Second, time.Hour, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.AddQuery(aggregator.QuerySpec{
+			Query:  q,
+			Params: budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = q.QID.Uint64()
+	}
+	splitter, err := xorcrypt.NewSplitter(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := answer.OneHot(11, 0)
+	raws := make([][]byte, queries)
+	for i, wire := range wires {
+		raw, err := (&answer.Message{QueryID: wire, Epoch: 0, Answer: vec}).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = raw
+	}
+	now := time.Unix(10, 0)
+	var scratch xorcrypt.SplitScratch
+	next := 0
+	submit := func() {
+		// Round-robin the queries so every message demuxes to a
+		// different per-query state.
+		raw := raws[next%queries]
+		next++
+		shares, err := splitter.SplitInto(raw, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src, sh := range shares {
+			if _, err := agg.SubmitShare(sh, src, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < queries; i++ {
+		submit() // warm every query's window state
+	}
+	if allocs := testing.AllocsPerRun(200, submit); allocs > 4 {
+		t.Errorf("multi-query aggregator submit tail: %v allocs per message, want ≤ 4", allocs)
+	}
+}

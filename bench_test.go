@@ -448,6 +448,56 @@ func BenchmarkEpochPipelineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiQuery sweeps the number of concurrent queries sharing
+// one fleet — the shared-fleet amortization the multi-query engine is
+// built for. ns/op measures one full epoch (every client answers every
+// query); the per-answer metric divides the shared split/transport/join
+// machinery over Q queries, so sublinear per-query marginal cost shows
+// up as answers/sec falling slower than Q grows. Recorded in
+// BENCH_multiquery.json by make bench-json.
+func BenchmarkMultiQuery(b *testing.B) {
+	params := budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}}
+	for _, queries := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			const clients = 500
+			sys, err := core.New(core.Config{
+				Clients:    clients,
+				Params:     &params,
+				Seed:       12,
+				MultiQuery: true,
+				Populate: func(i int, db *minisql.DB) error {
+					rng := rand.New(rand.NewSource(int64(i)))
+					return workload.PopulateTaxi(db, rng, 2, time.Unix(0, 0), time.Minute)
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			for qi := 0; qi < queries; qi++ {
+				q, err := workload.TaxiQuery("bench", uint64(qi+1), time.Second, 2*time.Second, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Register(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sys.RunEpoch(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			answers := float64(clients) * float64(queries) * float64(b.N)
+			b.ReportMetric(answers/b.Elapsed().Seconds(), "answers/sec")
+			b.ReportMetric(b.Elapsed().Seconds()/answers*1e9, "ns/answer")
+		})
+	}
+}
+
 // --- Networked transport: TCP batch × connections sweep. ---
 
 // BenchmarkTCPPipeline measures client → TCP proxy share throughput

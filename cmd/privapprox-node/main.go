@@ -3,27 +3,36 @@
 // protocol — the deployment shape of the paper's Fig. 3 with
 // Kafka-style brokers at the proxies.
 //
+// Queries are distributed through the proxies' control topics (paper
+// §3.1): the submit role signs and announces a query set, client
+// processes pick it up dynamically — verifying each analyst signature —
+// and the aggregator builds its per-query demux state from the same
+// announcements. No process is configured with a hardcoded query.
+//
 // The roles share the in-process pipeline's code: clients and the
 // aggregator attach proxy.Proxy handles over pubsub.Client transports
 // (a small pipelined connection pool each), clients flush an epoch's
-// shares to each proxy in one publish frame via client.Batcher, and the
-// aggregator drains with the same consumer code the in-process system
-// uses. Under the same seed conventions as core.Config (client i's seed
-// is seed+i+2, the aggregator's is seed+1), a networked run produces
-// results identical to the in-process pipeline — the multi-process
-// smoke test asserts exactly that.
+// shares — for every active query — to each proxy in one publish frame
+// via client.Batcher, and the aggregator drains with the same consumer
+// code the in-process system uses. Under the same seed conventions as
+// core.Config (client i's seed is seed+i+2, the aggregator's is
+// seed+1), a networked run produces results identical to the in-process
+// multi-query pipeline — the multi-process smoke tests assert exactly
+// that.
 //
-// Start two proxies, an aggregator, and a few clients (each in its own
-// terminal or backgrounded):
+// Start two proxies, announce queries, then run clients and the
+// aggregator (each in its own terminal or backgrounded):
 //
 //	privapprox-node proxy -listen 127.0.0.1:9101 -index 0
 //	privapprox-node proxy -listen 127.0.0.1:9102 -index 1
-//	privapprox-node aggregator -proxies 127.0.0.1:9101,127.0.0.1:9102 -clients 6 -epochs 4
+//	privapprox-node submit -proxies 127.0.0.1:9101,127.0.0.1:9102 -queries 2
 //	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -offset 0 -n 3 -epochs 4
 //	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -offset 3 -n 3 -epochs 4
+//	privapprox-node aggregator -proxies 127.0.0.1:9101,127.0.0.1:9102 -clients 6 -epochs 4 -queries 2
 package main
 
 import (
+	"crypto/ed25519"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +49,7 @@ import (
 	"privapprox/internal/aggregator"
 	"privapprox/internal/budget"
 	"privapprox/internal/client"
+	"privapprox/internal/engine"
 	"privapprox/internal/minisql"
 	"privapprox/internal/proxy"
 	"privapprox/internal/pubsub"
@@ -48,15 +58,34 @@ import (
 	"privapprox/internal/workload"
 )
 
-// The networked demo pins a shared parameter set and query so the
-// processes agree without a distribution channel; a production
-// deployment would push the signed query through the proxies
-// (paper §3.1). defaultOrigin matches core.Config's default so the two
-// pipelines line up epoch for epoch.
+// defaultOrigin matches core.Config's default so the in-process and
+// networked pipelines line up epoch for epoch.
 var defaultOrigin = time.Unix(1_700_000_000, 0)
 
-func sharedQuery() (*query.Query, error) {
-	return workload.TaxiQuery("node-analyst", 1, time.Second, 4*time.Second, 4*time.Second)
+// nodeAnalyst is the demo analyst identity. Its signing key is
+// deterministic so independent processes (submit here, reference runs
+// in tests) derive the same keypair without a key-distribution channel;
+// a production deployment provisions real analyst keys.
+const nodeAnalyst = "node-analyst"
+
+func nodeAnalystKey() ed25519.PrivateKey {
+	var seed [ed25519.SeedSize]byte
+	copy(seed[:], nodeAnalyst)
+	return ed25519.NewKeyFromSeed(seed[:])
+}
+
+// nodeQueries builds the announced query set: n taxi queries with
+// serials 1..n sharing the demo geometry.
+func nodeQueries(n int) ([]*query.Query, error) {
+	out := make([]*query.Query, n)
+	for i := range out {
+		q, err := workload.TaxiQuery(nodeAnalyst, uint64(i+1), time.Second, 4*time.Second, 4*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
 }
 
 func sharedParams(s, p, q float64) budget.Params {
@@ -64,7 +93,7 @@ func sharedParams(s, p, q float64) budget.Params {
 }
 
 // populateClient fills logical client i's database; the seed convention
-// is shared with the smoke test's in-process reference run.
+// is shared with the smoke tests' in-process reference runs.
 func populateClient(i int, db *minisql.DB) error {
 	rng := rand.New(rand.NewSource(int64(i) + 1))
 	return workload.PopulateTaxi(db, rng, 3, time.Unix(0, 0), time.Minute)
@@ -72,13 +101,15 @@ func populateClient(i int, db *minisql.DB) error {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: privapprox-node <proxy|client|aggregator> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: privapprox-node <proxy|submit|client|aggregator> [flags]")
 		os.Exit(2)
 	}
 	var err error
 	switch os.Args[1] {
 	case "proxy":
 		err = runProxy(os.Args[2:])
+	case "submit":
+		err = runSubmit(os.Args[2:])
 	case "client":
 		err = runClient(os.Args[2:])
 	case "aggregator":
@@ -103,6 +134,11 @@ func runProxy(args []string) error {
 	if err := broker.CreateTopic(proxy.TopicFor(*index), *partitions); err != nil {
 		return err
 	}
+	// The control topic carries query announcements; single-partition so
+	// announcements keep a total order.
+	if err := broker.CreateTopic(proxy.TopicControl, 1); err != nil {
+		return err
+	}
 	srv, err := pubsub.Serve(broker, *listen)
 	if err != nil {
 		return err
@@ -115,6 +151,53 @@ func runProxy(args []string) error {
 	fmt.Printf("\nproxy stats: %d msgs in (%.1f KB), %d msgs out\n",
 		st.MessagesIn, float64(st.BytesIn)/1024, st.MessagesOut)
 	return srv.Close()
+}
+
+// runSubmit is the analyst-facing control-plane role: it signs the demo
+// query set and announces it through every proxy's control topic.
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
+	queries := fs.Int("queries", 1, "number of concurrent queries to announce")
+	conns := fs.Int("conns", 1, "TCP connections per proxy")
+	s := fs.Float64("s", 0.9, "sampling fraction")
+	p := fs.Float64("p", 0.9, "first randomization coin")
+	q := fs.Float64("q", 0.6, "second randomization coin")
+	fs.Parse(args)
+	if *queries < 1 {
+		return fmt.Errorf("need ≥ 1 queries, got %d", *queries)
+	}
+
+	fleet, tcps, err := dialFleet(*proxyList, *conns)
+	if err != nil {
+		return err
+	}
+	defer closeAll(tcps)
+
+	priv := nodeAnalystKey()
+	reg := engine.NewRegistry()
+	if err := reg.Trust(nodeAnalyst, priv.Public().(ed25519.PublicKey)); err != nil {
+		return err
+	}
+	if err := reg.AttachSink(fleet); err != nil {
+		return err
+	}
+	qs, err := nodeQueries(*queries)
+	if err != nil {
+		return err
+	}
+	params := sharedParams(*s, *p, *q)
+	for _, qy := range qs {
+		signed, err := query.Sign(qy, priv)
+		if err != nil {
+			return err
+		}
+		if err := reg.Register(signed, params); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("announced %d queries at version %d\n", *queries, reg.Version())
+	return nil
 }
 
 // dialFleet connects to every proxy address with a pooled pipelined
@@ -162,9 +245,8 @@ func runClient(args []string) error {
 	conns := fs.Int("conns", 2, "TCP connections per proxy")
 	batch := fs.Int("batch", 0, "shares per publish frame (0 = one frame per proxy per epoch)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent answering clients")
-	s := fs.Float64("s", 0.9, "sampling fraction")
-	p := fs.Float64("p", 0.9, "first randomization coin")
-	q := fs.Float64("q", 0.6, "second randomization coin")
+	minQueries := fs.Int("queries", 1, "announced queries to wait for before answering")
+	wait := fs.Duration("wait", 10*time.Second, "how long to wait for query announcements")
 	seed := fs.Int64("seed", 1, "system seed (client i uses seed+i+2, as in core.Config)")
 	fs.Parse(args)
 	if *n <= 0 {
@@ -179,7 +261,7 @@ func runClient(args []string) error {
 
 	// One batcher per proxy: every logical client submits into it, and
 	// the epoch loop flushes it as one frame — O(1) round-trips per
-	// (process, proxy) per epoch instead of one per share.
+	// (process, proxy) per epoch however many queries are active.
 	batchers := make([]*client.Batcher, fleet.Size())
 	sinks := make([]client.ShareSink, fleet.Size())
 	for i := range batchers {
@@ -187,12 +269,8 @@ func runClient(args []string) error {
 		sinks[i] = batchers[i]
 	}
 
-	qy, err := sharedQuery()
-	if err != nil {
-		return err
-	}
-	params := sharedParams(*s, *p, *q)
 	clients := make([]*client.Client, *n)
+	subs := make([]engine.Subscriber, *n)
 	for j := range clients {
 		global := *offset + j
 		db := minisql.NewDB()
@@ -208,13 +286,36 @@ func runClient(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := c.Subscribe(&query.Signed{Query: qy}, params); err != nil {
-			return err
-		}
 		clients[j] = c
+		subs[j] = c
 	}
 
+	// Query distribution: follow the first proxy's control topic and
+	// reconcile every logical client against the newest announced set
+	// (signatures verified against the announced analyst keys).
+	cc, err := fleet.Proxy(0).ControlConsumer(fmt.Sprintf("clients-%d", *offset))
+	if err != nil {
+		return err
+	}
+	follower := engine.NewFollower(cc, engine.NewApplier(subs...))
+	if err := follower.WaitActive(*minQueries, *wait); err != nil {
+		return err
+	}
+	fmt.Printf("picked up %d queries at version %d\n",
+		follower.Applier().ActiveQueries(), follower.Applier().Version())
+
 	for e := uint64(0); e < uint64(*epochs); e++ {
+		// Apply any announcements that arrived since the last epoch —
+		// networked deployments pick up (and drop) queries mid-run.
+		if _, err := follower.Sync(); err != nil {
+			return err
+		}
+		if follower.Applier().ActiveQueries() == 0 {
+			// Every query was stopped: idle through the epoch rather
+			// than erroring on unsubscribed clients.
+			fmt.Printf("epoch %d: no active queries\n", e)
+			continue
+		}
 		participants, err := answerAll(clients, e, *workers)
 		if err != nil {
 			return err
@@ -293,15 +394,47 @@ func answerAll(clients []*client.Client, epoch uint64, workers int) (int, error)
 	return int(participants.Load()), firstErr
 }
 
+// fetchQuerySet follows the control topic until a snapshot with at
+// least minQueries entries appears (or the wait elapses), returning the
+// newest observed snapshot.
+func fetchQuerySet(fleet *proxy.Fleet, group string, minQueries int, wait time.Duration) (*engine.QuerySet, error) {
+	cc, err := fleet.Proxy(0).ControlConsumer(group)
+	if err != nil {
+		return nil, err
+	}
+	var newest *engine.QuerySet
+	deadline := time.Now().Add(wait)
+	for {
+		recs, err := cc.PollWait(256, 50*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			qs, err := engine.DecodeQuerySet(rec.Value)
+			if err != nil {
+				continue // garbage on the control topic must not wedge us
+			}
+			if newest == nil || qs.Version > newest.Version {
+				newest = qs
+			}
+		}
+		if newest != nil && len(newest.Entries) >= minQueries {
+			return newest, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("no announcement with ≥ %d queries within %v", minQueries, wait)
+		}
+	}
+}
+
 func runAggregator(args []string) error {
 	fs := flag.NewFlagSet("aggregator", flag.ExitOnError)
 	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
 	clients := fs.Int("clients", 3, "population size U")
 	epochs := fs.Int("epochs", 4, "epochs to wait for")
 	conns := fs.Int("conns", 2, "TCP connections per proxy")
-	s := fs.Float64("s", 0.9, "sampling fraction")
-	p := fs.Float64("p", 0.9, "first randomization coin")
-	q := fs.Float64("q", 0.6, "second randomization coin")
+	minQueries := fs.Int("queries", 1, "announced queries to wait for")
+	wait := fs.Duration("wait", 10*time.Second, "how long to wait for query announcements")
 	seed := fs.Int64("seed", 1, "system seed (the aggregator uses seed+1, as in core.Config)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without new shares")
 	fs.Parse(args)
@@ -312,13 +445,13 @@ func runAggregator(args []string) error {
 	}
 	defer closeAll(tcps)
 
-	qy, err := sharedQuery()
+	// The aggregator learns its query set from the same control topic
+	// the clients follow — nothing about the queries is configured here.
+	qs, err := fetchQuerySet(fleet, "aggregator-control", *minQueries, *wait)
 	if err != nil {
 		return err
 	}
-	agg, err := aggregator.New(aggregator.Config{
-		Query:      qy,
-		Params:     sharedParams(*s, *p, *q),
+	agg, err := aggregator.NewMulti(aggregator.Config{
 		Population: *clients,
 		Proxies:    fleet.Size(),
 		Origin:     defaultOrigin,
@@ -327,6 +460,15 @@ func runAggregator(args []string) error {
 	if err != nil {
 		return err
 	}
+	for _, e := range qs.Entries {
+		if err := e.Signed.Verify(e.AnalystKey); err != nil {
+			return fmt.Errorf("announced query %s: %w", e.Signed.Query.QID, err)
+		}
+		if err := agg.AddQuery(aggregator.QuerySpec{Query: e.Signed.Query, Params: e.Params}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("aggregating %d queries from announcement version %d\n", len(qs.Entries), qs.Version)
 
 	// The same consumer code the in-process pipeline drains with, now
 	// running over the TCP transports.
@@ -335,7 +477,7 @@ func runAggregator(args []string) error {
 		return err
 	}
 
-	expected := int64(*clients) * int64(*epochs)
+	expected := int64(*clients) * int64(*epochs) * int64(len(qs.Entries))
 	lastProgress := time.Now()
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, *idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < *idle {
@@ -370,19 +512,20 @@ func runAggregator(args []string) error {
 		return err
 	}
 	printResults(results)
-	fmt.Printf("decoded=%d malformed=%d duplicates=%d\n",
-		agg.Decoded(), agg.Malformed(), agg.Duplicates())
+	st := agg.Stats()
+	fmt.Printf("decoded=%d malformed=%d duplicates=%d unknown=%d mismatched=%d\n",
+		st.Decoded, st.Malformed, st.Duplicates, st.UnknownQuery, st.LengthMismatch)
 	return nil
 }
 
 // formatResults renders fired windows in the node's canonical result
-// format; the multi-process smoke test renders its in-process reference
-// run through the same function and compares byte for byte.
+// format; the multi-process smoke tests render their in-process
+// reference runs through the same function and compare byte for byte.
 func formatResults(results []aggregator.Result) string {
 	var b strings.Builder
 	for _, res := range results {
-		fmt.Fprintf(&b, "window [%s → %s): %d answers\n",
-			res.Window.Start.Format("15:04:05"), res.Window.End.Format("15:04:05"), res.Responses)
+		fmt.Fprintf(&b, "query %s window [%s → %s): %d answers\n",
+			res.Query, res.Window.Start.Format("15:04:05"), res.Window.End.Format("15:04:05"), res.Responses)
 		for _, bk := range res.Buckets {
 			fmt.Fprintf(&b, "  %-12s %10.1f ± %.1f\n", bk.Label, bk.Estimate.Estimate, bk.Estimate.Margin)
 		}

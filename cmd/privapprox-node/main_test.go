@@ -16,11 +16,26 @@ import (
 )
 
 // TestMultiProcessSmoke spawns the real networked deployment on
-// loopback — two proxy processes, two client processes, one aggregator
-// process — and asserts the aggregator's results are byte-identical to
-// an in-process core.System run under the same seed conventions. This
-// is the Fig. 3 deployment shape driven end to end.
+// loopback — two proxy processes, a submit step announcing the query
+// set over the control topics, two client processes that pick the
+// queries up dynamically, one aggregator process that builds its demux
+// state from the same announcements — and asserts the aggregator's
+// results are byte-identical to an in-process core.System multi-query
+// run under the same seed conventions. This is the Fig. 3 deployment
+// shape driven end to end through the query control plane.
 func TestMultiProcessSmoke(t *testing.T) {
+	runSmokeTest(t, 1)
+}
+
+// TestMultiProcessMultiQuerySmoke is the same deployment with two
+// concurrent queries sharing the fleet — the networked half of the
+// multi-query determinism gate (the in-process half, multi vs solo, is
+// TestMultiQueryMatchesSolo in internal/core).
+func TestMultiProcessMultiQuerySmoke(t *testing.T) {
+	runSmokeTest(t, 2)
+}
+
+func runSmokeTest(t *testing.T, numQueries int) {
 	if testing.Short() {
 		t.Skip("multi-process smoke test skipped in -short mode")
 	}
@@ -28,12 +43,12 @@ func TestMultiProcessSmoke(t *testing.T) {
 
 	const (
 		seedFlag  = "-seed=42"
-		sFlag     = "-s=1" // everyone participates: decoded count is exact
 		clients   = 6
 		epochs    = 4
 		seed      = 42
 		partFlags = "-partitions=4"
 	)
+	queriesFlag := fmt.Sprintf("-queries=%d", numQueries)
 
 	// Proxies first; their topics must exist before anyone attaches.
 	addr0, stop0 := startProxy(t, bin, 0, partFlags)
@@ -42,17 +57,28 @@ func TestMultiProcessSmoke(t *testing.T) {
 	defer stop1()
 	proxies := "-proxies=" + addr0 + "," + addr1
 
-	// Two client processes, three logical clients each, batched flushes.
+	// Announce the query set (s=1: everyone participates, so the
+	// decoded count is exact).
+	out, err := exec.Command(bin, "submit", proxies, queriesFlag, "-s=1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("submit process: %v\n%s", err, out)
+	}
+
+	// Two client processes, three logical clients each, batched
+	// flushes; they learn the query set from the control topic.
 	for _, offset := range []int{0, 3} {
-		out, err := exec.Command(bin, "client", proxies, seedFlag, sFlag,
+		out, err := exec.Command(bin, "client", proxies, seedFlag, queriesFlag,
 			fmt.Sprintf("-offset=%d", offset), "-n=3",
 			fmt.Sprintf("-epochs=%d", epochs), "-conns=2").CombinedOutput()
 		if err != nil {
 			t.Fatalf("client process (offset %d): %v\n%s", offset, err, out)
 		}
+		if !strings.Contains(string(out), fmt.Sprintf("picked up %d queries", numQueries)) {
+			t.Fatalf("client process (offset %d) did not pick up the query set:\n%s", offset, out)
+		}
 	}
 
-	out, err := exec.Command(bin, "aggregator", proxies, seedFlag, sFlag,
+	out, err = exec.Command(bin, "aggregator", proxies, seedFlag, queriesFlag,
 		fmt.Sprintf("-clients=%d", clients), fmt.Sprintf("-epochs=%d", epochs),
 		"-conns=2", "-idle=5s").CombinedOutput()
 	if err != nil {
@@ -60,17 +86,20 @@ func TestMultiProcessSmoke(t *testing.T) {
 	}
 	got := string(out)
 
-	// The count line is exact at s=1: no sampling, no loss, no dupes.
-	wantCounts := fmt.Sprintf("decoded=%d malformed=0 duplicates=0", clients*epochs)
+	// The count line is exact at s=1: no sampling, no loss, no dupes,
+	// and every decoded message demuxed to a known query.
+	wantCounts := fmt.Sprintf("decoded=%d malformed=0 duplicates=0 unknown=0 mismatched=0",
+		clients*epochs*numQueries)
 	if !strings.Contains(got, wantCounts) {
 		t.Errorf("aggregator output missing %q:\n%s", wantCounts, got)
 	}
 
-	// Reference: the same population in-process, same seed conventions
-	// (core.Config: client i seed+i+2, aggregator seed+1), same query,
-	// params, and origin — the networked pipeline must reproduce it
-	// byte for byte through the shared result formatter.
-	want := inProcessReference(t, clients, epochs, seed)
+	// Reference: the same population in-process in MultiQuery mode,
+	// same seed conventions (core.Config: client i seed+i+2, aggregator
+	// seed+1), same queries, params, and origin — the networked
+	// pipeline must reproduce it byte for byte through the shared
+	// result formatter.
+	want := inProcessReference(t, clients, epochs, seed, numQueries)
 	if want == "" {
 		t.Fatal("in-process reference produced no windows")
 	}
@@ -129,23 +158,20 @@ func startProxy(t *testing.T, bin string, index int, extra ...string) (addr stri
 	}
 }
 
-// inProcessReference runs the equivalent single-process deployment and
-// renders every fired window through the node's formatter.
-func inProcessReference(t *testing.T, clients, epochs int, seed int64) string {
+// inProcessReference runs the equivalent single-process multi-query
+// deployment and renders every fired window through the node's
+// formatter.
+func inProcessReference(t *testing.T, clients, epochs int, seed int64, numQueries int) string {
 	t.Helper()
-	qy, err := sharedQuery()
-	if err != nil {
-		t.Fatal(err)
-	}
 	params := sharedParams(1, 0.9, 0.6)
 	sys, err := core.New(core.Config{
 		Clients:    clients,
 		Proxies:    2,
 		Partitions: 4,
-		Query:      qy,
 		Params:     &params,
 		Origin:     defaultOrigin,
 		Seed:       seed,
+		MultiQuery: true,
 		Populate: func(i int, db *minisql.DB) error {
 			return populateClient(i, db)
 		},
@@ -154,6 +180,15 @@ func inProcessReference(t *testing.T, clients, epochs int, seed int64) string {
 		t.Fatal(err)
 	}
 	defer sys.Close()
+	queries, err := nodeQueries(numQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if err := sys.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
 	var all []aggregator.Result
 	for e := 0; e < epochs; e++ {
 		res, _, err := sys.RunEpoch()

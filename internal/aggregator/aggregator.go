@@ -5,6 +5,19 @@
 // a confidence interval combining the two independent error sources —
 // sampling (Eq. 2–4) and randomized response (estimated empirically, as
 // in the paper's "experimental method").
+//
+// # Multi-query demultiplexing
+//
+// One aggregator serves any number of concurrent queries over the same
+// share streams. The share join is query-agnostic — shares are keyed by
+// message identifier, and the query a message belongs to is only
+// revealed by the wire QueryID after decryption — so the sharded join
+// front-end is shared, and everything after decode (windows, watermark,
+// firing, estimation, budgets) lives in per-query state demultiplexed
+// by the wire QueryID. Queries can be added and removed while shares
+// are in flight; messages for unknown queries and messages whose answer
+// length does not match their query are counted per shard and surfaced
+// through Stats, never silently discarded.
 package aggregator
 
 import (
@@ -28,28 +41,40 @@ import (
 	"privapprox/internal/xorcrypt"
 )
 
-// ErrConfig reports an invalid aggregator configuration.
-var ErrConfig = errors.New("aggregator: invalid config")
+// Errors reported by aggregator configuration and query registration.
+var (
+	ErrConfig = errors.New("aggregator: invalid config")
+	// ErrWireCollision reports two distinct query IDs hashing to the same
+	// 64-bit wire identifier — the demux key inside answer messages.
+	ErrWireCollision = errors.New("aggregator: wire query-ID collision")
+	// ErrUnknownQuery reports an operation on a query that is not
+	// registered.
+	ErrUnknownQuery = errors.New("aggregator: unknown query")
+)
 
-// Config assembles an aggregator for one query.
+// Config assembles an aggregator. Query/Params/Seed describe the first
+// query (optional for NewMulti; further queries arrive via AddQuery);
+// everything else is shared across queries.
 type Config struct {
 	Query      *query.Query
 	Params     budget.Params
 	Population int // U: number of subscribed clients
 	Proxies    int // n: shares per message
 	// Origin anchors epoch numbers to event time: event time of epoch e
-	// is Origin + e×Frequency.
+	// is Origin + e×Frequency (per query).
 	Origin time.Time
 	// Confidence for the error bound; defaults to 0.95.
 	Confidence float64
 	// Lateness tolerated before records are dropped; defaults to one
-	// slide interval.
+	// slide interval (per query).
 	Lateness time.Duration
 	// RRLossRounds is the number of micro-benchmark rounds used to
 	// estimate the randomized-response accuracy loss; defaults to 5.
 	RRLossRounds int
 	// Seed makes the RR-loss micro-benchmark deterministic; 0 draws a
-	// random seed.
+	// random seed. Each query registered through AddQuery may override
+	// it, so a query produces the same estimator stream whether it runs
+	// alone or among others.
 	Seed int64
 	// Shards splits the share-join map and the per-window accumulators
 	// into independently locked shards keyed by message-ID hash, so
@@ -69,6 +94,19 @@ type Config struct {
 	OnDecoded func(raw []byte, eventTime time.Time)
 }
 
+// QuerySpec registers one query with an aggregator.
+type QuerySpec struct {
+	Query  *query.Query
+	Params budget.Params
+	// Seed for the query's estimator randomness; 0 inherits Config.Seed.
+	Seed int64
+	// Lateness tolerated for this query; 0 defaults to the query slide.
+	Lateness time.Duration
+	// Confidence for this query's error bounds; 0 inherits the
+	// aggregator default.
+	Confidence float64
+}
+
 // BucketEstimate is the query result for one answer bucket.
 type BucketEstimate struct {
 	Label string
@@ -82,8 +120,10 @@ type BucketEstimate struct {
 	Estimate stats.ConfidenceInterval
 }
 
-// Result is one fired window.
+// Result is one fired window of one query.
 type Result struct {
+	// Query identifies which query the window belongs to.
+	Query      query.ID
 	Window     stream.Window
 	Responses  int // N: decoded answers in the window
 	Population int // U
@@ -91,19 +131,91 @@ type Result struct {
 	Buckets    []BucketEstimate
 }
 
-// Aggregator processes share streams for a single query. It is safe
-// for concurrent use: shares from any number of drain goroutines may be
-// submitted at once. The hot path — join, decrypt, decode, window
-// accumulation — is sharded by message-ID hash with per-shard locks;
-// only watermark advancement and window firing serialize, which keeps
-// the sequence of fired results (and the rng the estimator consumes)
-// deterministic under a fixed seed regardless of submission
-// interleaving within an epoch.
+// Stats is a snapshot of the aggregator's message accounting. Decoded
+// counts successfully demultiplexed answers; every other counter is a
+// reason a message (or share) went no further, so the sum of drops is
+// always observable — a demux bug shows up as UnknownQuery or
+// LengthMismatch climbing, not as silence.
+type Stats struct {
+	// Decoded answers accepted into per-query windows.
+	Decoded int64
+	// Malformed joined messages that failed decryption or decoding.
+	Malformed int64
+	// Duplicates are replayed shares rejected by the joiner.
+	Duplicates int64
+	// Late answers discarded behind their query's watermark.
+	Late int64
+	// UnknownQuery counts well-formed messages whose wire QueryID
+	// matches no registered query (a stopped query's stragglers, or a
+	// demux bug).
+	UnknownQuery int64
+	// LengthMismatch counts messages whose answer length does not match
+	// their query's bucket count.
+	LengthMismatch int64
+	// Queries is the number of registered queries.
+	Queries int
+}
+
+// Dropped returns the total number of discarded messages across every
+// drop reason.
+func (s Stats) Dropped() int64 {
+	return s.Malformed + s.Duplicates + s.Late + s.UnknownQuery + s.LengthMismatch
+}
+
+// Aggregator processes share streams for any number of queries. It is
+// safe for concurrent use: shares from any number of drain goroutines
+// may be submitted at once. The hot path — join, decrypt, decode,
+// demux, window accumulation — is sharded by message-ID hash with
+// per-shard locks; only watermark advancement and window firing (per
+// query) serialize, which keeps the sequence of fired results (and the
+// rng each query's estimator consumes) deterministic under fixed seeds
+// regardless of submission interleaving within an epoch.
 type Aggregator struct {
-	cfg      Config
-	assigner *stream.SlidingAssigner
-	shards   []joinShard
-	qidWire  uint64
+	cfg    Config
+	shards []joinShard
+
+	// states is the registered-query table, copy-on-write so the demux
+	// lookup on the submit hot path is one atomic load; stateMu
+	// serializes mutations (AddQuery/RemoveQuery) and guards nextOrd.
+	states  atomic.Pointer[stateTable]
+	stateMu sync.Mutex
+	nextOrd int
+
+	malformed  atomic.Int64
+	duplicates atomic.Int64
+	// removedDecoded/removedLate preserve a removed query's counters so
+	// Decoded()/Dropped()/Stats() never go backwards across RemoveQuery.
+	removedDecoded atomic.Int64
+	removedLate    atomic.Int64
+}
+
+// stateTable is one immutable snapshot of the registered queries.
+type stateTable struct {
+	byWire  map[uint64]*queryState
+	ordered []*queryState // registration order: the deterministic tie-break
+	// single short-circuits the map lookup in the (common) one-query
+	// case.
+	single *queryState
+	// maxWindow bounds how long partial joins are retained across all
+	// registered queries.
+	maxWindow time.Duration
+}
+
+// queryState is everything per-query: window registry, watermark,
+// firing, estimator. The shared join front-end routes decoded messages
+// here by wire QueryID.
+type queryState struct {
+	q *query.Query
+	// params is swapped atomically by AddQuery's in-place parameter
+	// update while drain goroutines read it during estimation, so the
+	// multi-word struct is held behind a pointer.
+	params     atomic.Pointer[budget.Params]
+	lateness   time.Duration
+	confidence float64
+	qidWire    uint64
+	nbuckets   int
+	ord        int // registration index, for deterministic result order
+	assigner   *stream.SlidingAssigner
 
 	// winMu guards the registry of open windows; accumulation inside a
 	// window goes through the sharded accumulator, not this lock.
@@ -111,14 +223,15 @@ type Aggregator struct {
 	windows map[int64]*openWindow // keyed by window start UnixNano
 
 	// fireMu serializes window firing so each window fires exactly once
-	// and results come out in global window-start order. Lock order:
-	// fireMu before winMu.
+	// and results come out in window-start order. Lock order: fireMu
+	// before winMu.
 	fireMu sync.Mutex
 	// wmMax is the maximum observed event time as UnixNano (wmUnseen
-	// before any event); the watermark is wmMax − Lateness. Kept atomic
+	// before any event); the watermark is wmMax − lateness. Kept atomic
 	// so the sharded add path never serializes on watermark reads.
 	wmMax   atomic.Int64
 	dropped atomic.Int64
+	decoded atomic.Int64
 
 	// estMu guards the estimator's rng and memoized RR-loss cache
 	// (estimates normally run under fireMu; BatchAnalyze calls the
@@ -126,26 +239,25 @@ type Aggregator struct {
 	estMu       sync.Mutex
 	rng         *rand.Rand
 	rrLossCache map[int]float64 // yes-fraction percent → simulated loss
-
-	malformed  atomic.Int64
-	duplicates atomic.Int64
-	decoded    atomic.Int64
 }
 
 // joinShard is one lock's worth of share-join state plus the scratch
-// buffers the join → decrypt → decode tail reuses across messages. All
-// scratch is touched only under mu (SubmitShare holds the shard lock
-// through ingest), so buffers never alias across concurrent messages;
-// the struct is larger than a cache line, so adjacent shard locks do
-// not false-share.
+// buffers the join → decrypt → decode tail reuses across messages, and
+// the per-shard demux drop counters (plain ints — they are only touched
+// under mu). All scratch is touched only under mu (SubmitShare holds
+// the shard lock through ingest), so buffers never alias across
+// concurrent messages; the struct is padded to a cache-line multiple so
+// adjacent shard locks do not false-share (the size check pins this).
 type joinShard struct {
-	mu     sync.Mutex
-	joiner *stream.KeyedShareJoiner[xorcrypt.MID]
-	plain  []byte           // reusable XOR-joined plaintext
-	vec    answer.BitVector // reusable zero-copy decode view
-	msg    answer.Message
-	wins   []stream.Window // reusable window-assignment scratch
-	_      [8]byte         // pad to two cache lines (the size check pins this)
+	mu         sync.Mutex
+	joiner     *stream.KeyedShareJoiner[xorcrypt.MID]
+	plain      []byte           // reusable XOR-joined plaintext
+	vec        answer.BitVector // reusable zero-copy decode view
+	msg        answer.Message
+	wins       []stream.Window // reusable window-assignment scratch
+	unknownQID int64           // decoded messages matching no registered query
+	badLength  int64           // messages whose answer length mismatched their query
+	_          [56]byte        // pad to a cache-line multiple
 }
 
 // openWindow is one window still accumulating answers.
@@ -154,17 +266,20 @@ type openWindow struct {
 	acc    *answer.ShardedAccumulator
 }
 
-// New validates the configuration and builds the aggregator.
+// New validates the configuration and builds a single-query aggregator
+// (Config.Query is required). Additional queries may still be added
+// with AddQuery.
 func New(cfg Config) (*Aggregator, error) {
 	if cfg.Query == nil {
 		return nil, fmt.Errorf("%w: nil query", ErrConfig)
 	}
-	if err := cfg.Query.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
+	return NewMulti(cfg)
+}
+
+// NewMulti builds an aggregator that may start with no queries at all:
+// when cfg.Query is nil the aggregator accepts shares (joining and
+// counting them) and registers queries dynamically via AddQuery.
+func NewMulti(cfg Config) (*Aggregator, error) {
 	if cfg.Population <= 0 {
 		return nil, fmt.Errorf("%w: population %d", ErrConfig, cfg.Population)
 	}
@@ -176,9 +291,6 @@ func New(cfg Config) (*Aggregator, error) {
 	}
 	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
 		return nil, fmt.Errorf("%w: confidence %v", ErrConfig, cfg.Confidence)
-	}
-	if cfg.Lateness == 0 {
-		cfg.Lateness = cfg.Query.Slide
 	}
 	if cfg.RRLossRounds == 0 {
 		cfg.RRLossRounds = 5
@@ -192,29 +304,196 @@ func New(cfg Config) (*Aggregator, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("%w: %d shards", ErrConfig, cfg.Shards)
 	}
-	assigner, err := stream.NewSlidingAssignerAt(cfg.Query.Window, cfg.Query.Slide, cfg.Origin)
-	if err != nil {
-		return nil, err
-	}
 	shards := make([]joinShard, cfg.Shards)
 	for i := range shards {
-		joiner, err := stream.NewKeyedShareJoiner[xorcrypt.MID](cfg.Proxies, cfg.Query.Window)
+		joiner, err := stream.NewKeyedShareJoiner[xorcrypt.MID](cfg.Proxies, 0)
 		if err != nil {
 			return nil, err
 		}
 		shards[i].joiner = joiner
 	}
-	a := &Aggregator{
-		cfg:         cfg,
+	a := &Aggregator{cfg: cfg, shards: shards}
+	a.states.Store(&stateTable{byWire: map[uint64]*queryState{}})
+	if cfg.Query != nil {
+		if err := a.AddQuery(QuerySpec{
+			Query:      cfg.Query,
+			Params:     cfg.Params,
+			Seed:       cfg.Seed,
+			Lateness:   cfg.Lateness,
+			Confidence: cfg.Confidence,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// AddQuery registers one query. Registering an ID that is already
+// active swaps its parameters in place (the feedback loop's
+// redistribution path) without touching its windows or estimator
+// state; registering a distinct ID whose 64-bit wire hash collides with
+// an active query is rejected with ErrWireCollision — the wire QueryID
+// is the demux key, so a collision would silently merge two queries'
+// answers.
+func (a *Aggregator) AddQuery(spec QuerySpec) error {
+	if spec.Query == nil {
+		return fmt.Errorf("%w: nil query", ErrConfig)
+	}
+	if err := spec.Query.Validate(); err != nil {
+		return err
+	}
+	if err := spec.Params.Validate(); err != nil {
+		return err
+	}
+	if spec.Seed == 0 {
+		spec.Seed = a.cfg.Seed
+	}
+	if spec.Lateness == 0 {
+		spec.Lateness = spec.Query.Slide
+	}
+	if spec.Confidence == 0 {
+		spec.Confidence = a.cfg.Confidence
+	}
+	if spec.Confidence <= 0 || spec.Confidence >= 1 {
+		return fmt.Errorf("%w: confidence %v", ErrConfig, spec.Confidence)
+	}
+	wire := spec.Query.QID.Uint64()
+
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	old := a.states.Load()
+	if st := old.byWire[wire]; st != nil {
+		if st.q.QID != spec.Query.QID {
+			return fmt.Errorf("%w: %s and %s both map to %#x",
+				ErrWireCollision, st.q.QID, spec.Query.QID, wire)
+		}
+		// Parameter update in place: windows and the estimator keep
+		// running undisturbed. The feedback controller only moves the
+		// sampling fraction, but AddQuery is a public API — if the
+		// randomization pair did change, the memoized RR-loss
+		// simulations are no longer valid and must be redone.
+		prev := st.params.Load()
+		st.params.Store(&spec.Params)
+		if prev.RR != spec.Params.RR {
+			st.estMu.Lock()
+			clear(st.rrLossCache)
+			st.estMu.Unlock()
+		}
+		return nil
+	}
+	assigner, err := stream.NewSlidingAssignerAt(spec.Query.Window, spec.Query.Slide, a.cfg.Origin)
+	if err != nil {
+		return err
+	}
+	st := &queryState{
+		q:          spec.Query,
+		lateness:   spec.Lateness,
+		confidence: spec.Confidence,
+		qidWire:    wire,
+		nbuckets:   len(spec.Query.Buckets),
+		// ord comes from a monotonic counter, not len(ordered): after a
+		// removal the next registration must still sort after every
+		// earlier one in the (window start, registration order) result
+		// order.
+		ord:         a.nextOrd,
 		assigner:    assigner,
-		shards:      shards,
 		windows:     make(map[int64]*openWindow),
-		qidWire:     cfg.Query.QID.Uint64(),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         rand.New(rand.NewSource(spec.Seed)),
 		rrLossCache: make(map[int]float64),
 	}
-	a.wmMax.Store(wmUnseen)
-	return a, nil
+	a.nextOrd++
+	st.params.Store(&spec.Params)
+	st.wmMax.Store(wmUnseen)
+	a.swapStates(old, st, nil)
+	a.updateRetain()
+	return nil
+}
+
+// updateRetain re-derives the joiner's completed-key retention horizon
+// as the maximum window over the active query set. Caller holds
+// stateMu; the lock order stateMu → shard mu is safe because no shard
+// holder ever takes stateMu.
+func (a *Aggregator) updateRetain() {
+	retain := a.states.Load().maxWindow
+	for i := range a.shards {
+		js := &a.shards[i]
+		js.mu.Lock()
+		js.joiner.SetRetain(retain)
+		js.mu.Unlock()
+	}
+}
+
+// RemoveQuery deregisters a query, flushing and returning its still-open
+// windows. Shares of the query still in flight join as usual but then
+// count under Stats.UnknownQuery.
+func (a *Aggregator) RemoveQuery(id query.ID) ([]Result, error) {
+	wire := id.Uint64()
+	a.stateMu.Lock()
+	old := a.states.Load()
+	st := old.byWire[wire]
+	if st == nil || st.q.QID != id {
+		a.stateMu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownQuery, id)
+	}
+	a.swapStates(old, nil, st)
+	a.updateRetain()
+	a.stateMu.Unlock()
+
+	st.fireMu.Lock()
+	res, err := a.fireLocked(st, true)
+	st.fireMu.Unlock()
+	// Fold the removed query's counters into the aggregator-level
+	// totals so Decoded()/Dropped()/Stats() never move backwards.
+	a.removedDecoded.Add(st.decoded.Load())
+	a.removedLate.Add(st.dropped.Load())
+	return res, err
+}
+
+// swapStates installs a new state table derived from old with add
+// appended and/or del removed. Caller holds stateMu.
+func (a *Aggregator) swapStates(old *stateTable, add, del *queryState) {
+	next := &stateTable{byWire: make(map[uint64]*queryState, len(old.byWire)+1)}
+	for _, st := range old.ordered {
+		if st == del {
+			continue
+		}
+		next.byWire[st.qidWire] = st
+		next.ordered = append(next.ordered, st)
+	}
+	if add != nil {
+		next.byWire[add.qidWire] = add
+		next.ordered = append(next.ordered, add)
+	}
+	for _, st := range next.ordered {
+		if st.q.Window > next.maxWindow {
+			next.maxWindow = st.q.Window
+		}
+	}
+	if len(next.ordered) == 1 {
+		next.single = next.ordered[0]
+	}
+	a.states.Store(next)
+}
+
+// stateFor demultiplexes a wire QueryID to its per-query state, nil
+// when no such query is registered. One atomic load plus (at most) one
+// map lookup — allocation-free on the submit hot path.
+func (a *Aggregator) stateFor(wire uint64) *queryState {
+	t := a.states.Load()
+	if s := t.single; s != nil && s.qidWire == wire {
+		return s
+	}
+	return t.byWire[wire]
+}
+
+// ActiveQueries returns the registered query IDs in registration order.
+func (a *Aggregator) ActiveQueries() []query.ID {
+	t := a.states.Load()
+	out := make([]query.ID, len(t.ordered))
+	for i, st := range t.ordered {
+		out[i] = st.q.QID
+	}
+	return out
 }
 
 // Shards returns the configured shard count.
@@ -242,8 +521,9 @@ func (a *Aggregator) shardOf(mid xorcrypt.MID) int {
 
 // SubmitShare folds in one share from proxy stream source (0 ≤ source <
 // Proxies). When the share completes a message, the message is
-// decrypted, decoded, and assigned to windows; any windows closed by
-// the advancing watermark are returned as results.
+// decrypted, decoded, demultiplexed to its query, and assigned to that
+// query's windows; any windows closed by the advancing watermark are
+// returned as results.
 //
 // SubmitShare takes ownership of share.Payload: the joiner retains it
 // until the message's remaining shares arrive (or a sweep drops the
@@ -260,14 +540,15 @@ func (a *Aggregator) SubmitShare(share xorcrypt.Share, source int, arrival time.
 	return res, err
 }
 
-// submitLocked runs the join → decrypt → decode → accumulate tail under
-// the shard lock so the shard-owned scratch (pooled join group, joined
-// plaintext, decode view, window slice) is reused across messages
-// without ever being shared between goroutines. The caller holds js.mu.
+// submitLocked runs the join → decrypt → decode → demux → accumulate
+// tail under the shard lock so the shard-owned scratch (pooled join
+// group, joined plaintext, decode view, window slice) is reused across
+// messages without ever being shared between goroutines. The caller
+// holds js.mu.
 //
-// Lock order: js.mu may be taken before fireMu (via ingest); nothing
-// acquires a shard lock while holding fireMu or winMu, so the order is
-// acyclic.
+// Lock order: js.mu may be taken before a query's fireMu (via ingest);
+// nothing acquires a shard lock while holding fireMu or winMu, so the
+// order is acyclic.
 func (a *Aggregator) submitLocked(js *joinShard, share xorcrypt.Share, source int, arrival time.Time, shard int) ([]Result, error) {
 	joined, err := js.joiner.Add(share.MID, source, share.Payload, arrival)
 	if err != nil {
@@ -296,26 +577,31 @@ func (a *Aggregator) submitLocked(js *joinShard, share xorcrypt.Share, source in
 		return nil, nil
 	}
 	msg := &js.msg
-	if msg.QueryID != a.qidWire || msg.Answer.Len() != len(a.cfg.Query.Buckets) {
-		a.malformed.Add(1)
+	st := a.stateFor(msg.QueryID)
+	if st == nil {
+		js.unknownQID++
 		return nil, nil
 	}
-	a.decoded.Add(1)
-	eventTime := a.cfg.Origin.Add(time.Duration(msg.Epoch) * a.cfg.Query.Frequency)
+	if msg.Answer.Len() != st.nbuckets {
+		js.badLength++
+		return nil, nil
+	}
+	st.decoded.Add(1)
+	eventTime := a.cfg.Origin.Add(time.Duration(msg.Epoch) * st.q.Frequency)
 	if a.cfg.OnDecoded != nil {
 		// Ownership contract: plain is shard scratch, valid only for
 		// the duration of the callback — the hook must copy what it
 		// keeps (histstore.Append serializes into its own buffer).
 		a.cfg.OnDecoded(plain, eventTime)
 	}
-	return a.ingest(js, eventTime, msg.Answer, shard)
+	return a.ingest(js, st, eventTime, msg.Answer, shard)
 }
 
-// ingest assigns one decoded answer to its windows and advances the
-// watermark, firing any windows the advance closes. Only an observation
-// that actually moves the watermark takes the fire path — within an
-// epoch all event times are equal, so the drain goroutines run the
-// sharded adds without ever touching fireMu.
+// ingest assigns one decoded answer to its query's windows and advances
+// that query's watermark, firing any windows the advance closes. Only
+// an observation that actually moves the watermark takes the fire path
+// — within an epoch all event times of one query are equal, so the
+// drain goroutines run the sharded adds without ever touching fireMu.
 //
 // ingest/isLate/observe/fireLocked intentionally fork the windowing
 // semantics of stream.WindowedOp + stream.WatermarkTracker (watermark =
@@ -324,18 +610,18 @@ func (a *Aggregator) submitLocked(js *joinShard, share xorcrypt.Share, source in
 // concurrency-safe form; the stream package keeps the generic
 // single-threaded operator. A semantic change to either must be made in
 // both.
-func (a *Aggregator) ingest(js *joinShard, eventTime time.Time, vec *answer.BitVector, shard int) ([]Result, error) {
-	if a.isLate(eventTime) {
+func (a *Aggregator) ingest(js *joinShard, st *queryState, eventTime time.Time, vec *answer.BitVector, shard int) ([]Result, error) {
+	if st.isLate(eventTime) {
 		// A late event can never advance the watermark, so nothing can
 		// fire on its account.
-		a.dropped.Add(1)
+		st.dropped.Add(1)
 		return nil, nil
 	}
 
 	refused := false
-	js.wins = a.assigner.AppendWindowsFor(js.wins[:0], eventTime)
+	js.wins = st.assigner.AppendWindowsFor(js.wins[:0], eventTime)
 	for _, w := range js.wins {
-		ow := a.openWindowFor(w)
+		ow := a.openWindowFor(st, w)
 		if ow == nil {
 			// The window fired while we raced to it; the answer is by
 			// definition late there.
@@ -356,15 +642,15 @@ func (a *Aggregator) ingest(js *joinShard, eventTime time.Time, vec *answer.BitV
 		// be refused by several of its sliding windows (and in rare
 		// interleavings still land in others), but it is one discarded
 		// answer.
-		a.dropped.Add(1)
+		st.dropped.Add(1)
 	}
 
-	if !a.observe(eventTime) {
+	if !st.observe(eventTime) {
 		return nil, nil
 	}
-	a.fireMu.Lock()
-	res, err := a.fireLocked(false)
-	a.fireMu.Unlock()
+	st.fireMu.Lock()
+	res, err := a.fireLocked(st, false)
+	st.fireMu.Unlock()
 	return res, err
 }
 
@@ -377,78 +663,78 @@ const wmUnseen = math.MinInt64
 // one atomic so the sharded add path reads it without any lock
 // (matching stream.WatermarkTracker semantics: watermark = max event
 // time − lateness).
-func (a *Aggregator) isLate(t time.Time) bool {
-	m := a.wmMax.Load()
-	return m != wmUnseen && t.Before(time.Unix(0, m).Add(-a.cfg.Lateness))
+func (st *queryState) isLate(t time.Time) bool {
+	m := st.wmMax.Load()
+	return m != wmUnseen && t.Before(time.Unix(0, m).Add(-st.lateness))
 }
 
 // observe reports whether the observation advanced the watermark; only
 // an advance can close a window, so non-advancing callers skip the
 // serialized fire path entirely.
-func (a *Aggregator) observe(t time.Time) bool {
+func (st *queryState) observe(t time.Time) bool {
 	n := t.UnixNano()
 	for {
-		m := a.wmMax.Load()
+		m := st.wmMax.Load()
 		if m != wmUnseen && n <= m {
 			return false
 		}
-		if a.wmMax.CompareAndSwap(m, n) {
+		if st.wmMax.CompareAndSwap(m, n) {
 			return true
 		}
 	}
 }
 
-func (a *Aggregator) watermark() time.Time {
-	m := a.wmMax.Load()
+func (st *queryState) watermark() time.Time {
+	m := st.wmMax.Load()
 	if m == wmUnseen {
 		return time.Time{}
 	}
-	return time.Unix(0, m).Add(-a.cfg.Lateness)
+	return time.Unix(0, m).Add(-st.lateness)
 }
 
 // openWindowFor returns the accumulating state for w, creating it if
 // needed. It returns nil when w already closed (its end is behind the
 // watermark), so a racing late answer can never resurrect a fired
 // window.
-func (a *Aggregator) openWindowFor(w stream.Window) *openWindow {
+func (a *Aggregator) openWindowFor(st *queryState, w stream.Window) *openWindow {
 	key := w.Start.UnixNano()
-	a.winMu.RLock()
-	ow := a.windows[key]
-	a.winMu.RUnlock()
+	st.winMu.RLock()
+	ow := st.windows[key]
+	st.winMu.RUnlock()
 	if ow != nil {
 		return ow
 	}
-	a.winMu.Lock()
-	defer a.winMu.Unlock()
-	if ow := a.windows[key]; ow != nil {
+	st.winMu.Lock()
+	defer st.winMu.Unlock()
+	if ow := st.windows[key]; ow != nil {
 		return ow
 	}
-	if !w.End.After(a.watermark()) {
+	if !w.End.After(st.watermark()) {
 		return nil
 	}
-	acc, err := answer.NewShardedAccumulator(len(a.cfg.Query.Buckets), len(a.shards))
+	acc, err := answer.NewShardedAccumulator(st.nbuckets, len(a.shards))
 	if err != nil {
 		return nil
 	}
 	ow = &openWindow{window: w, acc: acc}
-	a.windows[key] = ow
+	st.windows[key] = ow
 	return ow
 }
 
-// fireLocked closes every window behind the watermark (or all windows
-// when flush is set), earliest first, and estimates each. Caller holds
-// fireMu.
-func (a *Aggregator) fireLocked(flush bool) ([]Result, error) {
-	wm := a.watermark()
-	a.winMu.Lock()
+// fireLocked closes every window of one query behind its watermark (or
+// all windows when flush is set), earliest first, and estimates each.
+// Caller holds st.fireMu.
+func (a *Aggregator) fireLocked(st *queryState, flush bool) ([]Result, error) {
+	wm := st.watermark()
+	st.winMu.Lock()
 	var closing []*openWindow
-	for key, ow := range a.windows {
+	for key, ow := range st.windows {
 		if flush || !ow.window.End.After(wm) {
 			closing = append(closing, ow)
-			delete(a.windows, key)
+			delete(st.windows, key)
 		}
 	}
-	a.winMu.Unlock()
+	st.winMu.Unlock()
 	if len(closing) == 0 {
 		return nil, nil
 	}
@@ -464,7 +750,7 @@ func (a *Aggregator) fireLocked(flush bool) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := a.estimate(ow.window, acc)
+		res, err := a.estimate(st, ow.window, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -473,31 +759,109 @@ func (a *Aggregator) fireLocked(flush bool) ([]Result, error) {
 	return out, nil
 }
 
-// AdvanceTo moves the watermark forward (e.g. on an epoch timer) and
-// returns any windows that close; it also sweeps stale partial joins.
+// AdvanceTo moves every query's watermark forward (e.g. on an epoch
+// timer) and returns any windows that close, ordered by window start
+// with registration order breaking ties; it also sweeps stale partial
+// joins.
 func (a *Aggregator) AdvanceTo(t time.Time) ([]Result, error) {
-	cutoff := t.Add(-a.cfg.Query.Window)
+	tbl := a.states.Load()
+	cutoff := t.Add(-tbl.maxWindow)
 	for i := range a.shards {
 		js := &a.shards[i]
 		js.mu.Lock()
 		js.joiner.Sweep(cutoff)
 		js.mu.Unlock()
 	}
-	a.fireMu.Lock()
-	defer a.fireMu.Unlock()
-	a.observe(t)
-	return a.fireLocked(false)
+	var out []Result
+	for _, st := range tbl.ordered {
+		st.fireMu.Lock()
+		st.observe(t)
+		res, err := a.fireLocked(st, false)
+		st.fireMu.Unlock()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res...)
+	}
+	SortResults(out, tbl.orderOf)
+	return out, nil
 }
 
-// Flush closes all open windows at end of stream.
+// Flush closes all open windows of every query at end of stream,
+// ordered by window start with registration order breaking ties.
 func (a *Aggregator) Flush() ([]Result, error) {
-	a.fireMu.Lock()
-	defer a.fireMu.Unlock()
-	return a.fireLocked(true)
+	tbl := a.states.Load()
+	var out []Result
+	for _, st := range tbl.ordered {
+		st.fireMu.Lock()
+		res, err := a.fireLocked(st, true)
+		st.fireMu.Unlock()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res...)
+	}
+	SortResults(out, tbl.orderOf)
+	return out, nil
 }
 
-// Decoded returns the number of successfully decoded answers.
-func (a *Aggregator) Decoded() int64 { return a.decoded.Load() }
+// orderOf maps a query ID to its registration index (unknown queries
+// sort last, by ID string).
+func (t *stateTable) orderOf(id query.ID) int {
+	if st := t.byWire[id.Uint64()]; st != nil && st.q.QID == id {
+		return st.ord
+	}
+	return int(^uint(0) >> 1)
+}
+
+// SortResults orders results by window start, breaking ties with the
+// query order function (nil falls back to the ID's textual order) —
+// the canonical deterministic result order every drain path sorts
+// into.
+func SortResults(res []Result, order func(query.ID) int) {
+	sort.SliceStable(res, func(i, j int) bool {
+		if !res[i].Window.Start.Equal(res[j].Window.Start) {
+			return res[i].Window.Start.Before(res[j].Window.Start)
+		}
+		if res[i].Query == res[j].Query {
+			return false
+		}
+		if order != nil {
+			oi, oj := order(res[i].Query), order(res[j].Query)
+			if oi != oj {
+				return oi < oj
+			}
+		}
+		return res[i].Query.String() < res[j].Query.String()
+	})
+}
+
+// QueryOrder returns the aggregator's registration-order function for
+// SortResults, so external drains sort fired windows exactly like
+// Flush/AdvanceTo do.
+func (a *Aggregator) QueryOrder() func(query.ID) int {
+	return a.states.Load().orderOf
+}
+
+// ByQuery splits a merged result stream into per-query streams,
+// preserving order.
+func ByQuery(results []Result) map[query.ID][]Result {
+	out := make(map[query.ID][]Result)
+	for _, r := range results {
+		out[r.Query] = append(out[r.Query], r)
+	}
+	return out
+}
+
+// Decoded returns the number of successfully decoded answers across all
+// queries (including since-removed ones).
+func (a *Aggregator) Decoded() int64 {
+	n := a.removedDecoded.Load()
+	for _, st := range a.states.Load().ordered {
+		n += st.decoded.Load()
+	}
+	return n
+}
 
 // Malformed returns the number of joined messages that failed
 // decryption or decoding (malicious or corrupt clients).
@@ -508,8 +872,39 @@ func (a *Aggregator) Malformed() int64 { return a.malformed.Load() }
 func (a *Aggregator) Duplicates() int64 { return a.duplicates.Load() }
 
 // Dropped returns the number of answers discarded for arriving behind
-// the watermark.
-func (a *Aggregator) Dropped() int64 { return a.dropped.Load() }
+// their query's watermark (including since-removed queries').
+func (a *Aggregator) Dropped() int64 {
+	n := a.removedLate.Load()
+	for _, st := range a.states.Load().ordered {
+		n += st.dropped.Load()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the aggregator's message accounting,
+// including the per-shard demux drop counters.
+func (a *Aggregator) Stats() Stats {
+	tbl := a.states.Load()
+	s := Stats{
+		Decoded:    a.removedDecoded.Load(),
+		Malformed:  a.malformed.Load(),
+		Duplicates: a.duplicates.Load(),
+		Late:       a.removedLate.Load(),
+		Queries:    len(tbl.ordered),
+	}
+	for _, st := range tbl.ordered {
+		s.Decoded += st.decoded.Load()
+		s.Late += st.dropped.Load()
+	}
+	for i := range a.shards {
+		js := &a.shards[i]
+		js.mu.Lock()
+		s.UnknownQuery += js.unknownQID
+		s.LengthMismatch += js.badLength
+		js.mu.Unlock()
+	}
+	return s
+}
 
 // PendingJoins returns the number of messages waiting for shares across
 // all shards.
@@ -524,26 +919,31 @@ func (a *Aggregator) PendingJoins() int {
 	return n
 }
 
-// OpenWindows returns the number of windows still accumulating.
+// OpenWindows returns the number of windows still accumulating across
+// all queries.
 func (a *Aggregator) OpenWindows() int {
-	a.winMu.RLock()
-	defer a.winMu.RUnlock()
-	return len(a.windows)
+	n := 0
+	for _, st := range a.states.Load().ordered {
+		st.winMu.RLock()
+		n += len(st.windows)
+		st.winMu.RUnlock()
+	}
+	return n
 }
 
 // estimate turns a window's accumulated randomized answers into the
 // paper's queryResult ± errorBound (§3.2.4). The SRS population is
 // measured in answer slots: every client produces one answer per epoch,
 // so a window spanning k epochs draws from U×k potential answers.
-func (a *Aggregator) estimate(w stream.Window, acc *answer.Accumulator) (Result, error) {
-	epochs := int(a.cfg.Query.Window / a.cfg.Query.Frequency)
+func (a *Aggregator) estimate(st *queryState, w stream.Window, acc *answer.Accumulator) (Result, error) {
+	epochs := int(st.q.Window / st.q.Frequency)
 	if epochs < 1 {
 		epochs = 1
 	}
-	return a.estimateWithPopulation(w, acc, a.cfg.Population*epochs)
+	return a.estimateWithPopulation(st, w, acc, a.cfg.Population*epochs)
 }
 
-func (a *Aggregator) estimateWithPopulation(w stream.Window, acc *answer.Accumulator, effPopulation int) (Result, error) {
+func (a *Aggregator) estimateWithPopulation(st *queryState, w stream.Window, acc *answer.Accumulator, effPopulation int) (Result, error) {
 	n := acc.N()
 	if effPopulation < n {
 		// More answers than slots (e.g. replayed epochs): treat the
@@ -551,26 +951,29 @@ func (a *Aggregator) estimateWithPopulation(w stream.Window, acc *answer.Accumul
 		effPopulation = n
 	}
 	res := Result{
+		Query:      st.q.QID,
 		Window:     w,
 		Responses:  n,
 		Population: effPopulation,
-		Inverted:   a.cfg.Query.Inverted,
+		Inverted:   st.q.Inverted,
 	}
-	for i, label := range a.cfg.Query.Buckets.Labels() {
+	for i, label := range st.q.Buckets.Labels() {
 		be := BucketEstimate{Label: label, ObservedYes: acc.Yes(i)}
 		if n == 0 {
-			be.Estimate = stats.ConfidenceInterval{Confidence: a.cfg.Confidence, Margin: math.Inf(1)}
+			be.Estimate = stats.ConfidenceInterval{Confidence: st.confidence, Margin: math.Inf(1)}
 			res.Buckets = append(res.Buckets, be)
 			continue
 		}
 		// Randomized-response correction (Eq. 5), inverted when the
-		// analyst flipped the query (§3.3.2).
+		// analyst flipped the query (§3.3.2). One atomic params load per
+		// bucket keeps the read coherent against a concurrent update.
+		rrParams := st.params.Load().RR
 		var truthful float64
 		var err error
-		if a.cfg.Query.Inverted {
-			truthful, err = rr.EstimateNo(a.cfg.Params.RR, acc.Yes(i), n)
+		if st.q.Inverted {
+			truthful, err = rr.EstimateNo(rrParams, acc.Yes(i), n)
 		} else {
-			truthful, err = rr.EstimateYes(a.cfg.Params.RR, acc.Yes(i), n)
+			truthful, err = rr.EstimateYes(rrParams, acc.Yes(i), n)
 		}
 		if err != nil {
 			return Result{}, err
@@ -584,20 +987,20 @@ func (a *Aggregator) estimateWithPopulation(w stream.Window, acc *answer.Accumul
 		if err != nil {
 			return Result{}, err
 		}
-		srs, err := sampling.EstimateSumFromMoments(moments, effPopulation, a.cfg.Confidence)
+		srs, err := sampling.EstimateSumFromMoments(moments, effPopulation, st.confidence)
 		if err != nil {
 			return Result{}, err
 		}
 		// Randomization margin: simulated accuracy loss at this bucket's
 		// truthful fraction (the paper's micro-benchmark method).
-		rrLoss, err := a.rrLoss(truthful/float64(n), n)
+		rrLoss, err := a.rrLoss(st, truthful/float64(n), n)
 		if err != nil {
 			return Result{}, err
 		}
 		be.Estimate = stats.ConfidenceInterval{
 			Estimate:   srs.Sum,
 			Margin:     srs.Margin + rrLoss*srs.Sum,
-			Confidence: a.cfg.Confidence,
+			Confidence: st.confidence,
 		}
 		res.Buckets = append(res.Buckets, be)
 	}
@@ -606,7 +1009,7 @@ func (a *Aggregator) estimateWithPopulation(w stream.Window, acc *answer.Accumul
 
 // rrLoss estimates the randomized-response accuracy loss at a truthful
 // fraction via simulation, memoized on the fraction percent.
-func (a *Aggregator) rrLoss(fraction float64, n int) (float64, error) {
+func (a *Aggregator) rrLoss(st *queryState, fraction float64, n int) (float64, error) {
 	if fraction <= 0 {
 		return 0, nil
 	}
@@ -614,9 +1017,9 @@ func (a *Aggregator) rrLoss(fraction float64, n int) (float64, error) {
 	if pct == 0 {
 		pct = 1
 	}
-	a.estMu.Lock()
-	defer a.estMu.Unlock()
-	if loss, ok := a.rrLossCache[pct]; ok {
+	st.estMu.Lock()
+	defer st.estMu.Unlock()
+	if loss, ok := st.rrLossCache[pct]; ok {
 		return loss, nil
 	}
 	simN := n
@@ -626,17 +1029,17 @@ func (a *Aggregator) rrLoss(fraction float64, n int) (float64, error) {
 	if simN < 100 {
 		simN = 100
 	}
-	params := a.cfg.Params.RR
+	params := st.params.Load().RR
 	frac := float64(pct) / 100
-	if a.cfg.Query.Inverted {
+	if st.q.Inverted {
 		// The inverted query estimates the "No" side: simulate its loss.
 		params = params.Invert()
 	}
-	loss, err := rr.SimulateAccuracyLoss(params, frac, simN, a.cfg.RRLossRounds, a.rng)
+	loss, err := rr.SimulateAccuracyLoss(params, frac, simN, a.cfg.RRLossRounds, st.rng)
 	if err != nil {
 		return 0, err
 	}
-	a.rrLossCache[pct] = loss
+	st.rrLossCache[pct] = loss
 	return loss, nil
 }
 

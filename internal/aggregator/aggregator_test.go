@@ -259,10 +259,25 @@ func TestMalformedAndForeignMessagesCounted(t *testing.T) {
 	if a.Malformed() != 1 {
 		t.Errorf("Malformed = %d, want 1", a.Malformed())
 	}
-	// A valid message for a different query is rejected too.
+	// A valid message for a different query is rejected too — and
+	// counted under its own demux counter, not lumped into Malformed.
 	submitMessage(t, a, sp, 999999, 0, 1, 4)
-	if a.Malformed() != 2 {
-		t.Errorf("Malformed = %d, want 2", a.Malformed())
+	if a.Malformed() != 1 {
+		t.Errorf("Malformed = %d, want 1", a.Malformed())
+	}
+	st := a.Stats()
+	if st.UnknownQuery != 1 {
+		t.Errorf("Stats.UnknownQuery = %d, want 1", st.UnknownQuery)
+	}
+	// Right query, wrong answer length: the message decodes but cannot
+	// belong to the query's bucket layout.
+	submitMessage(t, a, sp, cfg.Query.QID.Uint64(), 0, 1, 7)
+	st = a.Stats()
+	if st.LengthMismatch != 1 {
+		t.Errorf("Stats.LengthMismatch = %d, want 1", st.LengthMismatch)
+	}
+	if got := st.Dropped(); got != 3 {
+		t.Errorf("Stats.Dropped() = %d, want 3", got)
 	}
 	if a.Decoded() != 0 {
 		t.Errorf("Decoded = %d, want 0", a.Decoded())

@@ -42,6 +42,7 @@ func BatchAnalyze(cfg Config, src AnswerSource, from, to time.Time, secondSampli
 	if err != nil {
 		return BatchResult{}, err
 	}
+	st := agg.states.Load().single
 	if rng == nil {
 		rng = rand.New(rand.NewSource(rand.Int63()))
 	}
@@ -65,7 +66,7 @@ func BatchAnalyze(cfg Config, src AnswerSource, from, to time.Time, secondSampli
 			agg.malformed.Add(1)
 			return nil
 		}
-		if msg.QueryID != agg.qidWire || msg.Answer.Len() != nbuckets {
+		if msg.QueryID != st.qidWire || msg.Answer.Len() != nbuckets {
 			agg.malformed.Add(1)
 			return nil
 		}
@@ -82,7 +83,7 @@ func BatchAnalyze(cfg Config, src AnswerSource, from, to time.Time, secondSampli
 	if effPop == 0 {
 		effPop = cfg.Population
 	}
-	res, err := agg.estimateWithPopulation(stream.Window{Start: from, End: to}, acc, effPop)
+	res, err := agg.estimateWithPopulation(st, stream.Window{Start: from, End: to}, acc, effPop)
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -96,7 +97,7 @@ func BatchAnalyze(cfg Config, src AnswerSource, from, to time.Time, secondSampli
 			if err != nil {
 				return BatchResult{}, err
 			}
-			second, err := sampling.EstimateSumFromMoments(moments, out.Scanned, agg.cfg.Confidence)
+			second, err := sampling.EstimateSumFromMoments(moments, out.Scanned, st.confidence)
 			if err != nil {
 				return BatchResult{}, err
 			}

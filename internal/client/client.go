@@ -4,6 +4,15 @@
 // four client-side steps — sampling decision (§3.2.1), local query
 // execution and randomized response (§3.2.2), and XOR-based share
 // transmission to the proxies (§3.2.3).
+//
+// A client holds any number of concurrent subscriptions — the paper's
+// normal operating mode has many analysts' queries running over the
+// same population — and answers every active query each epoch. Each
+// subscription owns its own deterministic randomness (derived from the
+// client seed, the query's wire identifier, and a per-query
+// subscription generation), so a query's coin flips never depend on
+// which other queries happen to be active: query Q answered alongside
+// nine others produces exactly the bits it would produce running alone.
 package client
 
 import (
@@ -99,6 +108,8 @@ func ReduceCount(rows *minisql.Rows) (string, bool) {
 }
 
 // Stats counts client-side work for the Table 3 and Fig. 9 experiments.
+// With multiple subscriptions, Participated and AnswersSent count
+// per-(query, epoch) events while EpochsSeen counts epochs.
 type Stats struct {
 	EpochsSeen   int64
 	Participated int64
@@ -123,16 +134,25 @@ type Client struct {
 	analyst ed25519.PublicKey
 	sinks   []ShareSink
 	reducer Reducer
+	seed    int64
 
-	sub      *subscription
-	rng      *rand.Rand
+	// subs holds the active subscriptions in registration order; byWire
+	// indexes them by the query's wire identifier. gens counts how many
+	// times each wire QID has been (re-)subscribed, so a feedback-driven
+	// re-subscription draws a fresh, deterministic coin stream instead of
+	// replaying the old one.
+	subs   []*subscription
+	byWire map[uint64]int
+	gens   map[uint64]uint64
+
 	splitter *xorcrypt.Splitter
 
 	// Per-epoch scratch, reused across epochs so the steady-state
-	// answering path allocates nothing: the truthful answer vector, the
-	// encoded message, and the split-share buffers. Safe because every
-	// ShareSink copies or consumes before returning (see ShareSink).
-	vec     *answer.BitVector
+	// answering path allocates nothing: the encoded message and the
+	// split-share buffers (the truthful answer vector lives per
+	// subscription — bucket counts differ across queries). Safe because
+	// every ShareSink copies or consumes before returning (see
+	// ShareSink).
 	msgBuf  []byte
 	scratch xorcrypt.SplitScratch
 
@@ -149,6 +169,7 @@ type subscription struct {
 	decider  *sampling.HashDecider
 	rz       *rr.Randomizer
 	qidWire  uint64
+	vec      *answer.BitVector // per-subscription truthful-answer scratch
 }
 
 // New validates the configuration and builds a client.
@@ -177,7 +198,9 @@ func New(cfg Config) (*Client, error) {
 		analyst:  cfg.AnalystKey,
 		sinks:    cfg.Sinks,
 		reducer:  reducer,
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		byWire:   make(map[uint64]int),
+		gens:     make(map[uint64]uint64),
 		splitter: splitter,
 	}, nil
 }
@@ -185,65 +208,178 @@ func New(cfg Config) (*Client, error) {
 // ID returns the client identifier.
 func (c *Client) ID() string { return c.id }
 
+// splitmix64 is the SplitMix64 finalizer, used to mix the client seed
+// with per-subscription coordinates.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// subSeed derives the deterministic randomizer seed for one
+// subscription: a pure function of (client seed, wire QID, subscribe
+// generation). Every code path that activates a query — the legacy
+// single-query Subscribe, the multi-query SubscribeQuery, in-process or
+// via the control topic — lands on the same derivation, which is what
+// makes a query's randomized responses identical whether it runs alone
+// or alongside others.
+func subSeed(seed int64, qidWire, gen uint64) int64 {
+	z := splitmix64(uint64(seed) ^ qidWire)
+	return int64(splitmix64(z + gen))
+}
+
 // Subscribe verifies the analyst's signature (when a key is configured)
 // and activates the query with the system parameters the aggregator
-// derived from the budget.
+// derived from the budget. Subscribe keeps the single-query contract of
+// the original runtime: the new subscription replaces the entire active
+// set. Use SubscribeQuery to add a query alongside others.
 func (c *Client) Subscribe(signed *query.Signed, params budget.Params) error {
-	if c.analyst != nil {
-		if err := signed.Verify(c.analyst); err != nil {
-			return err
+	sub, err := c.buildSubscription(signed, c.analyst, params)
+	if err != nil {
+		return err
+	}
+	c.subs = c.subs[:0]
+	clear(c.byWire)
+	c.byWire[sub.qidWire] = 0
+	c.subs = append(c.subs, sub)
+	return nil
+}
+
+// SubscribeQuery activates one query alongside any others already
+// active (upserting by wire QID: re-subscribing an active query swaps
+// its parameters in place and redraws its coin stream). The signature
+// is verified against analystKey when non-nil, falling back to the
+// client's configured analyst key when one was set.
+func (c *Client) SubscribeQuery(signed *query.Signed, analystKey ed25519.PublicKey, params budget.Params) error {
+	key := analystKey
+	if key == nil {
+		key = c.analyst
+	}
+	sub, err := c.buildSubscription(signed, key, params)
+	if err != nil {
+		return err
+	}
+	if i, ok := c.byWire[sub.qidWire]; ok {
+		c.subs[i] = sub
+		return nil
+	}
+	c.byWire[sub.qidWire] = len(c.subs)
+	c.subs = append(c.subs, sub)
+	return nil
+}
+
+// UnsubscribeQuery deactivates a query, reporting whether it was
+// active. The wire-QID generation counter survives, so a later
+// re-subscription still draws a fresh coin stream.
+func (c *Client) UnsubscribeQuery(id query.ID) bool {
+	wire := id.Uint64()
+	i, ok := c.byWire[wire]
+	if !ok {
+		return false
+	}
+	c.subs = append(c.subs[:i], c.subs[i+1:]...)
+	delete(c.byWire, wire)
+	for j := i; j < len(c.subs); j++ {
+		c.byWire[c.subs[j].qidWire] = j
+	}
+	return true
+}
+
+// buildSubscription validates and assembles one subscription, drawing
+// the next generation's deterministic randomness for the query.
+func (c *Client) buildSubscription(signed *query.Signed, key ed25519.PublicKey, params budget.Params) (*subscription, error) {
+	if key != nil {
+		if err := signed.Verify(key); err != nil {
+			return nil, err
 		}
 	}
 	q := signed.Query
 	if err := q.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := params.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	stmt, err := minisql.Parse(q.SQL)
 	if err != nil {
-		return fmt.Errorf("client: query SQL: %w", err)
+		return nil, fmt.Errorf("client: query SQL: %w", err)
 	}
 	sel, ok := stmt.(*minisql.SelectStmt)
 	if !ok {
-		return fmt.Errorf("client: query must be a SELECT")
+		return nil, fmt.Errorf("client: query must be a SELECT")
 	}
-	decider, err := sampling.NewHashDecider(params.S, q.QID.Uint64())
+	wire := q.QID.Uint64()
+	decider, err := sampling.NewHashDecider(params.S, wire)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	rz, err := rr.NewRandomizer(params.RR, c.rng)
+	gen := c.gens[wire]
+	c.gens[wire] = gen + 1
+	rng := rand.New(rand.NewSource(subSeed(c.seed, wire, gen)))
+	rz, err := rr.NewRandomizer(params.RR, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	c.sub = &subscription{
+	return &subscription{
 		query:    q,
 		prepared: sel,
 		params:   params,
 		decider:  decider,
 		rz:       rz,
-		qidWire:  q.QID.Uint64(),
-	}
-	return nil
+		qidWire:  wire,
+	}, nil
 }
 
-// Query returns the active query, or nil.
+// Query returns the first active query, or nil — the legacy single-query
+// accessor.
 func (c *Client) Query() *query.Query {
-	if c.sub == nil {
+	if len(c.subs) == 0 {
 		return nil
 	}
-	return c.sub.query
+	return c.subs[0].query
 }
 
-// AnswerOnce runs one epoch of the query answering process. It returns
-// whether the client participated (the §3.2.1 sampling coin).
+// ActiveQueries returns the active queries in registration order.
+func (c *Client) ActiveQueries() []*query.Query {
+	out := make([]*query.Query, len(c.subs))
+	for i, sub := range c.subs {
+		out[i] = sub.query
+	}
+	return out
+}
+
+// Subscriptions returns the number of active subscriptions.
+func (c *Client) Subscriptions() int { return len(c.subs) }
+
+// AnswerOnce runs one epoch of the query answering process for every
+// active subscription, one local minisql evaluation and one
+// split-and-transmit per query; shares for all queries flow through the
+// same sinks, so a Batcher-backed deployment carries the whole epoch in
+// one flush per proxy. It returns whether the client participated in at
+// least one query (the §3.2.1 sampling coin, drawn independently per
+// query).
 func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
-	sub := c.sub
-	if sub == nil {
+	if len(c.subs) == 0 {
 		return false, ErrNotSubscribed
 	}
 	c.epochsSeen.Add(1)
+	any := false
+	for _, sub := range c.subs {
+		ok, err := c.answerQuery(sub, epoch)
+		if err != nil {
+			return any, err
+		}
+		if ok {
+			any = true
+		}
+	}
+	return any, nil
+}
+
+// answerQuery runs the sample → local query → randomize → split →
+// transmit pipeline for one subscription.
+func (c *Client) answerQuery(sub *subscription, epoch uint64) (bool, error) {
 	if !sub.decider.Participate(c.id, epoch) {
 		return false, nil
 	}
@@ -263,7 +399,7 @@ func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
 	sub.rz.RespondBits(vec.Bytes(), vec.Len())
 
 	// Step III: encode, split, transmit — all through per-client
-	// scratch buffers reused across epochs.
+	// scratch buffers reused across epochs and subscriptions.
 	msg := answer.Message{QueryID: sub.qidWire, Epoch: epoch, Answer: vec}
 	raw, err := msg.AppendBinary(c.msgBuf[:0])
 	if err != nil {
@@ -284,32 +420,32 @@ func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
 	return true, nil
 }
 
-// truthVector bucketizes the reduced answer value into the client's
-// reusable vector. No value, or a value outside every bucket, yields
-// the all-zero vector: participating clients always transmit, so
-// silence never correlates with data.
+// truthVector bucketizes the reduced answer value into the
+// subscription's reusable vector. No value, or a value outside every
+// bucket, yields the all-zero vector: participating clients always
+// transmit, so silence never correlates with data.
 func (c *Client) truthVector(sub *subscription, rows *minisql.Rows) (*answer.BitVector, error) {
 	n := len(sub.query.Buckets)
-	if c.vec == nil || c.vec.Len() != n {
+	if sub.vec == nil || sub.vec.Len() != n {
 		v, err := answer.NewBitVector(n)
 		if err != nil {
 			return nil, err
 		}
-		c.vec = v
+		sub.vec = v
 	}
-	c.vec.Reset()
+	sub.vec.Reset()
 	value, ok := c.reducer(rows)
 	if !ok {
-		return c.vec, nil
+		return sub.vec, nil
 	}
 	idx := sub.query.Buckets.Index(value)
 	if idx < 0 {
-		return c.vec, nil
+		return sub.vec, nil
 	}
-	if err := c.vec.Set(idx, true); err != nil {
+	if err := sub.vec.Set(idx, true); err != nil {
 		return nil, err
 	}
-	return c.vec, nil
+	return sub.vec, nil
 }
 
 // Stats returns a snapshot of the client counters.

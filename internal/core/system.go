@@ -34,7 +34,6 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +41,7 @@ import (
 	"privapprox/internal/aggregator"
 	"privapprox/internal/budget"
 	"privapprox/internal/client"
+	"privapprox/internal/engine"
 	"privapprox/internal/histstore"
 	"privapprox/internal/minisql"
 	"privapprox/internal/proxy"
@@ -96,6 +96,15 @@ type Config struct {
 	// Shards is the aggregator's lock-shard count (see
 	// aggregator.Config.Shards); defaults to GOMAXPROCS.
 	Shards int
+	// MultiQuery enables the query control plane: queries are
+	// registered (and stopped) dynamically via Register/StopQuery, and
+	// reach clients as signed announcements through the proxies'
+	// control topics — the paper's §3.1 distribution path — rather than
+	// by direct subscription. Query may then be nil (an initially idle
+	// fleet) or set (registered as the first query). Every registered
+	// query produces results byte-identical to the same query running
+	// alone in a single-query system under the same Seed.
+	MultiQuery bool
 }
 
 // System is a fully wired in-process PrivApprox deployment.
@@ -104,6 +113,7 @@ type System struct {
 	params    budget.Params
 	signed    *query.Signed
 	pub       ed25519.PublicKey
+	priv      ed25519.PrivateKey
 	clients   []*client.Client
 	fleet     *proxy.Fleet
 	agg       *aggregator.Aggregator
@@ -111,6 +121,22 @@ type System struct {
 	ctrl      *budget.Controller
 	epoch     uint64
 	consumers []*pubsub.Consumer
+
+	// Multi-query control plane (MultiQuery mode): the registry signs
+	// off on submissions and announces snapshots over the fleet's
+	// control topics; the follower plays announcements back onto the
+	// in-process clients — the same path a networked client process
+	// rides, so distribution is exercised even in one process.
+	registry *engine.Registry
+	follower *engine.Follower
+	// Per-query feedback controllers (multi mode); guarded by ctrlMu.
+	ctrlMu    sync.Mutex
+	ctrls     map[query.ID]*budget.Controller
+	fbTarget  float64
+	fbMin     float64
+	fbMax     float64
+	fbEnabled bool
+
 	// now stamps record arrival once per poll batch (tests inject a
 	// fake clock to pin down per-poll latency accounting).
 	now func() time.Time
@@ -132,7 +158,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Partitions == 0 {
 		cfg.Partitions = 4
 	}
-	if cfg.Query == nil {
+	if cfg.Query == nil && !cfg.MultiQuery {
 		return nil, fmt.Errorf("%w: nil query", ErrConfig)
 	}
 	if cfg.Seed == 0 {
@@ -182,9 +208,13 @@ func New(cfg Config) (*System, error) {
 		}
 		priv = k
 	}
-	signed, err := query.Sign(cfg.Query, priv)
-	if err != nil {
-		return nil, err
+	var signed *query.Signed
+	if cfg.Query != nil {
+		sq, err := query.Sign(cfg.Query, priv)
+		if err != nil {
+			return nil, err
+		}
+		signed = sq
 	}
 	pub, ok := priv.Public().(ed25519.PublicKey)
 	if !ok {
@@ -196,7 +226,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, fleet: fleet, now: time.Now}
+	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, priv: priv, fleet: fleet, now: time.Now}
 
 	if cfg.StoreDir != "" {
 		store, err := histstore.Open(cfg.StoreDir, 0)
@@ -223,7 +253,14 @@ func New(cfg Config) (*System, error) {
 			_ = sys.store.Append(eventTime, raw)
 		}
 	}
-	agg, err := aggregator.New(aggCfg)
+	if cfg.MultiQuery {
+		// The control plane owns query registration: the aggregator
+		// starts empty and queries arrive through RegisterSigned below,
+		// each with the same per-query estimator seed a solo run would
+		// use (cfg.Seed+1).
+		aggCfg.Query = nil
+	}
+	agg, err := aggregator.NewMulti(aggCfg)
 	if err != nil {
 		sys.Close()
 		return nil, err
@@ -244,23 +281,60 @@ func New(cfg Config) (*System, error) {
 				return nil, fmt.Errorf("core: populate client %d: %w", i, err)
 			}
 		}
-		c, err := client.New(client.Config{
-			ID:         fmt.Sprintf("client-%06d", i),
-			DB:         db,
-			AnalystKey: pub,
-			Sinks:      sinks,
-			Reducer:    cfg.Reducer,
-			Seed:       cfg.Seed + int64(i) + 2,
-		})
+		ccfg := client.Config{
+			ID:      fmt.Sprintf("client-%06d", i),
+			DB:      db,
+			Sinks:   sinks,
+			Reducer: cfg.Reducer,
+			Seed:    cfg.Seed + int64(i) + 2,
+		}
+		if !cfg.MultiQuery {
+			// Legacy single-query mode pins the system analyst's key on
+			// every client; in multi mode each announcement carries its
+			// analyst's key instead.
+			ccfg.AnalystKey = pub
+		}
+		c, err := client.New(ccfg)
 		if err != nil {
 			sys.Close()
 			return nil, err
 		}
-		if err := c.Subscribe(signed, params); err != nil {
+		if !cfg.MultiQuery {
+			if err := c.Subscribe(signed, params); err != nil {
+				sys.Close()
+				return nil, err
+			}
+		}
+		sys.clients = append(sys.clients, c)
+	}
+
+	if cfg.MultiQuery {
+		// Control plane: registry → fleet control topics → follower →
+		// clients. Even in-process, query distribution rides the pub/sub
+		// substrate, so the path a networked client process takes is the
+		// path every test of this mode takes.
+		sys.registry = engine.NewRegistry()
+		sys.ctrls = make(map[query.ID]*budget.Controller)
+		if err := sys.registry.AttachSink(fleet); err != nil {
 			sys.Close()
 			return nil, err
 		}
-		sys.clients = append(sys.clients, c)
+		cc, err := fleet.Proxy(0).ControlConsumer("clients")
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		subs := make([]engine.Subscriber, len(sys.clients))
+		for i, c := range sys.clients {
+			subs[i] = c
+		}
+		sys.follower = engine.NewFollower(cc, engine.NewApplier(subs...))
+		if signed != nil {
+			if err := sys.RegisterSigned(signed, pub, params); err != nil {
+				sys.Close()
+				return nil, err
+			}
+		}
 	}
 	return sys, nil
 }
@@ -280,14 +354,90 @@ func (s *System) Aggregator() *aggregator.Aggregator { return s.agg }
 // Store returns the historical store, or nil when not configured.
 func (s *System) Store() *histstore.Store { return s.store }
 
+// Registry returns the multi-query control plane, or nil when
+// MultiQuery mode is off.
+func (s *System) Registry() *engine.Registry { return s.registry }
+
+// Register signs a query with the system analyst key and submits it to
+// the running fleet: the registry announces it over the proxies'
+// control topics, the clients pick it up, and the aggregator opens
+// per-query state for it — all before Register returns. Parameters are
+// the system defaults derived at construction (use RegisterSigned for
+// an external analyst's own parameters).
+func (s *System) Register(q *query.Query) error {
+	if s.registry == nil {
+		return fmt.Errorf("%w: MultiQuery mode not enabled", ErrConfig)
+	}
+	signed, err := query.Sign(q, s.priv)
+	if err != nil {
+		return err
+	}
+	return s.RegisterSigned(signed, s.pub, s.params)
+}
+
+// RegisterSigned submits an analyst's signed query with its derived
+// parameters. The analyst's key is installed in the registry trust
+// store under the query's analyst name.
+func (s *System) RegisterSigned(signed *query.Signed, analystKey ed25519.PublicKey, params budget.Params) error {
+	if s.registry == nil {
+		return fmt.Errorf("%w: MultiQuery mode not enabled", ErrConfig)
+	}
+	if err := s.registry.Trust(signed.Query.QID.Analyst, analystKey); err != nil {
+		return err
+	}
+	if err := s.registry.Register(signed, params); err != nil {
+		return err
+	}
+	if err := s.agg.AddQuery(aggregator.QuerySpec{Query: signed.Query, Params: params}); err != nil {
+		return err
+	}
+	_, err := s.follower.Sync()
+	return err
+}
+
+// StopQuery deactivates a query mid-run: clients stop answering it from
+// the next epoch, and its still-open windows are flushed and returned.
+// Shares already in flight at the proxies join as usual but count under
+// the aggregator's UnknownQuery statistic once drained.
+func (s *System) StopQuery(id query.ID) ([]aggregator.Result, error) {
+	if s.registry == nil {
+		return nil, fmt.Errorf("%w: MultiQuery mode not enabled", ErrConfig)
+	}
+	if err := s.registry.Stop(id); err != nil {
+		return nil, err
+	}
+	if _, err := s.follower.Sync(); err != nil {
+		return nil, err
+	}
+	s.ctrlMu.Lock()
+	delete(s.ctrls, id)
+	s.ctrlMu.Unlock()
+	return s.agg.RemoveQuery(id)
+}
+
 // RunEpoch executes one answer epoch across all clients — concurrently
 // on Config.Workers goroutines — drains the proxies into the
 // aggregator, and returns any window results that fired plus the number
-// of participating clients. Results are deterministic under a fixed
+// of participating clients (clients that answered at least one query).
+// In MultiQuery mode, pending control-topic announcements are applied
+// first, so queries registered since the last epoch take effect at a
+// deterministic point. Results are deterministic under a fixed
 // Config.Seed for any worker count.
 func (s *System) RunEpoch() ([]aggregator.Result, int, error) {
+	if s.follower != nil {
+		if _, err := s.follower.Sync(); err != nil {
+			return nil, 0, err
+		}
+	}
 	epoch := s.epoch
 	s.epoch++
+	if s.registry != nil && len(s.registry.Active()) == 0 {
+		// Idle fleet: no active queries, nothing to answer this epoch
+		// (clients would report ErrNotSubscribed). Still drain so
+		// stragglers of stopped queries surface in the statistics.
+		results, err := s.drain()
+		return results, 0, err
+	}
 	participants, err := s.answerAll(epoch)
 	if err != nil {
 		return nil, participants, err
@@ -405,9 +555,7 @@ func (s *System) drain() ([]aggregator.Result, error) {
 	if err != nil {
 		return fired, err
 	}
-	sort.SliceStable(fired, func(i, j int) bool {
-		return fired[i].Window.Start.Before(fired[j].Window.Start)
-	})
+	aggregator.SortResults(fired, s.agg.QueryOrder())
 	return fired, nil
 }
 
@@ -516,16 +664,27 @@ func (s *System) Flush() ([]aggregator.Result, error) {
 		return drained, err
 	}
 	merged := append(drained, final...)
-	sort.SliceStable(merged, func(i, j int) bool {
-		return merged[i].Window.Start.Before(merged[j].Window.Start)
-	})
+	aggregator.SortResults(merged, s.agg.QueryOrder())
 	return merged, nil
 }
 
 // EnableFeedback installs the adaptive controller (paper §5): after each
 // result, call Feedback with it to let the controller re-tune s; clients
-// are re-subscribed automatically when the parameters change.
+// are re-subscribed automatically when the parameters change. In
+// MultiQuery mode every query gets its own controller (created lazily
+// from the query's registered parameters), so one noisy query's budget
+// re-tuning never disturbs another's.
 func (s *System) EnableFeedback(targetLoss, sMin, sMax float64) error {
+	if s.cfg.MultiQuery {
+		if targetLoss <= 0 || sMin <= 0 || sMax > 1 || sMin > sMax {
+			return fmt.Errorf("%w: feedback target=%v bounds=[%v,%v]", ErrConfig, targetLoss, sMin, sMax)
+		}
+		s.ctrlMu.Lock()
+		s.fbTarget, s.fbMin, s.fbMax = targetLoss, sMin, sMax
+		s.fbEnabled = true
+		s.ctrlMu.Unlock()
+		return nil
+	}
 	ctrl, err := budget.NewController(s.params, targetLoss, sMin, sMax)
 	if err != nil {
 		return err
@@ -534,10 +693,16 @@ func (s *System) EnableFeedback(targetLoss, sMin, sMax float64) error {
 	return nil
 }
 
-// Feedback folds a window result into the controller and re-subscribes
-// clients when the sampling parameter moved. It returns the parameters
-// now in force.
+// Feedback folds a window result into its query's controller and
+// redistributes the parameters when the sampling fraction moved — in
+// MultiQuery mode through the registry (revision bump, control-topic
+// announcement, client re-subscription at the next sync), in legacy
+// mode by direct re-subscription. It returns the parameters now in
+// force for that query.
 func (s *System) Feedback(res aggregator.Result) (budget.Params, error) {
+	if s.cfg.MultiQuery {
+		return s.feedbackMulti(res)
+	}
 	if s.ctrl == nil {
 		return s.params, fmt.Errorf("%w: feedback not enabled", ErrConfig)
 	}
@@ -552,6 +717,46 @@ func (s *System) Feedback(res aggregator.Result) (budget.Params, error) {
 		}
 	}
 	return next, nil
+}
+
+func (s *System) feedbackMulti(res aggregator.Result) (budget.Params, error) {
+	s.ctrlMu.Lock()
+	if !s.fbEnabled {
+		s.ctrlMu.Unlock()
+		return budget.Params{}, fmt.Errorf("%w: feedback not enabled", ErrConfig)
+	}
+	entry, ok := s.registry.Entry(res.Query)
+	if !ok {
+		s.ctrlMu.Unlock()
+		return budget.Params{}, fmt.Errorf("core: feedback for unknown query %s", res.Query)
+	}
+	ctrl := s.ctrls[res.Query]
+	if ctrl == nil {
+		c, err := budget.NewController(entry.Params, s.fbTarget, s.fbMin, s.fbMax)
+		if err != nil {
+			s.ctrlMu.Unlock()
+			return budget.Params{}, err
+		}
+		s.ctrls[res.Query] = c
+		ctrl = c
+	}
+	prev := ctrl.Params()
+	next := ctrl.Update(aggregator.RelativeWidth(res))
+	s.ctrlMu.Unlock()
+	if next.S == prev.S {
+		return next, nil
+	}
+	// Redistribute: the registry bumps the entry's revision and
+	// re-announces; clients redraw their subscription at the sync below,
+	// and the aggregator swaps the stored parameters in place.
+	if err := s.registry.Register(entry.Signed, next); err != nil {
+		return next, err
+	}
+	if err := s.agg.AddQuery(aggregator.QuerySpec{Query: entry.Signed.Query, Params: next}); err != nil {
+		return next, err
+	}
+	_, err := s.follower.Sync()
+	return next, err
 }
 
 // Close releases proxies and the historical store.

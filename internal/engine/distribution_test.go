@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"privapprox/internal/client"
+	"privapprox/internal/minisql"
+	"privapprox/internal/netsim"
+	"privapprox/internal/query"
+	"privapprox/internal/xorcrypt"
+)
+
+// countingSink counts shares per wire QueryID... it just counts
+// submissions; clients split answers into opaque shares, so the test
+// counts totals.
+type countingSink struct{ n int }
+
+func (s *countingSink) Submit(xorcrypt.Share) error {
+	s.n++
+	return nil
+}
+
+func newTestClient(t *testing.T, i int) *client.Client {
+	t.Helper()
+	db := minisql.NewDB()
+	if err := db.CreateTable("rides", []string{"dist"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("rides", []minisql.Value{minisql.Number(2.5)}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.New(client.Config{
+		ID:    fmt.Sprintf("client-%03d", i),
+		DB:    db,
+		Sinks: []client.ShareSink{&countingSink{}, &countingSink{}},
+		Seed:  int64(i) + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestQueryDistributionConvergesUnderLossAndReorder drives the control
+// plane through an adversarial delivery model: a sequence of query-set
+// announcements (registrations, a parameter update, a stop) is
+// delivered to every client through an independent lossy, reordering,
+// duplicating netsim link. Every client must converge to exactly the
+// registry's final active set — in the same order — before answering.
+func TestQueryDistributionConvergesUnderLossAndReorder(t *testing.T) {
+	pub, priv := testKey(5)
+	r := NewRegistry()
+	if err := r.Trust("alice", pub); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	if err := r.AttachSink(sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// A churny control history: register 4, retune one, stop one.
+	var ids []query.ID
+	for serial := uint64(1); serial <= 4; serial++ {
+		s := testSigned(t, "alice", serial, priv)
+		if err := r.Register(s, testParams()); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.Query.QID)
+	}
+	retuned := testParams()
+	retuned.S = 0.33
+	if err := r.Register(testSigned(t, "alice", 2, priv), retuned); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantActive := r.Active()
+	if len(wantActive) != 3 {
+		t.Fatalf("registry active = %v", wantActive)
+	}
+
+	const clients = 8
+	var wantQueries []query.ID
+	for i := 0; i < clients; i++ {
+		c := newTestClient(t, i)
+		ap := NewApplier(c)
+		link := netsim.Link{Drop: 0.4, Dup: 0.3, ReorderWindow: 3, Seed: int64(i) + 100}
+		delivered, err := link.Deliver(sink.payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, payload := range delivered {
+			if err := ap.ApplyPayload(payload); err != nil {
+				t.Fatalf("client %d: apply: %v", i, err)
+			}
+		}
+		var got []query.ID
+		for _, q := range c.ActiveQueries() {
+			got = append(got, q.QID)
+		}
+		if !reflect.DeepEqual(got, wantActive) {
+			t.Fatalf("client %d converged to %v, want %v (delivered %d of %d announcements)",
+				i, got, wantActive, len(delivered), len(sink.payloads))
+		}
+		if wantQueries == nil {
+			wantQueries = got
+		} else if !reflect.DeepEqual(got, wantQueries) {
+			t.Fatalf("client %d active set diverges from client 0: %v vs %v", i, got, wantQueries)
+		}
+		if ap.Version() != r.Version() {
+			t.Fatalf("client %d at version %d, registry at %d", i, ap.Version(), r.Version())
+		}
+		// Converged clients answer every active query.
+		if _, err := c.AnswerOnce(0); err != nil {
+			t.Fatalf("client %d: answer after convergence: %v", i, err)
+		}
+	}
+}
+
+// TestApplierTrustPinning pins the client-side trust anchor: once an
+// analyst key is pinned, snapshots carrying entries signed under a
+// different (self-announced) key — the forged-query vector a malicious
+// control-topic publisher has — are rejected wholesale.
+func TestApplierTrustPinning(t *testing.T) {
+	pub, priv := testKey(7)
+	evilPub, evilPriv := testKey(8)
+
+	genuine := testSigned(t, "alice", 1, priv)
+	forged := testSigned(t, "alice", 2, evilPriv)
+
+	c := newTestClient(t, 0)
+	ap := NewApplier(c)
+	ap.Trust("alice", pub)
+
+	ok := &QuerySet{Version: 1, Entries: []Entry{
+		{Signed: genuine, AnalystKey: pub, Params: testParams()},
+	}}
+	if err := ap.Apply(ok); err != nil {
+		t.Fatalf("pinned genuine snapshot rejected: %v", err)
+	}
+	// Forged entry announces the attacker's own key; signature verifies
+	// against it, but the pin does not match.
+	bad := &QuerySet{Version: 2, Entries: []Entry{
+		{Signed: genuine, AnalystKey: pub, Params: testParams()},
+		{Signed: forged, AnalystKey: evilPub, Params: testParams()},
+	}}
+	if err := ap.Apply(bad); err == nil {
+		t.Fatal("forged-key snapshot accepted under pinning")
+	}
+	// The rejection is wholesale: the client still runs only the
+	// genuine query at the old version.
+	if got := c.Subscriptions(); got != 1 {
+		t.Fatalf("subscriptions after rejected snapshot = %d, want 1", got)
+	}
+	if ap.Version() != 1 {
+		t.Fatalf("version moved to %d on a rejected snapshot", ap.Version())
+	}
+	// An unpinned analyst is rejected too.
+	unknown := &QuerySet{Version: 3, Entries: []Entry{
+		{Signed: testSigned(t, "mallory", 1, evilPriv), AnalystKey: evilPub, Params: testParams()},
+	}}
+	if err := ap.Apply(unknown); err == nil {
+		t.Fatal("unpinned analyst accepted")
+	}
+}
+
+// TestApplierIgnoresStaleAndDuplicateSnapshots pins the version rule
+// that makes convergence work, and the revision rule that keeps
+// unchanged subscriptions untouched across snapshot churn.
+func TestApplierIgnoresStaleAndDuplicateSnapshots(t *testing.T) {
+	pub, priv := testKey(6)
+	r := NewRegistry()
+	if err := r.Trust("alice", pub); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	if err := r.AttachSink(sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(testSigned(t, "alice", 1, priv), testParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(testSigned(t, "alice", 2, priv), testParams()); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestClient(t, 0)
+	ap := NewApplier(c)
+	latest := sink.payloads[len(sink.payloads)-1]
+	if err := ap.ApplyPayload(latest); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Subscriptions(); got != 2 {
+		t.Fatalf("subscriptions = %d, want 2", got)
+	}
+	// Replaying the whole history afterwards — stale versions — must
+	// not churn the subscriptions (a resubscribe would redraw the coin
+	// stream; the revision guard makes it observable via generations,
+	// so assert versions simply stay put).
+	v := ap.Version()
+	for _, payload := range sink.payloads {
+		if err := ap.ApplyPayload(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ap.Version() != v {
+		t.Fatalf("stale replay moved version %d → %d", v, ap.Version())
+	}
+	if got := c.Subscriptions(); got != 2 {
+		t.Fatalf("subscriptions after replay = %d, want 2", got)
+	}
+}

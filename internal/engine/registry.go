@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+
+	"privapprox/internal/budget"
+	"privapprox/internal/query"
+)
+
+// Errors reported by the registry.
+var (
+	// ErrUnknownAnalyst reports a submission from an analyst with no
+	// trusted public key.
+	ErrUnknownAnalyst = errors.New("engine: unknown analyst")
+	// ErrWireCollision reports two distinct query IDs hashing to the
+	// same 64-bit wire identifier — answer messages carry only the
+	// hash, so colliding queries would be indistinguishable at the
+	// aggregator.
+	ErrWireCollision = errors.New("engine: wire query-ID collision")
+	// ErrUnknownQuery reports a stop for a query that is not active.
+	ErrUnknownQuery = errors.New("engine: unknown query")
+)
+
+// wireIDOf derives the compact wire identifier the registry guards
+// against collisions. A package variable so the collision error path is
+// unit-testable: a genuine FNV-64 collision cannot be constructed in a
+// test's lifetime, but the guard must still be exercised.
+var wireIDOf = func(id query.ID) uint64 { return id.Uint64() }
+
+// ControlSink receives serialized query-set announcements —
+// proxy.Proxy/Fleet implement it over their control topics; tests use
+// recording sinks.
+type ControlSink interface {
+	Announce(payload []byte) error
+}
+
+// ControlSinkFunc adapts a function to a ControlSink.
+type ControlSinkFunc func(payload []byte) error
+
+// Announce calls f.
+func (f ControlSinkFunc) Announce(payload []byte) error { return f(payload) }
+
+// Registry is the aggregator-side query control plane (paper §3.1): it
+// accepts signed query submissions from analysts, verifies each
+// signature against the analyst's trusted public key, guards the
+// compact wire-ID space against collisions, and distributes versioned
+// query-set snapshots to clients through attached control sinks.
+//
+// It is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	trusted map[string]ed25519.PublicKey
+	entries []Entry        // active queries, registration order
+	index   map[string]int // ID.String() → position in entries
+	byWire  map[uint64]query.ID
+	version uint64
+	sinks   []ControlSink
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		trusted: make(map[string]ed25519.PublicKey),
+		index:   make(map[string]int),
+		byWire:  make(map[uint64]query.ID),
+	}
+}
+
+// Trust installs (or rotates) an analyst's public key. Only trusted
+// analysts can register queries.
+func (r *Registry) Trust(analyst string, pub ed25519.PublicKey) error {
+	if analyst == "" || len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: analyst %q with %d-byte key", query.ErrInvalidQuery, analyst, len(pub))
+	}
+	r.mu.Lock()
+	r.trusted[analyst] = pub
+	r.mu.Unlock()
+	return nil
+}
+
+// Register validates and admits one signed query with its derived
+// system parameters, then broadcasts the updated snapshot.
+// Re-registering an active query updates its parameters and bumps the
+// entry's revision (the feedback redistribution path); registering a
+// distinct query whose wire ID collides with an active one is rejected
+// with ErrWireCollision.
+func (r *Registry) Register(signed *query.Signed, params budget.Params) error {
+	if signed == nil || signed.Query == nil {
+		return fmt.Errorf("%w: nil query", query.ErrInvalidQuery)
+	}
+	q := signed.Query
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pub, ok := r.trusted[q.QID.Analyst]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAnalyst, q.QID.Analyst)
+	}
+	if err := signed.Verify(pub); err != nil {
+		return err
+	}
+	wire := wireIDOf(q.QID)
+	if prev, ok := r.byWire[wire]; ok && prev != q.QID {
+		return fmt.Errorf("%w: %s and %s both map to %#x", ErrWireCollision, prev, q.QID, wire)
+	}
+	entry := Entry{Signed: signed, AnalystKey: pub, Params: params}
+	if i, ok := r.index[q.QID.String()]; ok {
+		entry.Rev = r.entries[i].Rev + 1
+		r.entries[i] = entry
+	} else {
+		r.index[q.QID.String()] = len(r.entries)
+		r.entries = append(r.entries, entry)
+		r.byWire[wire] = q.QID
+	}
+	return r.broadcastLocked()
+}
+
+// Stop deactivates a query and broadcasts the shrunken snapshot.
+func (r *Registry) Stop(id query.ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.index[id.String()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownQuery, id)
+	}
+	r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	delete(r.index, id.String())
+	delete(r.byWire, wireIDOf(id))
+	for j := i; j < len(r.entries); j++ {
+		r.index[r.entries[j].Signed.Query.QID.String()] = j
+	}
+	return r.broadcastLocked()
+}
+
+// AttachSink adds a control sink and immediately sends it the current
+// snapshot, so late-joining distribution channels catch up.
+func (r *Registry) AttachSink(s ControlSink) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sinks = append(r.sinks, s)
+	snap := r.snapshotLocked()
+	payload, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return s.Announce(payload)
+}
+
+// Snapshot returns the current query set.
+func (r *Registry) Snapshot() QuerySet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// Version returns the current snapshot version.
+func (r *Registry) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// Entry returns the active entry for a query ID, reporting whether it
+// exists.
+func (r *Registry) Entry(id query.ID) (Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.index[id.String()]
+	if !ok {
+		return Entry{}, false
+	}
+	return r.entries[i], true
+}
+
+// Active returns the active query IDs in registration order.
+func (r *Registry) Active() []query.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]query.ID, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.Signed.Query.QID
+	}
+	return out
+}
+
+func (r *Registry) snapshotLocked() QuerySet {
+	qs := QuerySet{Version: r.version}
+	qs.Entries = append(qs.Entries, r.entries...)
+	return qs
+}
+
+// broadcastLocked bumps the version and announces the new snapshot to
+// every sink. Caller holds r.mu. A sink failure is returned but does
+// not roll the registration back — the next successful broadcast
+// carries the full state anyway (snapshots, not deltas).
+func (r *Registry) broadcastLocked() error {
+	r.version++
+	snap := r.snapshotLocked()
+	payload, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, s := range r.sinks {
+		if err := s.Announce(payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -28,10 +28,15 @@ var ErrClosed = errors.New("proxy: closed")
 
 // Topic names mirror the paper's two Kafka topics: "answer" carries the
 // encrypted answer stream on the first proxy, "key" carries key shares
-// on all others. Functionally identical — the names only document roles.
+// on all others. Functionally identical — the names only document
+// roles. Every proxy additionally serves the "control" topic, the
+// channel signed queries are distributed to clients through (paper
+// §3.1: queries reach clients via the proxies); it is single-partition
+// so announcements keep a total order.
 const (
-	TopicAnswer = "answer"
-	TopicKey    = "key"
+	TopicAnswer  = "answer"
+	TopicKey     = "key"
+	TopicControl = "control"
 )
 
 // TopicFor returns the topic a proxy at the given fleet index serves.
@@ -63,6 +68,9 @@ func New(name string, index, partitions int) (*Proxy, error) {
 	topic := TopicFor(index)
 	b := pubsub.NewBroker()
 	if err := b.CreateTopic(topic, partitions); err != nil {
+		return nil, err
+	}
+	if err := b.CreateTopic(TopicControl, 1); err != nil {
 		return nil, err
 	}
 	return &Proxy{name: name, topic: topic, t: b, broker: b}, nil
@@ -138,6 +146,26 @@ func (p *Proxy) Consumer(group string) (*pubsub.Consumer, error) {
 		return pubsub.NewConsumer(p.broker, group, p.topic)
 	}
 	return pubsub.NewTransportConsumer(p.t, group, p.topic)
+}
+
+// Announce publishes one control-plane payload (a serialized query-set
+// announcement) to this proxy's control topic. The proxy forwards the
+// opaque bytes like any other record; clients verify the analyst
+// signatures themselves, so a proxy cannot tamper with an announced
+// query undetected (forgery under a fresh key is only ruled out when
+// clients pin analyst keys — see engine.Applier.Trust).
+func (p *Proxy) Announce(payload []byte) error {
+	_, _, err := p.t.Publish(TopicControl, nil, payload)
+	return err
+}
+
+// ControlConsumer returns a consumer over this proxy's control topic —
+// the client-side end of query distribution.
+func (p *Proxy) ControlConsumer(group string) (*pubsub.Consumer, error) {
+	if p.broker != nil {
+		return pubsub.NewConsumer(p.broker, group, TopicControl)
+	}
+	return pubsub.NewTransportConsumer(p.t, group, TopicControl)
 }
 
 // Stats exposes the underlying broker's traffic counters. Attached
@@ -243,6 +271,19 @@ func (f *Fleet) Consumers(group string) ([]*pubsub.Consumer, error) {
 		out[i] = c
 	}
 	return out, nil
+}
+
+// Announce publishes one control payload to every proxy's control
+// topic, so a client following any single proxy sees the full
+// announcement stream (clients need not trust any one proxy to be
+// honest about the query set — signatures travel with the queries).
+func (f *Fleet) Announce(payload []byte) error {
+	for _, p := range f.proxies {
+		if err := p.Announce(payload); err != nil {
+			return fmt.Errorf("proxy: announce via %s: %w", p.Name(), err)
+		}
+	}
+	return nil
 }
 
 // TotalStats sums traffic over the fleet.

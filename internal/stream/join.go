@@ -134,6 +134,11 @@ func (j *KeyedShareJoiner[K]) getGroup() *Joined[K] {
 	return &Joined[K]{Payloads: make([][]byte, j.expect)}
 }
 
+// SetRetain adjusts how long completed keys are remembered past the
+// sweep cutoff — the multi-query aggregator re-derives it as the
+// maximum window over the active query set whenever that set changes.
+func (j *KeyedShareJoiner[K]) SetRetain(d time.Duration) { j.retain = d }
+
 // PendingCount returns the number of incomplete groups.
 func (j *KeyedShareJoiner[K]) PendingCount() int { return len(j.pending) }
 

@@ -111,7 +111,8 @@ type (
 
 // Results (paper §3.2.4).
 type (
-	// Result is one fired window with per-bucket estimates.
+	// Result is one fired window with per-bucket estimates, tagged with
+	// the query it belongs to.
 	Result = aggregator.Result
 	// BucketEstimate is a per-bucket count with its confidence interval.
 	BucketEstimate = aggregator.BucketEstimate
@@ -119,7 +120,16 @@ type (
 	BatchResult = aggregator.BatchResult
 	// ConfidenceInterval is Estimate ± Margin at a confidence level.
 	ConfidenceInterval = stats.ConfidenceInterval
+	// AggregatorStats is the aggregator's message accounting, including
+	// the multi-query demux drop counters.
+	AggregatorStats = aggregator.Stats
 )
+
+// ByQuery splits a merged result stream into per-query streams — the
+// companion to SystemConfig.MultiQuery, under which one System runs
+// many analysts' queries concurrently over the same client fleet (see
+// System.Register, System.RegisterSigned, and System.StopQuery).
+func ByQuery(results []Result) map[QueryID][]Result { return aggregator.ByQuery(results) }
 
 // Deployment types.
 type (
