@@ -1,18 +1,19 @@
 # Tier-1 verification plus the race gate over the concurrency-sensitive
 # packages (the parallel epoch pipeline: core, aggregator, answer,
-# pubsub, engine), the hot-path allocs/op gate, and the multi-query
-# determinism gate. `make ci` is the pre-merge check.
+# pubsub, engine, wal), the hot-path allocs/op gate, the multi-query
+# determinism gate, and the kill-and-resume crash gate. `make ci` is the
+# pre-merge check.
 
 GO ?= go
-RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/...
+RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/...
 
 # Benchmarks whose numbers seed BENCH_hotpath.json: the per-answer hot
 # path (split, join+decrypt+decode+window, randomized response).
 HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability
 
-.PHONY: ci fmt vet build test race smoke multiquery allocgate bench bench-json fuzz
+.PHONY: ci fmt vet build test race smoke multiquery allocgate crash bench bench-json fuzz
 
-ci: fmt vet build test race allocgate multiquery smoke
+ci: fmt vet build test race allocgate multiquery smoke crash
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -45,6 +46,15 @@ smoke:
 multiquery:
 	$(GO) test -run 'TestMultiQueryMatchesSolo|TestMultiQueryRegisterAndStopMidRun' -count=1 ./internal/core
 
+# The kill-and-resume crash gate: SIGKILL the durable aggregator
+# mid-drain (and, separately, a durable proxy mid-deployment), restart
+# each from its -data-dir, and require final per-query results
+# byte-identical to an uninterrupted run, plus the in-process
+# checkpoint/resume protocol over durable brokers.
+crash:
+	$(GO) test -run 'TestCrashRecoveryAggregator|TestCrashRecoveryProxy' -count=1 ./cmd/privapprox-node
+	$(GO) test -run 'TestSystemCheckpointResume|TestSystemCheckpointResumeMultiQuery' -count=1 ./internal/core
+
 # The allocs/op regression gate: split, join, respond-bits, and
 # accumulate must stay at 0 steady-state allocations per op, and the
 # full aggregator submit tail within its small constant — with one
@@ -69,10 +79,16 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_multiquery.json < .bench_multiquery.tmp
 	@rm -f .bench_multiquery.tmp
 	@echo wrote BENCH_multiquery.json
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALRecovery' -benchmem ./internal/wal > .bench_wal.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_wal.json < .bench_wal.tmp
+	@rm -f .bench_wal.tmp
+	@echo wrote BENCH_wal.json
 
 # Short fuzz smoke over every wire codec: the share split/join, the
-# answer message, and the control-plane query-set announcement.
+# answer message, the control-plane query-set announcement, and the
+# WAL record framing.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSplitJoinRoundTrip -fuzztime 10s ./internal/xorcrypt
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 10s ./internal/answer
 	$(GO) test -run '^$$' -fuzz FuzzQuerySetRoundTrip -fuzztime 10s ./internal/engine
+	$(GO) test -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 10s ./internal/wal

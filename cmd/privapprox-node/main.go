@@ -33,12 +33,15 @@ package main
 
 import (
 	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -55,6 +58,7 @@ import (
 	"privapprox/internal/pubsub"
 	"privapprox/internal/query"
 	"privapprox/internal/rr"
+	"privapprox/internal/wal"
 	"privapprox/internal/workload"
 )
 
@@ -128,15 +132,33 @@ func runProxy(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "listen address")
 	index := fs.Int("index", 0, "proxy index (0 = answer stream, ≥1 = key stream)")
 	partitions := fs.Int("partitions", 4, "topic partitions")
+	dataDir := fs.String("data-dir", "", "durable broker directory (empty = in-memory)")
+	fsync := fs.String("fsync", "never", "WAL fsync policy: never, interval, every-batch")
 	fs.Parse(args)
 
-	broker := pubsub.NewBroker()
-	if err := broker.CreateTopic(proxy.TopicFor(*index), *partitions); err != nil {
+	var broker *pubsub.Broker
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		// A restarted proxy replays its journals here: partitions,
+		// committed offsets, and the control topic (so the announced
+		// query set survives the restart too).
+		b, err := pubsub.OpenBroker(*dataDir, wal.Options{Policy: policy})
+		if err != nil {
+			return err
+		}
+		broker = b
+	} else {
+		broker = pubsub.NewBroker()
+	}
+	if err := broker.CreateTopic(proxy.TopicFor(*index), *partitions); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
 		return err
 	}
 	// The control topic carries query announcements; single-partition so
 	// announcements keep a total order.
-	if err := broker.CreateTopic(proxy.TopicControl, 1); err != nil {
+	if err := broker.CreateTopic(proxy.TopicControl, 1); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
 		return err
 	}
 	srv, err := pubsub.Serve(broker, *listen)
@@ -163,6 +185,7 @@ func runSubmit(args []string) error {
 	s := fs.Float64("s", 0.9, "sampling fraction")
 	p := fs.Float64("p", 0.9, "first randomization coin")
 	q := fs.Float64("q", 0.6, "second randomization coin")
+	resume := fs.Bool("resume", false, "bootstrap from the newest announced snapshot so version numbering continues after a submitter restart")
 	fs.Parse(args)
 	if *queries < 1 {
 		return fmt.Errorf("need ≥ 1 queries, got %d", *queries)
@@ -178,6 +201,17 @@ func runSubmit(args []string) error {
 	reg := engine.NewRegistry()
 	if err := reg.Trust(nodeAnalyst, priv.Public().(ed25519.PublicKey)); err != nil {
 		return err
+	}
+	if *resume {
+		// Read the newest snapshot back off the control topic (replayed
+		// by a durable proxy) and adopt its version, so the snapshots
+		// announced below are not ignored by newest-wins appliers.
+		if qs := peekQuerySet(fleet, "submit-resume", 2*time.Second); qs != nil {
+			if err := reg.Bootstrap(qs); err != nil {
+				return err
+			}
+			fmt.Printf("resumed from announcement version %d (%d queries)\n", qs.Version, len(qs.Entries))
+		}
 	}
 	if err := reg.AttachSink(fleet); err != nil {
 		return err
@@ -241,7 +275,8 @@ func runClient(args []string) error {
 	proxyList := fs.String("proxies", "", "comma-separated proxy addresses (index order)")
 	n := fs.Int("n", 1, "logical clients simulated by this process")
 	offset := fs.Int("offset", 0, "global index of this process's first logical client")
-	epochs := fs.Int("epochs", 4, "epochs to answer")
+	epochs := fs.Int("epochs", 4, "answer epochs [first-epoch, epochs)")
+	firstEpoch := fs.Int("first-epoch", 0, "first epoch to answer; earlier epochs are fast-forwarded (a client process resuming after a restart)")
 	conns := fs.Int("conns", 2, "TCP connections per proxy")
 	batch := fs.Int("batch", 0, "shares per publish frame (0 = one frame per proxy per epoch)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent answering clients")
@@ -251,6 +286,9 @@ func runClient(args []string) error {
 	fs.Parse(args)
 	if *n <= 0 {
 		return fmt.Errorf("need ≥ 1 logical clients, got %d", *n)
+	}
+	if *firstEpoch < 0 || *firstEpoch > *epochs {
+		return fmt.Errorf("first-epoch %d outside [0, %d]", *firstEpoch, *epochs)
 	}
 
 	fleet, tcps, err := dialFleet(*proxyList, *conns)
@@ -304,7 +342,17 @@ func runClient(args []string) error {
 	fmt.Printf("picked up %d queries at version %d\n",
 		follower.Applier().ActiveQueries(), follower.Applier().Version())
 
-	for e := uint64(0); e < uint64(*epochs); e++ {
+	if *firstEpoch > 0 {
+		// Resume semantics: skip the epochs a previous life already
+		// answered, advancing each subscription's coin stream exactly as
+		// answering them would have.
+		for _, c := range clients {
+			c.FastForward(uint64(*firstEpoch))
+		}
+		fmt.Printf("fast-forwarded to epoch %d\n", *firstEpoch)
+	}
+
+	for e := uint64(*firstEpoch); e < uint64(*epochs); e++ {
 		// Apply any announcements that arrived since the last epoch —
 		// networked deployments pick up (and drop) queries mid-run.
 		if _, err := follower.Sync(); err != nil {
@@ -394,6 +442,42 @@ func answerAll(clients []*client.Client, epoch uint64, workers int) (int, error)
 	return int(participants.Load()), firstErr
 }
 
+// peekQuerySet drains the control topic until it has been idle for a
+// beat (or wait elapses) and returns the newest snapshot seen, nil when
+// none was announced.
+func peekQuerySet(fleet *proxy.Fleet, group string, wait time.Duration) *engine.QuerySet {
+	cc, err := fleet.Proxy(0).ControlConsumer(group)
+	if err != nil {
+		log.Printf("peek query set: %v", err)
+		return nil
+	}
+	var newest *engine.QuerySet
+	deadline := time.Now().Add(wait)
+	for {
+		recs, err := cc.PollWait(256, 200*time.Millisecond)
+		if err != nil {
+			log.Printf("peek query set: %v", err)
+			return newest
+		}
+		// Decode before checking the exit conditions: a batch that
+		// arrives right at the deadline still counts — returning a
+		// stale version here would make -resume announce versions the
+		// appliers have already seen.
+		for _, rec := range recs {
+			qs, err := engine.DecodeQuerySet(rec.Value)
+			if err != nil {
+				continue
+			}
+			if newest == nil || qs.Version > newest.Version {
+				newest = qs
+			}
+		}
+		if len(recs) == 0 || !time.Now().Before(deadline) {
+			return newest
+		}
+	}
+}
+
 // fetchQuerySet follows the control topic until a snapshot with at
 // least minQueries entries appears (or the wait elapses), returning the
 // newest observed snapshot.
@@ -437,6 +521,10 @@ func runAggregator(args []string) error {
 	wait := fs.Duration("wait", 10*time.Second, "how long to wait for query announcements")
 	seed := fs.Int64("seed", 1, "system seed (the aggregator uses seed+1, as in core.Config)")
 	idle := fs.Duration("idle", 3*time.Second, "stop after this long without new shares")
+	dataDir := fs.String("data-dir", "", "checkpoint directory: the aggregator journals its state after every drain and resumes from the newest checkpoint on restart")
+	fsync := fs.String("fsync", "never", "checkpoint WAL fsync policy: never, interval, every-batch")
+	pollMax := fs.Int("poll-max", 4096, "records per poll (durable mode; small values tighten checkpoint granularity)")
+	holdAfter := fs.Int64("hold-after", 0, "testing hook: after this many decoded answers, checkpoint and block forever (a SIGKILL window for the crash gate)")
 	fs.Parse(args)
 
 	fleet, tcps, err := dialFleet(*proxyList, *conns)
@@ -447,6 +535,8 @@ func runAggregator(args []string) error {
 
 	// The aggregator learns its query set from the same control topic
 	// the clients follow — nothing about the queries is configured here.
+	// After a restart the same fetch re-registers the same queries in
+	// announcement order, which is what Restore requires.
 	qs, err := fetchQuerySet(fleet, "aggregator-control", *minQueries, *wait)
 	if err != nil {
 		return err
@@ -478,6 +568,14 @@ func runAggregator(args []string) error {
 	}
 
 	expected := int64(*clients) * int64(*epochs) * int64(len(qs.Entries))
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		return runAggregatorDurable(*dataDir, policy, agg, consumers, expected, *idle, *pollMax, *holdAfter)
+	}
+
 	lastProgress := time.Now()
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, *idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < *idle {
@@ -512,10 +610,166 @@ func runAggregator(args []string) error {
 		return err
 	}
 	printResults(results)
+	printStatsLine(agg)
+	return nil
+}
+
+func printStatsLine(agg *aggregator.Aggregator) {
 	st := agg.Stats()
 	fmt.Printf("decoded=%d malformed=%d duplicates=%d unknown=%d mismatched=%d\n",
 		st.Decoded, st.Malformed, st.Duplicates, st.UnknownQuery, st.LengthMismatch)
+}
+
+// runAggregatorDurable is the crash-tolerant drain loop: after every
+// poll sweep that made progress, the aggregator's state, the consumers'
+// positions, and every result fired so far are written as one
+// checkpoint record to a WAL under dataDir. A restarted aggregator
+// (same flags, same proxies) restores the newest checkpoint, seeks its
+// consumers to the recorded cut, and continues — the final result block
+// it prints is byte-identical to an uninterrupted run's: no lost
+// windows, no double-counted answers.
+//
+// Output protocol: results are held until the end and printed under a
+// "RESULTS" marker line (followed by the stats line), so crash tests
+// compare everything after the marker.
+func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Aggregator, consumers []*pubsub.Consumer, expected int64, idle time.Duration, pollMax int, holdAfter int64) error {
+	// Old checkpoints are garbage once superseded: rotate small segments
+	// and drop everything below the newest record after each append.
+	ckLog, err := wal.Open(filepath.Join(dataDir, "aggregator"), wal.Options{
+		Policy:       policy,
+		SegmentBytes: 1 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer ckLog.Close()
+
+	var results []aggregator.Result
+	var newest []byte
+	if err := ckLog.Replay(0, func(_ uint64, payload []byte) error {
+		newest = append(newest[:0], payload...)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if newest != nil {
+		restored, err := restoreNodeCheckpoint(newest, agg, consumers)
+		if err != nil {
+			return err
+		}
+		results = restored
+		fmt.Printf("restored checkpoint: %d results, %d answers decoded\n", len(results), agg.Decoded())
+	}
+
+	checkpoint := func() error {
+		rec, err := encodeNodeCheckpoint(agg, consumers, results)
+		if err != nil {
+			return err
+		}
+		lsn, err := ckLog.Append(rec)
+		if err != nil {
+			return err
+		}
+		// Whole segments strictly below the newest checkpoint are dead.
+		if err := ckLog.TruncateFront(lsn); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint lsn=%d decoded=%d results=%d\n", lsn, agg.Decoded(), len(results))
+		return nil
+	}
+
+	lastProgress := time.Now()
+	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, idle)
+	for agg.Decoded() < expected && time.Since(lastProgress) < idle {
+		progressed := false
+		for src, c := range consumers {
+			recs, err := c.PollWait(pollMax, 50*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			now := time.Now()
+			for _, rec := range recs {
+				share, err := proxy.DecodeRecord(rec)
+				if err != nil {
+					return err
+				}
+				res, err := agg.SubmitShare(share, src, now)
+				if err != nil {
+					return err
+				}
+				results = append(results, res...)
+			}
+			if len(recs) > 0 {
+				progressed = true
+			}
+		}
+		if progressed {
+			lastProgress = time.Now()
+			if err := checkpoint(); err != nil {
+				return err
+			}
+			if holdAfter > 0 && agg.Decoded() >= holdAfter {
+				// The crash gate's kill window: state is durable, the
+				// stream is mid-flight, and the process now hangs until
+				// SIGKILLed.
+				fmt.Println("holding for kill")
+				select {}
+			}
+		}
+	}
+	final, err := agg.Flush()
+	if err != nil {
+		return err
+	}
+	results = append(results, final...)
+	if err := checkpoint(); err != nil {
+		return err
+	}
+	fmt.Println("RESULTS")
+	fmt.Print(formatResults(results))
+	printStatsLine(agg)
 	return nil
+}
+
+// nodeCkptMagic versions the node-level checkpoint record: consumer
+// positions, fired results, then the aggregator's own checkpoint.
+var nodeCkptMagic = []byte("PNC1")
+
+func encodeNodeCheckpoint(agg *aggregator.Aggregator, consumers []*pubsub.Consumer, results []aggregator.Result) ([]byte, error) {
+	buf := append([]byte(nil), nodeCkptMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(consumers)))
+	for _, c := range consumers {
+		buf = c.AppendPositions(buf)
+	}
+	buf = aggregator.AppendResults(buf, results)
+	return agg.Checkpoint(buf)
+}
+
+func restoreNodeCheckpoint(data []byte, agg *aggregator.Aggregator, consumers []*pubsub.Consumer) ([]aggregator.Result, error) {
+	if len(data) < len(nodeCkptMagic)+4 || string(data[:len(nodeCkptMagic)]) != string(nodeCkptMagic) {
+		return nil, fmt.Errorf("bad node checkpoint record")
+	}
+	d := data[len(nodeCkptMagic):]
+	nc := binary.BigEndian.Uint32(d)
+	d = d[4:]
+	if int(nc) != len(consumers) {
+		return nil, fmt.Errorf("checkpoint has %d consumers, deployment has %d", nc, len(consumers))
+	}
+	for _, c := range consumers {
+		rest, err := c.SeekPositions(d)
+		if err != nil {
+			return nil, err
+		}
+		d = rest
+	}
+	results, rest, err := aggregator.DecodeResults(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := agg.Restore(rest); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // formatResults renders fired windows in the node's canonical result

@@ -122,7 +122,14 @@ func buildNode(t *testing.T) string {
 // parses the bound address from its banner line.
 func startProxy(t *testing.T, bin string, index int, extra ...string) (addr string, stop func()) {
 	t.Helper()
-	args := append([]string{"proxy", "-listen=127.0.0.1:0", fmt.Sprintf("-index=%d", index)}, extra...)
+	return startProxyAt(t, bin, "127.0.0.1:0", index, extra...)
+}
+
+// startProxyAt is startProxy with an explicit listen address — the
+// crash tests restart a killed proxy on the port it held before.
+func startProxyAt(t *testing.T, bin, listen string, index int, extra ...string) (addr string, stop func()) {
+	t.Helper()
+	args := append([]string{"proxy", "-listen=" + listen, fmt.Sprintf("-index=%d", index)}, extra...)
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -214,7 +214,8 @@ type queryState struct {
 	confidence float64
 	qidWire    uint64
 	nbuckets   int
-	ord        int // registration index, for deterministic result order
+	ord        int   // registration index, for deterministic result order
+	seed       int64 // effective estimator seed, recorded for checkpoint verification
 	assigner   *stream.SlidingAssigner
 
 	// winMu guards the registry of open windows; accumulation inside a
@@ -239,6 +240,33 @@ type queryState struct {
 	estMu       sync.Mutex
 	rng         *rand.Rand
 	rrLossCache map[int]float64 // yes-fraction percent → simulated loss
+	// estLog records every rng-consuming estimator event (simulation
+	// calls and cache clears) in order. The rng's internal state cannot
+	// be serialized, so a checkpoint stores this log instead and Restore
+	// replays it against a freshly seeded rng — reproducing both the
+	// memoized cache and the exact rng position. Guarded by estMu.
+	//
+	// The log grows for the life of the query — bounded by ~100 cache
+	// misses per randomization-parameter generation plus one clear per
+	// retune — so checkpoints of a long-lived, frequently retuned query
+	// grow with its history. Compacting (recording raw draw counts
+	// instead of simulation inputs) would cap this at the cost of a
+	// format change; revisit if retune-heavy deployments appear.
+	estLog []estEvent
+}
+
+// estEvent is one entry of the estimator replay log: either a cache
+// clear (a randomization-parameter change invalidated the memoized
+// losses) or one SimulateAccuracyLoss call with the inputs it was made
+// with and the loss it produced (re-verified on restore).
+type estEvent struct {
+	clear  bool
+	pct    int
+	params rr.Params // as passed to the simulation (inversion applied)
+	frac   float64
+	simN   int
+	rounds int
+	loss   float64
 }
 
 // joinShard is one lock's worth of share-join state plus the scratch
@@ -377,6 +405,7 @@ func (a *Aggregator) AddQuery(spec QuerySpec) error {
 		if prev.RR != spec.Params.RR {
 			st.estMu.Lock()
 			clear(st.rrLossCache)
+			st.estLog = append(st.estLog, estEvent{clear: true})
 			st.estMu.Unlock()
 		}
 		return nil
@@ -396,6 +425,7 @@ func (a *Aggregator) AddQuery(spec QuerySpec) error {
 		// earlier one in the (window start, registration order) result
 		// order.
 		ord:         a.nextOrd,
+		seed:        spec.Seed,
 		assigner:    assigner,
 		windows:     make(map[int64]*openWindow),
 		rng:         rand.New(rand.NewSource(spec.Seed)),
@@ -1040,6 +1070,10 @@ func (a *Aggregator) rrLoss(st *queryState, fraction float64, n int) (float64, e
 		return 0, err
 	}
 	st.rrLossCache[pct] = loss
+	st.estLog = append(st.estLog, estEvent{
+		pct: pct, params: params, frac: frac,
+		simN: simN, rounds: a.cfg.RRLossRounds, loss: loss,
+	})
 	return loss, nil
 }
 

@@ -190,3 +190,25 @@ func (a *Accumulator) YesCounts() []int {
 	copy(out, a.yes)
 	return out
 }
+
+// AddCounts folds raw per-bucket counts and a response total in — the
+// restore half of YesCounts/N, used when a checkpointed window is
+// rebuilt after a crash. Counts must be non-negative and no bucket may
+// exceed the total (each answer contributes at most one "Yes" per
+// bucket).
+func (a *Accumulator) AddCounts(yes []int, n int) error {
+	if len(yes) != len(a.yes) {
+		return fmt.Errorf("%w: %d counts for %d buckets", ErrSize, len(yes), len(a.yes))
+	}
+	if n < 0 {
+		return fmt.Errorf("%w: %d responses", ErrSize, n)
+	}
+	for i, y := range yes {
+		if y < 0 || y > n {
+			return fmt.Errorf("%w: bucket %d count %d of %d responses", ErrSize, i, y, n)
+		}
+		a.yes[i] += y
+	}
+	a.n += n
+	return nil
+}

@@ -103,6 +103,22 @@ func (s *ShardedAccumulator) merge(close bool) (*Accumulator, error) {
 	return out, nil
 }
 
+// AddCounts folds raw per-bucket counts into one shard — the restore
+// path for a checkpointed window. Like Add it fails with ErrClosed once
+// the shard has been merged away.
+func (s *ShardedAccumulator) AddCounts(shard int, yes []int, n int) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("%w: shard %d of %d", ErrSize, shard, len(s.shards))
+	}
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	return sh.acc.AddCounts(yes, n)
+}
+
 // N returns the total number of answers across all shards.
 func (s *ShardedAccumulator) N() int {
 	n := 0

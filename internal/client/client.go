@@ -331,6 +331,53 @@ func (c *Client) buildSubscription(signed *query.Signed, key ed25519.PublicKey, 
 	}, nil
 }
 
+// FastForward advances every active subscription's deterministic
+// randomness through epochs [0, epochs) without answering them — the
+// client-side half of crash recovery. A client process restarted to
+// resume at epoch e subscribes as usual (same seed, same generation)
+// and fast-forwards to e; from there each subscription's coin stream is
+// exactly the one an uninterrupted run would produce, because the
+// randomness a subscription consumes per epoch is a deterministic
+// function of the participation decision (hash-based, rng-free) and
+// the query's bucket count (RespondBits draws one word per bit).
+//
+// FastForward assumes every subscription was live from epoch 0; for
+// queries registered mid-run use FastForwardQuery with the query's
+// registration epoch (core.System.Restore does exactly that from its
+// checkpointed registration table).
+//
+// Call it once, immediately after the subscriptions are in place and
+// before the first AnswerOnce. Stats are not advanced: they count the
+// work of this process, not of the crashed one.
+func (c *Client) FastForward(epochs uint64) {
+	for _, sub := range c.subs {
+		c.fastForwardSub(sub, 0, epochs)
+	}
+}
+
+// FastForwardQuery advances one subscription's randomness through
+// epochs [from, to) — from is the epoch the query was registered at, so
+// a mid-run query skips exactly the epochs it actually answered in the
+// previous life and no others. It reports whether the query was an
+// active subscription.
+func (c *Client) FastForwardQuery(id query.ID, from, to uint64) bool {
+	i, ok := c.byWire[id.Uint64()]
+	if !ok {
+		return false
+	}
+	c.fastForwardSub(c.subs[i], from, to)
+	return true
+}
+
+func (c *Client) fastForwardSub(sub *subscription, from, to uint64) {
+	nbits := len(sub.query.Buckets)
+	for e := from; e < to; e++ {
+		if sub.decider.Participate(c.id, e) {
+			sub.rz.Skip(nbits)
+		}
+	}
+}
+
 // Query returns the first active query, or nil — the legacy single-query
 // accessor.
 func (c *Client) Query() *query.Query {

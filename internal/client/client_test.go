@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"crypto/rand"
 	"errors"
@@ -334,5 +335,150 @@ func TestPruneBefore(t *testing.T) {
 	n, _ := db.RowCount("rides")
 	if n != 1 {
 		t.Errorf("remaining = %d", n)
+	}
+}
+
+// copySink deep-copies submitted share payloads (the client reuses its
+// split scratch across epochs, so retaining the slices would alias).
+type copySink struct {
+	payloads [][]byte
+}
+
+func (s *copySink) Submit(share xorcrypt.Share) error {
+	s.payloads = append(s.payloads, append([]byte(nil), share.Payload...))
+	return nil
+}
+
+// joinedAnswers XOR-joins the two sinks' share streams pairwise,
+// recovering the plaintext answer message of each participating epoch.
+func joinedAnswers(t *testing.T, a, b *copySink) [][]byte {
+	t.Helper()
+	if len(a.payloads) != len(b.payloads) {
+		t.Fatalf("share streams diverge: %d vs %d", len(a.payloads), len(b.payloads))
+	}
+	out := make([][]byte, len(a.payloads))
+	for i := range a.payloads {
+		if len(a.payloads[i]) != len(b.payloads[i]) {
+			t.Fatalf("share %d length mismatch", i)
+		}
+		j := make([]byte, len(a.payloads[i]))
+		for k := range j {
+			j[k] = a.payloads[i][k] ^ b.payloads[i][k]
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// TestFastForwardReproducesCoinStream: a client restarted at epoch k and
+// fast-forwarded must produce, for epochs k.., exactly the randomized
+// answers the uninterrupted client produces — including across epochs
+// the sampling decision skips (which consume no randomness).
+func TestFastForwardReproducesCoinStream(t *testing.T) {
+	// s < 1 exercises non-participating epochs; p < 1 makes the
+	// randomizer actually consume coins.
+	params := budget.Params{S: 0.7, RR: rr.Params{P: 0.9, Q: 0.6}}
+	const epochs, resumeAt = 8, 3
+
+	build := func() (*Client, []*copySink) {
+		sinks := []*copySink{{}, {}}
+		c, err := New(Config{
+			ID:    "client-ff",
+			DB:    testDB(t, 4.2),
+			Sinks: []ShareSink{sinks[0], sinks[1]},
+			Seed:  7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signed, err := query.Sign(testQuery(t), priv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SubscribeQuery(signed, priv.Public().(ed25519.PublicKey), params); err != nil {
+			t.Fatal(err)
+		}
+		return c, sinks
+	}
+
+	// Uninterrupted run over all epochs.
+	full, fullSinks := build()
+	participated := make([]bool, epochs)
+	for e := uint64(0); e < epochs; e++ {
+		ok, err := full.AnswerOnce(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		participated[e] = ok
+	}
+	fullJoined := joinedAnswers(t, fullSinks[0], fullSinks[1])
+
+	// How many answers belong to the epochs before the resume point?
+	skipAnswers := 0
+	anySkipped := false
+	for e := 0; e < resumeAt; e++ {
+		if participated[e] {
+			skipAnswers++
+		} else {
+			anySkipped = true
+		}
+	}
+	for e := resumeAt; e < epochs; e++ {
+		if !participated[e] {
+			anySkipped = true
+		}
+	}
+	if !anySkipped {
+		t.Fatal("test never exercised a skipped epoch; lower S")
+	}
+
+	// Restarted run: subscribe fresh, fast-forward, answer the rest.
+	resumed, resumedSinks := build()
+	resumed.FastForward(resumeAt)
+	for e := uint64(resumeAt); e < epochs; e++ {
+		ok, err := resumed.AnswerOnce(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != participated[e] {
+			t.Fatalf("epoch %d participation diverged after fast-forward", e)
+		}
+	}
+	resumedJoined := joinedAnswers(t, resumedSinks[0], resumedSinks[1])
+
+	want := fullJoined[skipAnswers:]
+	if len(resumedJoined) != len(want) {
+		t.Fatalf("resumed run sent %d answers, want %d", len(resumedJoined), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(resumedJoined[i], want[i]) {
+			t.Fatalf("answer %d after fast-forward differs from uninterrupted run", i)
+		}
+	}
+
+	// Without the fast-forward the coin streams must diverge somewhere —
+	// otherwise this test proves nothing.
+	cold, coldSinks := build()
+	for e := uint64(resumeAt); e < epochs; e++ {
+		if _, err := cold.AnswerOnce(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coldJoined := joinedAnswers(t, coldSinks[0], coldSinks[1])
+	same := len(coldJoined) == len(want)
+	if same {
+		for i := range want {
+			if !bytes.Equal(coldJoined[i], want[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("skipping FastForward changed nothing; the test workload is degenerate")
 	}
 }

@@ -1,0 +1,162 @@
+package core
+
+// System-level checkpoint/restore: the epoch counter, the drain
+// consumers' input positions, and the aggregator's full dynamic state
+// serialize into one record. Together with Config.DataDir (durable
+// proxy brokers) this is the in-process statement of the crash-recovery
+// protocol the networked privapprox-node deployment runs: checkpoint
+// after a drain, crash at any point, rebuild the System over the same
+// data directory, re-register the same queries, Restore, and continue —
+// results from the resumed run are byte-identical to an uninterrupted
+// one.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/query"
+)
+
+var sysCkptMagic = []byte("PSC1")
+
+// Checkpoint serializes the system's resumable state. Call it between
+// epochs (after RunEpoch returns), never concurrently with one.
+func (s *System) Checkpoint() ([]byte, error) {
+	if err := s.ensureConsumers(); err != nil {
+		return nil, err
+	}
+	buf := append([]byte(nil), sysCkptMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, s.epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.consumers)))
+	for _, c := range s.consumers {
+		buf = c.AppendPositions(buf)
+	}
+	// Per-query registration epochs, so Restore can fast-forward each
+	// client subscription through exactly the epochs it answered in the
+	// previous life — a query registered mid-run never existed before
+	// its registration epoch and must not have coins skipped for it.
+	s.ctrlMu.Lock()
+	regs := make([]regEpoch, 0, len(s.regEpochs))
+	for id, e := range s.regEpochs {
+		regs = append(regs, regEpoch{id: id, epoch: e})
+	}
+	s.ctrlMu.Unlock()
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].id.Analyst != regs[j].id.Analyst {
+			return regs[i].id.Analyst < regs[j].id.Analyst
+		}
+		return regs[i].id.Serial < regs[j].id.Serial
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(regs)))
+	for _, r := range regs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.id.Analyst)))
+		buf = append(buf, r.id.Analyst...)
+		buf = binary.BigEndian.AppendUint64(buf, r.id.Serial)
+		buf = binary.BigEndian.AppendUint64(buf, r.epoch)
+	}
+	return s.agg.Checkpoint(buf)
+}
+
+// regEpoch pairs a query with the epoch it was registered at.
+type regEpoch struct {
+	id    query.ID
+	epoch uint64
+}
+
+// Restore rebuilds a freshly constructed System from a Checkpoint
+// record: the epoch counter resumes, the drain consumers seek to the
+// checkpointed cut, every client's per-subscription randomness is
+// fast-forwarded through the already-answered epochs, and the
+// aggregator restores its windows, watermarks, and estimator state. In
+// MultiQuery mode the same queries must be re-registered (in the same
+// order) before calling Restore.
+func (s *System) Restore(data []byte) error {
+	if len(data) < len(sysCkptMagic) || !bytes.Equal(data[:len(sysCkptMagic)], sysCkptMagic) {
+		return fmt.Errorf("%w: bad system checkpoint magic", ErrConfig)
+	}
+	d := data[len(sysCkptMagic):]
+	if len(d) < 12 {
+		return fmt.Errorf("%w: short system checkpoint", ErrConfig)
+	}
+	epoch := binary.BigEndian.Uint64(d)
+	nconsumers := binary.BigEndian.Uint32(d[8:12])
+	d = d[12:]
+	if err := s.ensureConsumers(); err != nil {
+		return err
+	}
+	if int(nconsumers) != len(s.consumers) {
+		return fmt.Errorf("%w: checkpoint has %d consumers, system has %d", ErrConfig, nconsumers, len(s.consumers))
+	}
+	for _, c := range s.consumers {
+		rest, err := c.SeekPositions(d)
+		if err != nil {
+			return err
+		}
+		d = rest
+	}
+	if len(d) < 4 {
+		return fmt.Errorf("%w: short system checkpoint", ErrConfig)
+	}
+	nregs := binary.BigEndian.Uint32(d)
+	d = d[4:]
+	regs := make(map[query.ID]uint64, nregs)
+	for i := uint32(0); i < nregs; i++ {
+		if len(d) < 4 {
+			return fmt.Errorf("%w: short system checkpoint", ErrConfig)
+		}
+		alen := binary.BigEndian.Uint32(d)
+		d = d[4:]
+		if uint32(len(d)) < alen+16 {
+			return fmt.Errorf("%w: short system checkpoint", ErrConfig)
+		}
+		id := query.ID{Analyst: string(d[:alen])}
+		d = d[alen:]
+		id.Serial = binary.BigEndian.Uint64(d)
+		regs[id] = binary.BigEndian.Uint64(d[8:16])
+		d = d[16:]
+	}
+	if err := s.agg.Restore(d); err != nil {
+		return err
+	}
+	s.epoch = epoch
+	// Clients resume their coin streams where the crashed process left
+	// them: each subscription is fast-forwarded through exactly the
+	// epochs it was live for — [its registration epoch, the checkpoint
+	// epoch). Subscriptions are already in place (construction in
+	// legacy mode, re-registration in MultiQuery mode).
+	for id, from := range regs {
+		for _, c := range s.clients {
+			c.FastForwardQuery(id, from, epoch)
+		}
+	}
+	s.ctrlMu.Lock()
+	s.regEpochs = regs
+	s.ctrlMu.Unlock()
+	return nil
+}
+
+// resultsEqual reports whether two result sequences are identical — the
+// recovery tests' byte-level comparison, shared here so experiments can
+// assert the same invariant.
+func resultsEqual(a, b []aggregator.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Query != b[i].Query || a[i].Responses != b[i].Responses ||
+			a[i].Population != b[i].Population || a[i].Inverted != b[i].Inverted ||
+			!a[i].Window.Start.Equal(b[i].Window.Start) || !a[i].Window.End.Equal(b[i].Window.End) ||
+			len(a[i].Buckets) != len(b[i].Buckets) {
+			return false
+		}
+		for j := range a[i].Buckets {
+			if a[i].Buckets[j] != b[i].Buckets[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/budget"
+	"privapprox/internal/rr"
+	"privapprox/internal/wal"
+	"privapprox/internal/workload"
+)
+
+// recoveryParams exercise both noise sources (s<1, p<1) so the
+// estimator's seeded rng is genuinely consumed across the checkpoint.
+var recoveryParams = budget.Params{S: 0.9, RR: rr.Params{P: 0.9, Q: 0.6}}
+
+func runEpochsInto(t *testing.T, sys *System, epochs int, results []aggregator.Result) []aggregator.Result {
+	t.Helper()
+	for e := 0; e < epochs; e++ {
+		res, _, err := sys.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res...)
+	}
+	return results
+}
+
+// TestSystemCheckpointResume is the in-process crash gate: run a
+// durable system for part of its epochs, checkpoint, tear the process
+// state down (only the data directory and the checkpoint bytes
+// survive), rebuild over the same directory, Restore, and run the rest.
+// The combined result sequence must be identical to an uninterrupted
+// run — same estimates, same margins, same windows, same order.
+func TestSystemCheckpointResume(t *testing.T) {
+	const epochs, crashAfter = 5, 2
+	dir := t.TempDir()
+
+	// Uninterrupted reference (no durability needed: same seed, same
+	// population, the pipeline is deterministic).
+	refCfg := taxiSystemConfig(t, 8, recoveryParams)
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := runEpochsInto(t, ref, epochs, nil)
+	final, err := ref.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, final...)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no windows")
+	}
+
+	// First life: durable proxies, crash after two epochs.
+	cfgA := taxiSystemConfig(t, 8, recoveryParams)
+	cfgA.DataDir = dir
+	cfgA.WALFsync = wal.PolicyEveryBatch
+	sysA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runEpochsInto(t, sysA, crashAfter, nil)
+	ckpt, err := sysA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: no Flush, no graceful drain — just release the
+	// files so the second life can reopen them.
+	sysA.Close()
+
+	// Second life: rebuild over the same data directory, restore, and
+	// finish the run.
+	cfgB := taxiSystemConfig(t, 8, recoveryParams)
+	cfgB.DataDir = dir
+	cfgB.WALFsync = wal.PolicyEveryBatch
+	sysB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysB.Close()
+	if err := sysB.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sysB.Epoch(), uint64(crashAfter); got != want {
+		t.Fatalf("restored epoch = %d, want %d", got, want)
+	}
+	got = runEpochsInto(t, sysB, epochs-crashAfter, got)
+	final, err = sysB.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, final...)
+
+	if !resultsEqual(got, want) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\ngot  %+v\nwant %+v", got, want)
+	}
+	// No window double-fired, no answer double-counted.
+	if gs, ws := sysB.Aggregator().Stats(), ref.Aggregator().Stats(); gs != ws {
+		t.Fatalf("stats diverged: got %+v want %+v", gs, ws)
+	}
+}
+
+// TestSystemCheckpointResumeMultiQuery runs the same protocol through
+// the control plane: queries re-registered after the restart (the same
+// announcements a durable control topic would replay), then Restore.
+func TestSystemCheckpointResumeMultiQuery(t *testing.T) {
+	const epochs, crashAfter = 5, 2
+	dir := t.TempDir()
+
+	q1, err := workload.TaxiQuery("analyst", 1, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := workload.TaxiQuery("analyst", 2, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(dataDir string) *System {
+		cfg := taxiSystemConfig(t, 6, recoveryParams)
+		cfg.Query = nil
+		cfg.MultiQuery = true
+		cfg.DataDir = dataDir
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Register(q1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Register(q2); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	ref := build("")
+	defer ref.Close()
+	want := runEpochsInto(t, ref, epochs, nil)
+	final, err := ref.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, final...)
+
+	sysA := build(dir)
+	got := runEpochsInto(t, sysA, crashAfter, nil)
+	ckpt, err := sysA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA.Close()
+
+	sysB := build(dir)
+	defer sysB.Close()
+	if err := sysB.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	got = runEpochsInto(t, sysB, epochs-crashAfter, got)
+	final, err = sysB.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, final...)
+
+	if !resultsEqual(got, want) {
+		t.Fatalf("multi-query resumed run diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSystemRestoreRejectsForeignCheckpoint: restoring a checkpoint
+// into a system with a different query set fails loudly instead of
+// silently resuming the wrong state.
+func TestSystemRestoreRejectsForeignCheckpoint(t *testing.T) {
+	sysA, err := New(taxiSystemConfig(t, 4, recoveryParams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysA.Close()
+	if _, _, err := sysA.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := sysA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := taxiSystemConfig(t, 4, recoveryParams)
+	q, err := workload.TaxiQuery("other-analyst", 7, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCfg.Query = q
+	sysB, err := New(otherCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysB.Close()
+	if err := sysB.Restore(ckpt); err == nil {
+		t.Fatal("foreign checkpoint restored without error")
+	}
+	if err := sysB.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage checkpoint restored without error")
+	}
+}
+
+// TestSystemCheckpointResumeMidRunRegistration pins the fast-forward
+// accounting for queries registered mid-run: a query that came alive at
+// epoch 2 never consumed coins for epochs 0-1, so the restored clients
+// must skip only the epochs it was actually live for. (Regression: an
+// unconditional FastForward(epoch) over-skipped and diverged.)
+func TestSystemCheckpointResumeMidRunRegistration(t *testing.T) {
+	const epochs, registerAt, crashAfter = 6, 2, 4
+	dir := t.TempDir()
+
+	q1, err := workload.TaxiQuery("analyst", 1, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := workload.TaxiQuery("analyst", 2, time.Second, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(dataDir string) *System {
+		cfg := taxiSystemConfig(t, 6, recoveryParams)
+		cfg.Query = nil
+		cfg.MultiQuery = true
+		cfg.DataDir = dataDir
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Register(q1); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	// Drive: q1 from the start, q2 registered at epoch registerAt.
+	run := func(sys *System, from, to int, results []aggregator.Result) []aggregator.Result {
+		for e := from; e < to; e++ {
+			if e == registerAt {
+				if err := sys.Register(q2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, _, err := sys.RunEpoch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res...)
+		}
+		return results
+	}
+
+	ref := build("")
+	defer ref.Close()
+	want := run(ref, 0, epochs, nil)
+	final, err := ref.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, final...)
+
+	sysA := build(dir)
+	got := run(sysA, 0, crashAfter, nil)
+	ckpt, err := sysA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA.Close()
+
+	// Second life re-registers BOTH queries (as a replayed control
+	// topic would deliver them) before Restore; q2's subscription must
+	// be fast-forwarded only through epochs [2, 4).
+	sysB := build(dir)
+	defer sysB.Close()
+	if err := sysB.Register(q2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	got = run(sysB, crashAfter, epochs, got)
+	final, err = sysB.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, final...)
+
+	if !resultsEqual(got, want) {
+		t.Fatalf("mid-run-registration resume diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ import (
 	"privapprox/internal/proxy"
 	"privapprox/internal/pubsub"
 	"privapprox/internal/query"
+	"privapprox/internal/wal"
 )
 
 // ErrConfig reports an invalid system configuration.
@@ -96,6 +98,16 @@ type Config struct {
 	// Shards is the aggregator's lock-shard count (see
 	// aggregator.Config.Shards); defaults to GOMAXPROCS.
 	Shards int
+	// DataDir, when non-empty, makes the proxies' brokers durable: every
+	// published share and control announcement is journaled to
+	// write-ahead logs under DataDir/proxies and replayed when a new
+	// System is built over the same directory. Pair it with
+	// Checkpoint/Restore for full crash recovery — see
+	// TestSystemCheckpointResume for the protocol.
+	DataDir string
+	// WALFsync is the fsync policy for DataDir journals; the zero value
+	// (wal.PolicyNever) survives process crashes but not OS crashes.
+	WALFsync wal.Policy
 	// MultiQuery enables the query control plane: queries are
 	// registered (and stopped) dynamically via Register/StopQuery, and
 	// reach clients as signed announcements through the proxies'
@@ -136,6 +148,10 @@ type System struct {
 	fbMin     float64
 	fbMax     float64
 	fbEnabled bool
+	// regEpochs records the epoch each active query was registered at
+	// (guarded by ctrlMu) — checkpointed so Restore can fast-forward
+	// each client subscription through exactly its own live epochs.
+	regEpochs map[query.ID]uint64
 
 	// now stamps record arrival once per poll batch (tests inject a
 	// fake clock to pin down per-poll latency accounting).
@@ -221,12 +237,24 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("%w: bad analyst key", ErrConfig)
 	}
 
-	fleet, err := proxy.NewFleet(cfg.Proxies, cfg.Partitions)
+	var fleet *proxy.Fleet
+	var err error
+	if cfg.DataDir != "" {
+		fleet, err = proxy.NewDurableFleet(cfg.Proxies, cfg.Partitions,
+			filepath.Join(cfg.DataDir, "proxies"), wal.Options{Policy: cfg.WALFsync})
+	} else {
+		fleet, err = proxy.NewFleet(cfg.Proxies, cfg.Partitions)
+	}
 	if err != nil {
 		return nil, err
 	}
 
-	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, priv: priv, fleet: fleet, now: time.Now}
+	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, priv: priv, fleet: fleet, now: time.Now,
+		regEpochs: make(map[query.ID]uint64)}
+	if signed != nil && !cfg.MultiQuery {
+		// Legacy mode: the single query is live from epoch 0.
+		sys.regEpochs[signed.Query.QID] = 0
+	}
 
 	if cfg.StoreDir != "" {
 		store, err := histstore.Open(cfg.StoreDir, 0)
@@ -391,6 +419,13 @@ func (s *System) RegisterSigned(signed *query.Signed, analystKey ed25519.PublicK
 	if err := s.agg.AddQuery(aggregator.QuerySpec{Query: signed.Query, Params: params}); err != nil {
 		return err
 	}
+	s.ctrlMu.Lock()
+	if _, ok := s.regEpochs[signed.Query.QID]; !ok {
+		// First registration pins the query's start epoch; parameter
+		// updates keep it (the coin stream has been running since).
+		s.regEpochs[signed.Query.QID] = s.epoch
+	}
+	s.ctrlMu.Unlock()
 	_, err := s.follower.Sync()
 	return err
 }
@@ -411,6 +446,7 @@ func (s *System) StopQuery(id query.ID) ([]aggregator.Result, error) {
 	}
 	s.ctrlMu.Lock()
 	delete(s.ctrls, id)
+	delete(s.regEpochs, id)
 	s.ctrlMu.Unlock()
 	return s.agg.RemoveQuery(id)
 }
@@ -538,12 +574,8 @@ func (s *System) Epoch() uint64 { return s.epoch }
 // window-start order, which makes the output independent of goroutine
 // scheduling.
 func (s *System) drain() ([]aggregator.Result, error) {
-	if s.consumers == nil {
-		cs, err := s.fleet.Consumers("aggregator")
-		if err != nil {
-			return nil, err
-		}
-		s.consumers = cs
+	if err := s.ensureConsumers(); err != nil {
+		return nil, err
 	}
 	var fired []aggregator.Result
 	var err error
@@ -557,6 +589,19 @@ func (s *System) drain() ([]aggregator.Result, error) {
 	}
 	aggregator.SortResults(fired, s.agg.QueryOrder())
 	return fired, nil
+}
+
+// ensureConsumers lazily builds the persistent per-proxy consumer group.
+func (s *System) ensureConsumers() error {
+	if s.consumers != nil {
+		return nil
+	}
+	cs, err := s.fleet.Consumers("aggregator")
+	if err != nil {
+		return err
+	}
+	s.consumers = cs
+	return nil
 }
 
 // drainSequential is the Workers == 1 path: one goroutine round-robins

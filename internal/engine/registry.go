@@ -141,6 +141,71 @@ func (r *Registry) Stop(id query.ID) error {
 	return r.broadcastLocked()
 }
 
+// Bootstrap adopts a replayed snapshot — the restart path for a control
+// plane whose proxies journal their control topics: a restarted
+// submitter reads the newest announced QuerySet back from a proxy and
+// bootstraps its registry from it, so the version counter resumes
+// *past* the replayed announcements instead of restarting at 1 (which
+// newest-snapshot-wins appliers would ignore forever). Each entry's
+// signature is verified against the analyst key it carries, that key is
+// installed in the trust store, and wire-ID collisions are rejected.
+// Bootstrap only moves forward: a snapshot older than the registry's
+// current version is rejected. Attached sinks are not re-announced —
+// the replayed topic already carries the snapshot.
+func (r *Registry) Bootstrap(qs *QuerySet) error {
+	if qs == nil {
+		return fmt.Errorf("%w: nil snapshot", query.ErrInvalidQuery)
+	}
+	entries := make([]Entry, 0, len(qs.Entries))
+	index := make(map[string]int, len(qs.Entries))
+	byWire := make(map[uint64]query.ID, len(qs.Entries))
+	trusted := make(map[string]ed25519.PublicKey)
+	for _, e := range qs.Entries {
+		if e.Signed == nil || e.Signed.Query == nil {
+			return fmt.Errorf("%w: snapshot entry without query", query.ErrInvalidQuery)
+		}
+		q := e.Signed.Query
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		if err := e.Params.Validate(); err != nil {
+			return err
+		}
+		if len(e.AnalystKey) != ed25519.PublicKeySize {
+			return fmt.Errorf("%w: %q", ErrUnknownAnalyst, q.QID.Analyst)
+		}
+		if err := e.Signed.Verify(e.AnalystKey); err != nil {
+			return err
+		}
+		wire := wireIDOf(q.QID)
+		if prev, ok := byWire[wire]; ok && prev != q.QID {
+			return fmt.Errorf("%w: %s and %s both map to %#x", ErrWireCollision, prev, q.QID, wire)
+		}
+		if _, ok := index[q.QID.String()]; ok {
+			return fmt.Errorf("%w: duplicate entry %s", query.ErrInvalidQuery, q.QID)
+		}
+		index[q.QID.String()] = len(entries)
+		byWire[wire] = q.QID
+		entries = append(entries, e)
+		trusted[q.QID.Analyst] = e.AnalystKey
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if qs.Version < r.version {
+		return fmt.Errorf("%w: bootstrap snapshot version %d behind registry version %d",
+			query.ErrInvalidQuery, qs.Version, r.version)
+	}
+	for analyst, pub := range trusted {
+		r.trusted[analyst] = pub
+	}
+	r.entries = entries
+	r.index = index
+	r.byWire = byWire
+	r.version = qs.Version
+	return nil
+}
+
 // AttachSink adds a control sink and immediately sends it the current
 // snapshot, so late-joining distribution channels catch up.
 func (r *Registry) AttachSink(s ControlSink) error {

@@ -16,10 +16,12 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"privapprox/internal/pubsub"
+	"privapprox/internal/wal"
 	"privapprox/internal/xorcrypt"
 )
 
@@ -62,15 +64,35 @@ type Proxy struct {
 // conventionally the answer proxy; every other index forwards key
 // shares.
 func New(name string, index, partitions int) (*Proxy, error) {
+	return newWithBroker(name, index, partitions, pubsub.NewBroker())
+}
+
+// NewDurable builds a proxy whose broker journals partitions, commits,
+// and topic metadata to write-ahead logs under dir — a killed proxy
+// restarted on the same directory replays its share streams and its
+// control topic, so in-flight epochs and distributed query sets survive
+// (the topics already exist after a replay; creation is idempotent
+// here).
+func NewDurable(name string, index, partitions int, dir string, opts wal.Options) (*Proxy, error) {
+	b, err := pubsub.OpenBroker(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newWithBroker(name, index, partitions, b)
+}
+
+func newWithBroker(name string, index, partitions int, b *pubsub.Broker) (*Proxy, error) {
 	if partitions <= 0 {
+		b.Close()
 		return nil, fmt.Errorf("proxy: %d partitions", partitions)
 	}
 	topic := TopicFor(index)
-	b := pubsub.NewBroker()
-	if err := b.CreateTopic(topic, partitions); err != nil {
+	if err := b.CreateTopic(topic, partitions); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
+		b.Close()
 		return nil, err
 	}
-	if err := b.CreateTopic(TopicControl, 1); err != nil {
+	if err := b.CreateTopic(TopicControl, 1); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
+		b.Close()
 		return nil, err
 	}
 	return &Proxy{name: name, topic: topic, t: b, broker: b}, nil
@@ -209,6 +231,16 @@ type Fleet struct {
 func NewFleet(n, partitions int) (*Fleet, error) {
 	return newFleet(n, func(i int) (*Proxy, error) {
 		return New(fmt.Sprintf("proxy-%d", i), i, partitions)
+	})
+}
+
+// NewDurableFleet builds n in-process proxies whose brokers journal to
+// WALs under dir (one subdirectory per proxy); reopening the same dir
+// replays every proxy's topics.
+func NewDurableFleet(n, partitions int, dir string, opts wal.Options) (*Fleet, error) {
+	return newFleet(n, func(i int) (*Proxy, error) {
+		return NewDurable(fmt.Sprintf("proxy-%d", i), i, partitions,
+			filepath.Join(dir, fmt.Sprintf("proxy-%d", i)), opts)
 	})
 }
 

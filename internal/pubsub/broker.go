@@ -11,6 +11,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"privapprox/internal/wal"
 )
 
 // Errors reported by the broker.
@@ -45,6 +47,13 @@ type partitionLog struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	records []Record
+	// w, when non-nil, is the partition's write-ahead log: every publish
+	// journals its record here — before the in-memory append, before the
+	// ack — so an acknowledged record survives a broker restart. The WAL
+	// LSN of a record equals its partition offset. encBuf is the frame
+	// scratch, touched only under mu.
+	w      *wal.Log
+	encBuf []byte
 }
 
 func newPartitionLog() *partitionLog {
@@ -58,7 +67,10 @@ type topicLog struct {
 	partitions []*partitionLog
 }
 
-// Broker is an in-memory, concurrency-safe message broker.
+// Broker is an in-memory, concurrency-safe message broker. A broker
+// opened with OpenBroker additionally journals partitions, consumer
+// commits, and topic metadata to write-ahead logs under a data
+// directory, and rebuilds itself from them on restart.
 type Broker struct {
 	mu      sync.RWMutex
 	topics  map[string]*topicLog
@@ -66,7 +78,8 @@ type Broker struct {
 	stats   Stats
 	statsMu sync.Mutex
 	closed  bool
-	rr      uint64 // round-robin counter for keyless publishes
+	rr      uint64      // round-robin counter for keyless publishes
+	dur     *durability // nil for a purely in-memory broker
 }
 
 // NewBroker returns an empty broker.
@@ -90,9 +103,27 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	if _, ok := b.topics[name]; ok {
 		return fmt.Errorf("%w: %q", ErrTopicExists, name)
 	}
+	if b.dur != nil {
+		// Journal the topic before creating it, then bind a WAL to every
+		// partition; a crash between the two replays the metadata record
+		// and re-creates the (empty) partition logs idempotently.
+		if err := b.dur.journalTopic(name, partitions); err != nil {
+			return err
+		}
+	}
 	t := &topicLog{name: name, partitions: make([]*partitionLog, partitions)}
 	for i := range t.partitions {
 		t.partitions[i] = newPartitionLog()
+		if b.dur != nil {
+			w, err := b.dur.openPartitionWAL(name, i)
+			if err != nil {
+				for _, p := range t.partitions[:i] {
+					p.w.Close()
+				}
+				return err
+			}
+			t.partitions[i].w = w
+		}
 	}
 	b.topics[name] = t
 	return nil
@@ -150,13 +181,24 @@ func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 	p := t.partitions[part]
 	p.mu.Lock()
 	offset := int64(len(p.records))
+	now := time.Now()
+	if p.w != nil {
+		// Durability before visibility: the record reaches the WAL (per
+		// the fsync policy) before it is appended in memory, broadcast to
+		// consumers, or acknowledged to the publisher.
+		p.encBuf = appendPartitionRecord(p.encBuf[:0], now, key, value)
+		if _, err := p.w.Append(p.encBuf); err != nil {
+			p.mu.Unlock()
+			return 0, 0, err
+		}
+	}
 	rec := Record{
 		Topic:     topic,
 		Partition: part,
 		Offset:    offset,
 		Key:       append([]byte(nil), key...),
 		Value:     append([]byte(nil), value...),
-		Timestamp: time.Now(),
+		Timestamp: now,
 	}
 	p.records = append(p.records, rec)
 	p.cond.Broadcast()
@@ -226,6 +268,12 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 	for part, idxs := range byPart {
 		p := t.partitions[part]
 		p.mu.Lock()
+		if p.w != nil {
+			if err := journalBatch(p, now, msgs, idxs); err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+		}
 		for _, i := range idxs {
 			offset := int64(len(p.records))
 			results[i].Offset = offset
@@ -340,6 +388,9 @@ func (b *Broker) EndOffset(topic string, partition int) (int64, error) {
 }
 
 // CommitOffset durably records a consumer group's next-to-read offset.
+// Commits are monotonic per (group, topic, partition): an offset at or
+// below the committed one is ignored, so a lagging committer can never
+// rewind the group and cause replays.
 func (b *Broker) CommitOffset(group, topic string, partition int, offset int64) error {
 	if _, err := b.partition(topic, partition); err != nil {
 		return err
@@ -358,6 +409,16 @@ func (b *Broker) CommitOffset(group, topic string, partition int, offset int64) 
 	if !ok {
 		tp = make(map[int]int64)
 		gt[topic] = tp
+	}
+	if offset <= tp[partition] {
+		return nil
+	}
+	if b.dur != nil {
+		// Journal before updating memory; replay applies commits in
+		// journal order, so the restored offset is the newest committed.
+		if err := b.dur.journalCommit(group, topic, partition, offset); err != nil {
+			return err
+		}
 	}
 	tp[partition] = offset
 	return nil
@@ -398,8 +459,15 @@ func (b *Broker) Close() {
 		for _, p := range t.partitions {
 			p.mu.Lock()
 			p.cond.Broadcast()
+			if p.w != nil {
+				p.w.Close()
+				p.w = nil
+			}
 			p.mu.Unlock()
 		}
+	}
+	if b.dur != nil {
+		b.dur.close()
 	}
 }
 

@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -122,6 +123,97 @@ func (c *Consumer) PollWait(max int, timeout time.Duration) ([]Record, error) {
 			return recs, nil
 		}
 	}
+}
+
+// Positions returns a deep copy of the consumer's next-read offsets —
+// the cut a checkpointer records alongside the state derived from
+// everything below it.
+func (c *Consumer) Positions() map[string]map[int]int64 {
+	out := make(map[string]map[int]int64, len(c.positions))
+	for topic, pos := range c.positions {
+		tp := make(map[int]int64, len(pos))
+		for p, off := range pos {
+			tp[p] = off
+		}
+		out[topic] = tp
+	}
+	return out
+}
+
+// Seek overrides the next-read offset of one subscribed partition — the
+// restore half of Positions: a restarted consumer resumes from a
+// checkpoint's recorded cut instead of the broker's committed offsets.
+func (c *Consumer) Seek(topic string, partition int, offset int64) error {
+	pos, ok := c.positions[topic]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+	if _, ok := pos[partition]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoPartition, partition)
+	}
+	if offset < 0 {
+		return fmt.Errorf("%w: %d", ErrBadOffset, offset)
+	}
+	pos[partition] = offset
+	return nil
+}
+
+// AppendPositions serializes the consumer's next-read offsets to buf in
+// a deterministic order (topics sorted, partitions ascending) — the
+// checkpoint-record form of Positions, decoded by SeekPositions. Both
+// the in-process System checkpoint and the privapprox-node aggregator
+// checkpoint use this one codec.
+func (c *Consumer) AppendPositions(buf []byte) []byte {
+	topics := c.sortedTopics()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(topics)))
+	for _, topic := range topics {
+		pos := c.positions[topic]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(topic)))
+		buf = append(buf, topic...)
+		parts := sortedPartitions(pos)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(parts)))
+		for _, p := range parts {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(pos[p]))
+		}
+	}
+	return buf
+}
+
+// SeekPositions decodes an AppendPositions section, seeks every
+// recorded partition, and returns the unconsumed remainder of data.
+func (c *Consumer) SeekPositions(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("pubsub: short positions record")
+	}
+	ntopics := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	for t := uint32(0); t < ntopics; t++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("pubsub: short positions record")
+		}
+		tlen := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < tlen+4 {
+			return nil, fmt.Errorf("pubsub: short positions record")
+		}
+		topic := string(data[:tlen])
+		data = data[tlen:]
+		nparts := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		for p := uint32(0); p < nparts; p++ {
+			if len(data) < 12 {
+				return nil, fmt.Errorf("pubsub: short positions record")
+			}
+			part := binary.BigEndian.Uint32(data)
+			off := int64(binary.BigEndian.Uint64(data[4:12]))
+			data = data[12:]
+			if err := c.Seek(topic, int(part), off); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
 }
 
 // Commit persists the current positions to the broker so another group

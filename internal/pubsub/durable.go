@@ -1,0 +1,320 @@
+package pubsub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"privapprox/internal/wal"
+)
+
+// ErrDurable reports a malformed journal record or data directory.
+var ErrDurable = errors.New("pubsub: durable broker")
+
+// Meta-journal record types.
+const (
+	metaTopic  = byte(0x01) // topic created: topic, partitions
+	metaCommit = byte(0x02) // consumer commit: group, topic, partition, offset
+)
+
+// durability is a broker's connection to its data directory: one meta
+// WAL journaling topic creation and consumer-group commits, plus one WAL
+// per partition (held by the partitionLog) journaling published records.
+// Meta appends are serialized by the broker mutex every caller already
+// holds.
+type durability struct {
+	dir  string
+	opts wal.Options
+	meta *wal.Log
+}
+
+// OpenBroker opens (or creates) a durable broker rooted at dir: topics,
+// partition contents, and consumer-group offsets are journaled to
+// write-ahead logs under dir and replayed on the next OpenBroker, so a
+// killed broker restarts with every acknowledged record and commit
+// intact. opts sets the fsync policy and segment size; the retention
+// limits are ignored for broker logs, because partition offsets are
+// dense from zero and truncating a log's head would orphan them.
+func OpenBroker(dir string, opts wal.Options) (*Broker, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("%w: empty data directory", ErrDurable)
+	}
+	// See the doc comment: head truncation would break offset addressing.
+	opts.RetainBytes = 0
+	opts.RetainAge = 0
+	meta, err := wal.Open(filepath.Join(dir, "meta"), opts)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBroker()
+	b.dur = &durability{dir: dir, opts: opts, meta: meta}
+	if err := b.replayMeta(); err != nil {
+		// Close every partition WAL replay managed to open (and its
+		// PolicyInterval sync goroutine) before reporting the failure,
+		// so a supervisor retrying OpenBroker doesn't leak handles.
+		for _, t := range b.topics {
+			for _, p := range t.partitions {
+				if p.w != nil {
+					p.w.Close()
+				}
+			}
+		}
+		meta.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// DataDir returns the broker's data directory, empty for an in-memory
+// broker.
+func (b *Broker) DataDir() string {
+	if b.dur == nil {
+		return ""
+	}
+	return b.dur.dir
+}
+
+// replayMeta rebuilds topics and committed offsets from the meta
+// journal, loading each re-created partition from its own WAL.
+func (b *Broker) replayMeta() error {
+	return b.dur.meta.Replay(0, func(_ uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return fmt.Errorf("%w: empty meta record", ErrDurable)
+		}
+		switch payload[0] {
+		case metaTopic:
+			topic, partitions, err := decodeMetaTopic(payload)
+			if err != nil {
+				return err
+			}
+			return b.restoreTopic(topic, partitions)
+		case metaCommit:
+			group, topic, partition, offset, err := decodeMetaCommit(payload)
+			if err != nil {
+				return err
+			}
+			// Commits replay in journal order; the monotonic rule makes
+			// the restored value the newest committed offset.
+			gt, ok := b.offsets[group]
+			if !ok {
+				gt = make(map[string]map[int]int64)
+				b.offsets[group] = gt
+			}
+			tp, ok := gt[topic]
+			if !ok {
+				tp = make(map[int]int64)
+				gt[topic] = tp
+			}
+			if offset > tp[partition] {
+				tp[partition] = offset
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown meta record %#x", ErrDurable, payload[0])
+		}
+	})
+}
+
+// restoreTopic re-creates one topic from its partition WALs.
+func (b *Broker) restoreTopic(name string, partitions int) error {
+	if _, ok := b.topics[name]; ok {
+		// A re-journaled create (crash between journal and WAL setup on
+		// an earlier life) is idempotent.
+		return nil
+	}
+	t := &topicLog{name: name, partitions: make([]*partitionLog, partitions)}
+	closeOpened := func(upTo int) {
+		for _, p := range t.partitions[:upTo] {
+			p.w.Close()
+		}
+	}
+	for i := range t.partitions {
+		p := newPartitionLog()
+		w, err := b.dur.openPartitionWAL(name, i)
+		if err != nil {
+			closeOpened(i)
+			return err
+		}
+		p.w = w
+		err = w.Replay(0, func(lsn uint64, payload []byte) error {
+			ts, key, value, err := decodePartitionRecord(payload)
+			if err != nil {
+				return err
+			}
+			if int64(lsn) != int64(len(p.records)) {
+				return fmt.Errorf("%w: %s/%d: lsn %d for offset %d", ErrDurable, name, i, lsn, len(p.records))
+			}
+			p.records = append(p.records, Record{
+				Topic:     name,
+				Partition: i,
+				Offset:    int64(lsn),
+				Key:       key,
+				Value:     value,
+				Timestamp: ts,
+			})
+			return nil
+		})
+		if err != nil {
+			w.Close()
+			closeOpened(i)
+			return err
+		}
+		t.partitions[i] = p
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// validTopicName restricts durable topic names to characters that are
+// safe as directory names.
+func validTopicName(name string) bool {
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return name != "" && name != "." && name != ".."
+}
+
+func (d *durability) openPartitionWAL(topic string, partition int) (*wal.Log, error) {
+	if !validTopicName(topic) {
+		return nil, fmt.Errorf("%w: topic %q is not a valid directory name", ErrDurable, topic)
+	}
+	return wal.Open(filepath.Join(d.dir, "topic-"+topic, fmt.Sprintf("p%04d", partition)), d.opts)
+}
+
+// journalTopic records a topic creation. Callers hold the broker mutex,
+// which serializes meta appends.
+func (d *durability) journalTopic(topic string, partitions int) error {
+	if !validTopicName(topic) {
+		return fmt.Errorf("%w: topic %q is not a valid directory name", ErrDurable, topic)
+	}
+	buf := []byte{metaTopic}
+	buf = appendLenBytes(buf, []byte(topic))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(partitions))
+	_, err := d.meta.Append(buf)
+	return err
+}
+
+// journalCommit records a consumer-group commit. Callers hold the
+// broker mutex.
+func (d *durability) journalCommit(group, topic string, partition int, offset int64) error {
+	buf := []byte{metaCommit}
+	buf = appendLenBytes(buf, []byte(group))
+	buf = appendLenBytes(buf, []byte(topic))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(partition))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(offset))
+	_, err := d.meta.Append(buf)
+	return err
+}
+
+func (d *durability) close() {
+	d.meta.Close()
+}
+
+// appendPartitionRecord frames one published record for the partition
+// WAL: u64 timestamp | u32 key length | key | value (the value's length
+// is the frame remainder).
+func appendPartitionRecord(buf []byte, ts time.Time, key, value []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ts.UnixNano()))
+	buf = appendLenBytes(buf, key)
+	return append(buf, value...)
+}
+
+func decodePartitionRecord(payload []byte) (ts time.Time, key, value []byte, err error) {
+	if len(payload) < 12 {
+		return time.Time{}, nil, nil, fmt.Errorf("%w: %d-byte partition record", ErrDurable, len(payload))
+	}
+	ts = time.Unix(0, int64(binary.BigEndian.Uint64(payload[0:8])))
+	klen := binary.BigEndian.Uint32(payload[8:12])
+	rest := payload[12:]
+	if uint32(len(rest)) < klen {
+		return time.Time{}, nil, nil, fmt.Errorf("%w: key length %d beyond record", ErrDurable, klen)
+	}
+	if klen > 0 {
+		key = append([]byte(nil), rest[:klen]...)
+	}
+	value = append([]byte(nil), rest[klen:]...)
+	return ts, key, value, nil
+}
+
+// journalBatch frames and appends one partition's slice of a publish
+// batch as a single WAL batch (one write, one policy fsync). The caller
+// holds the partition lock.
+func journalBatch(p *partitionLog, now time.Time, msgs []Message, idxs []int) error {
+	total := 0
+	for _, i := range idxs {
+		total += 12 + len(msgs[i].Key) + len(msgs[i].Value)
+	}
+	// Grow the scratch once up front: the per-record sub-slices handed
+	// to AppendBatch must all point into the same backing array.
+	if cap(p.encBuf) < total {
+		p.encBuf = make([]byte, 0, total)
+	}
+	enc := p.encBuf[:0]
+	payloads := make([][]byte, 0, len(idxs))
+	for _, i := range idxs {
+		start := len(enc)
+		enc = appendPartitionRecord(enc, now, msgs[i].Key, msgs[i].Value)
+		payloads = append(payloads, enc[start:len(enc):len(enc)])
+	}
+	p.encBuf = enc[:0]
+	_, err := p.w.AppendBatch(payloads)
+	return err
+}
+
+func appendLenBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func decodeMetaTopic(payload []byte) (topic string, partitions int, err error) {
+	d := payload[1:]
+	t, d, err := readLenBytes(d)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(d) != 4 {
+		return "", 0, fmt.Errorf("%w: malformed topic record", ErrDurable)
+	}
+	n := int(binary.BigEndian.Uint32(d))
+	if n <= 0 {
+		return "", 0, fmt.Errorf("%w: topic %q with %d partitions", ErrDurable, t, n)
+	}
+	return string(t), n, nil
+}
+
+func decodeMetaCommit(payload []byte) (group, topic string, partition int, offset int64, err error) {
+	d := payload[1:]
+	g, d, err := readLenBytes(d)
+	if err != nil {
+		return "", "", 0, 0, err
+	}
+	t, d, err := readLenBytes(d)
+	if err != nil {
+		return "", "", 0, 0, err
+	}
+	if len(d) != 12 {
+		return "", "", 0, 0, fmt.Errorf("%w: malformed commit record", ErrDurable)
+	}
+	partition = int(binary.BigEndian.Uint32(d[0:4]))
+	offset = int64(binary.BigEndian.Uint64(d[4:12]))
+	return string(g), string(t), partition, offset, nil
+}
+
+func readLenBytes(d []byte) ([]byte, []byte, error) {
+	if len(d) < 4 {
+		return nil, nil, fmt.Errorf("%w: short meta record", ErrDurable)
+	}
+	n := binary.BigEndian.Uint32(d)
+	d = d[4:]
+	if uint32(len(d)) < n {
+		return nil, nil, fmt.Errorf("%w: short meta record", ErrDurable)
+	}
+	return d[:n], d[n:], nil
+}

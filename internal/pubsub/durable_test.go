@@ -1,0 +1,315 @@
+package pubsub
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"privapprox/internal/wal"
+)
+
+func TestDurableBrokerReplaysPartitions(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("answer", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("control", 1); err != nil {
+		t.Fatal(err)
+	}
+	type pub struct {
+		part int
+		off  int64
+		key  []byte
+		val  []byte
+	}
+	var pubs []pub
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("key-%02d", i))
+		val := []byte(fmt.Sprintf("value-%02d", i))
+		part, off, err := b.Publish("answer", key, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs = append(pubs, pub{part, off, key, val})
+	}
+	// Keyless publishes on the control topic (nil keys must survive the
+	// round trip as nil-or-empty, matching in-memory behavior).
+	if _, _, err := b.Publish("control", nil, []byte("announcement-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CommitOffset("agg", "answer", 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// A fresh OpenBroker sees everything the killed one acknowledged.
+	b2, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if n, err := b2.Partitions("answer"); err != nil || n != 4 {
+		t.Fatalf("replayed topic: %d partitions, err %v", n, err)
+	}
+	for _, p := range pubs {
+		recs, err := b2.Fetch("answer", p.part, p.off, 1)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("fetch %d/%d: %v (%d recs)", p.part, p.off, err, len(recs))
+		}
+		if !bytes.Equal(recs[0].Key, p.key) || !bytes.Equal(recs[0].Value, p.val) {
+			t.Fatalf("record %d/%d did not round-trip: key=%q value=%q", p.part, p.off, recs[0].Key, recs[0].Value)
+		}
+	}
+	recs, err := b2.Fetch("control", 0, 0, 10)
+	if err != nil || len(recs) != 1 || string(recs[0].Value) != "announcement-1" {
+		t.Fatalf("control topic did not replay: %v / %+v", err, recs)
+	}
+	if len(recs[0].Key) != 0 {
+		t.Fatalf("nil key came back as %q", recs[0].Key)
+	}
+	off, err := b2.CommittedOffset("agg", "answer", 2)
+	if err != nil || off != 7 {
+		t.Fatalf("committed offset did not replay: %d, %v", off, err)
+	}
+
+	// The restarted broker appends at the right offsets.
+	_, off2, err := b2.Publish("control", nil, []byte("announcement-2"))
+	if err != nil || off2 != 1 {
+		t.Fatalf("post-restart publish landed at offset %d, err %v", off2, err)
+	}
+}
+
+func TestDurableBrokerReplaysBatchesAndTimestamps(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBroker(dir, wal.Options{Policy: wal.PolicyEveryBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("key", 3); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]Message, 32)
+	for i := range msgs {
+		msgs[i] = Message{Key: []byte{byte(i)}, Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	results, err := b.PublishBatch("key", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRecs []Record
+	for i, r := range results {
+		recs, err := b.Fetch("key", r.Partition, r.Offset, 1)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		wantRecs = append(wantRecs, recs[0])
+	}
+	b.Close()
+
+	b2, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	for _, want := range wantRecs {
+		recs, err := b2.Fetch("key", want.Partition, want.Offset, 1)
+		if err != nil || len(recs) != 1 {
+			t.Fatal(err)
+		}
+		got := recs[0]
+		if !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("batch record did not round-trip at %d/%d", want.Partition, want.Offset)
+		}
+		// Timestamps are journaled at nanosecond precision.
+		if !got.Timestamp.Equal(want.Timestamp) {
+			t.Fatalf("timestamp drifted: %v → %v", want.Timestamp, got.Timestamp)
+		}
+	}
+}
+
+func TestDurableBrokerRejectsUnsafeTopicName(t *testing.T) {
+	b, err := OpenBroker(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.CreateTopic("../escape", 1); !errors.Is(err, ErrDurable) {
+		t.Fatalf("path-traversal topic accepted: %v", err)
+	}
+	if err := b.CreateTopic("ok-topic.v1", 1); err != nil {
+		t.Fatalf("safe topic rejected: %v", err)
+	}
+}
+
+// TestCommitOffsetMonotonic is the regression test for the rewind bug:
+// a lagging committer writing a lower offset must not rewind the group.
+func TestCommitOffsetMonotonic(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CommitOffset("g", "answer", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// The laggard: a lower commit is ignored, not an error.
+	if err := b.CommitOffset("g", "answer", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := b.CommittedOffset("g", "answer", 0); off != 10 {
+		t.Fatalf("lagging commit rewound the group: %d, want 10", off)
+	}
+	// Equal commits are idempotent; higher ones advance.
+	if err := b.CommitOffset("g", "answer", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CommitOffset("g", "answer", 0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := b.CommittedOffset("g", "answer", 0); off != 11 {
+		t.Fatalf("higher commit did not advance: %d, want 11", off)
+	}
+	// Other partitions and groups are independent.
+	if err := b.CommitOffset("g", "answer", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := b.CommittedOffset("g", "answer", 1); off != 3 {
+		t.Fatalf("partition 1 commit lost: %d", off)
+	}
+	if err := b.CommitOffset("h", "answer", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := b.CommittedOffset("h", "answer", 0); off != 2 {
+		t.Fatalf("group h commit lost: %d", off)
+	}
+}
+
+func TestDurableCommitMonotonicAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int64{5, 9, 3, 12, 6} { // journal order, with laggards
+		if err := b.CommitOffset("g", "answer", 0, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	b2, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if off, _ := b2.CommittedOffset("g", "answer", 0); off != 12 {
+		t.Fatalf("restored offset %d, want 12", off)
+	}
+}
+
+func TestDurableBrokerSurvivesTornPartitionTail(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.Publish("answer", nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+
+	// Corrupt the partition log's tail the way a crash mid-write would:
+	// append half a frame straight to the newest segment file.
+	segs, err := filepath.Glob(filepath.Join(dir, "topic-answer", "p0000", "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 1, 0, 0xBA, 0xD0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b2, err := OpenBroker(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("torn partition tail must not prevent restart: %v", err)
+	}
+	defer b2.Close()
+	end, err := b2.EndOffset("answer", 0)
+	if err != nil || end != 10 {
+		t.Fatalf("end offset after torn-tail recovery: %d, %v", end, err)
+	}
+	// Publishing resumes at the recovered offset.
+	_, off, err := b2.Publish("answer", nil, []byte("resumed"))
+	if err != nil || off != 10 {
+		t.Fatalf("post-recovery publish: offset %d, err %v", off, err)
+	}
+}
+
+func TestConsumerSeekAndPositions(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := b.Publish("answer", nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewConsumer(b, "g", "answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll(100)
+	if err != nil || len(recs) != 6 {
+		t.Fatalf("poll: %d recs, %v", len(recs), err)
+	}
+	pos := c.Positions()
+	if pos["answer"][0]+pos["answer"][1] != 6 {
+		t.Fatalf("positions don't cover the log: %+v", pos)
+	}
+	// Positions is a snapshot: mutating it must not move the consumer.
+	pos["answer"][0] = 0
+	if again, _ := c.Poll(100); len(again) != 0 {
+		t.Fatal("mutating the Positions snapshot moved the consumer")
+	}
+	// Seek rewinds for a re-read.
+	if err := c.Seek("answer", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seek("answer", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := c.Poll(100); len(again) != 6 {
+		t.Fatal("Seek(0) did not rewind the consumer")
+	}
+	if err := c.Seek("nope", 0, 0); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("seek on unknown topic: %v", err)
+	}
+	if err := c.Seek("answer", 9, 0); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("seek on unknown partition: %v", err)
+	}
+	if err := c.Seek("answer", 0, -1); !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("negative seek: %v", err)
+	}
+}

@@ -150,6 +150,17 @@ func (r *Randomizer) RespondBits(bits []byte, nbits int) {
 	}
 }
 
+// Skip draws and discards exactly the randomness RespondBits(·, nbits)
+// would consume — one PRNG word per bit. A client resuming mid-stream
+// after a restart fast-forwards each subscription's randomizer through
+// the epochs it answered in a previous life, so the coins it flips from
+// here on are the ones an uninterrupted run would have flipped.
+func (r *Randomizer) Skip(nbits int) {
+	for i := 0; i < nbits; i++ {
+		r.rng.Uint64()
+	}
+}
+
 // EstimateYes inverts the mechanism: given Ry observed "Yes" responses
 // among n randomized responses, it returns the unbiased estimate of the
 // number of truthful "Yes" answers (Eq. 5):

@@ -142,6 +142,69 @@ func (j *KeyedShareJoiner[K]) SetRetain(d time.Duration) { j.retain = d }
 // PendingCount returns the number of incomplete groups.
 func (j *KeyedShareJoiner[K]) PendingCount() int { return len(j.pending) }
 
+// PendingGroups invokes fn for every incomplete group with its per-source
+// payloads (nil where a source has not contributed) and the arrival time
+// of its first share — the export half of a checkpoint. The payload
+// slices are the joiner's own; fn must not retain or mutate them past
+// its return. Iteration order is unspecified.
+func (j *KeyedShareJoiner[K]) PendingGroups(fn func(key K, payloads [][]byte, first time.Time)) {
+	for key, g := range j.pending {
+		fn(key, g.Payloads, g.first)
+	}
+}
+
+// RestorePending re-creates one incomplete group from checkpointed
+// state: payloads holds one entry per source (nil where no share had
+// arrived). The payload bytes are copied, so the caller keeps ownership
+// of its decode buffers. Restoring a key that is already pending or
+// completed is rejected as a duplicate.
+func (j *KeyedShareJoiner[K]) RestorePending(key K, payloads [][]byte, first time.Time) error {
+	if len(payloads) != j.expect {
+		return fmt.Errorf("%w: %d payloads for %d sources", ErrJoinArity, len(payloads), j.expect)
+	}
+	if _, done := j.complete[key]; done {
+		return fmt.Errorf("%w: %v", ErrDuplicate, key)
+	}
+	if _, ok := j.pending[key]; ok {
+		return fmt.Errorf("%w: %v", ErrDuplicate, key)
+	}
+	filled := 0
+	for _, p := range payloads {
+		if p != nil {
+			filled++
+		}
+	}
+	if filled == 0 || filled >= j.expect {
+		return fmt.Errorf("%w: %d of %d shares is not a pending group", ErrJoinArity, filled, j.expect)
+	}
+	g := j.getGroup()
+	g.first = first
+	for i, p := range payloads {
+		if p != nil {
+			g.Payloads[i] = append([]byte(nil), p...)
+		}
+	}
+	g.filled = filled
+	j.pending[key] = g
+	return nil
+}
+
+// CompletedKeys invokes fn for every recently completed key with its
+// completion time — exported alongside PendingGroups so a restored
+// joiner keeps rejecting replays of keys that completed before the
+// checkpoint. Iteration order is unspecified.
+func (j *KeyedShareJoiner[K]) CompletedKeys(fn func(key K, at time.Time)) {
+	for key, at := range j.complete {
+		fn(key, at)
+	}
+}
+
+// RestoreCompleted re-marks one key as completed at the given time.
+func (j *KeyedShareJoiner[K]) RestoreCompleted(key K, at time.Time) {
+	delete(j.pending, key)
+	j.complete[key] = at
+}
+
 // Sweep drops incomplete groups whose first share arrived before cutoff
 // and forgets completed keys older than the retain horizon. It returns
 // the number of dropped incomplete groups.

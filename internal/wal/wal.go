@@ -1,0 +1,648 @@
+// Package wal is the durability substrate under PrivApprox's long-lived
+// services: a segmented, checksummed append-only commit log. Broker
+// partitions journal every published record through it, consumer-group
+// commits and topic metadata ride a meta log, and the aggregator's
+// checkpoint/restore cycle serializes its per-query state into it — so a
+// SIGKILLed proxy or aggregator restarts from its data directory instead
+// of losing every in-flight epoch and registered query.
+//
+// # Format
+//
+// A log is a directory of segment files named wal-<firstLSN:016x>.seg.
+// Records are framed as
+//
+//	u32 length | u32 crc32c(payload) | payload
+//
+// and numbered by a monotonically increasing log sequence number (LSN);
+// a segment's file name carries the LSN of its first record, so replay
+// and retention work at whole-segment granularity without an index.
+//
+// # Durability contract
+//
+// Append writes the frame with a single write(2) before returning, so an
+// acknowledged record survives a process crash (SIGKILL) under every
+// fsync policy; the policy only decides when data reaches stable storage
+// and therefore what an *operating-system* crash can lose:
+//
+//   - PolicyNever: never fsync (fastest; OS crash may lose the tail).
+//   - PolicyInterval: a background goroutine fsyncs every SyncInterval.
+//   - PolicyEveryBatch: fsync before every Append/AppendBatch returns.
+//
+// # Recovery
+//
+// Open scans the final segment and truncates it at the first torn or
+// corrupt frame — a crash mid-write never prevents a restart. A bad
+// frame in any non-final segment is real corruption, not a torn tail,
+// and Replay fails loudly with ErrCorrupt rather than silently skipping
+// records.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors reported by the log.
+var (
+	ErrClosed    = errors.New("wal: closed")
+	ErrCorrupt   = errors.New("wal: corrupt record")
+	ErrTooLarge  = errors.New("wal: record too large")
+	ErrBadPolicy = errors.New("wal: unknown fsync policy")
+)
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+const (
+	// PolicyNever performs no fsync; the OS flushes the page cache at
+	// its leisure. Acknowledged records still survive process crashes.
+	PolicyNever Policy = iota
+	// PolicyInterval fsyncs from a background goroutine every
+	// Options.SyncInterval.
+	PolicyInterval
+	// PolicyEveryBatch fsyncs before every Append/AppendBatch returns:
+	// an acknowledged record survives an OS crash.
+	PolicyEveryBatch
+)
+
+// String renders the policy in the form ParsePolicy accepts.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNever:
+		return "never"
+	case PolicyInterval:
+		return "interval"
+	case PolicyEveryBatch:
+		return "every-batch"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name: "never", "interval", "every-batch".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "never", "":
+		return PolicyNever, nil
+	case "interval":
+		return PolicyInterval, nil
+	case "every-batch":
+		return PolicyEveryBatch, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrBadPolicy, s)
+	}
+}
+
+// Options tunes a log. The zero value is usable: 8 MiB segments, no
+// fsync, unlimited retention.
+type Options struct {
+	// SegmentBytes rolls the active segment once it exceeds this size
+	// (minimum 4 KiB; 0 defaults to 8 MiB).
+	SegmentBytes int64
+	// Policy is the fsync policy; see the package comment.
+	Policy Policy
+	// SyncInterval is the PolicyInterval period; 0 defaults to 50ms.
+	SyncInterval time.Duration
+	// RetainBytes, when > 0, drops the oldest sealed segments once the
+	// log exceeds this size. The active segment and the newest sealed
+	// segment are never dropped, so the most recent records (e.g. the
+	// newest checkpoint) always survive retention.
+	RetainBytes int64
+	// RetainAge, when > 0, drops sealed segments whose newest record is
+	// older than this. The same never-drop-the-newest rule applies.
+	RetainAge time.Duration
+}
+
+// frameHeader is u32 length | u32 crc32c.
+const frameHeader = 8
+
+// maxRecordBytes bounds one record so a corrupt length field cannot
+// drive a multi-gigabyte allocation during recovery.
+const maxRecordBytes = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is a segmented append-only commit log. It is safe for concurrent
+// use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	seg      *os.File // active segment
+	segStart uint64   // LSN of the active segment's first record
+	segBytes int64
+	firstLSN uint64 // oldest retained LSN
+	nextLSN  uint64 // LSN the next append receives
+	encBuf   []byte // reusable frame-encoding buffer
+	closed   bool
+	syncErr  error // sticky background-sync failure, surfaced on the next append
+	// failed poisons the log after a short or failed segment write: the
+	// tail may hold a torn frame, so accepting further appends would
+	// hand out acknowledgments that recovery later truncates away. Only
+	// a reopen (which rewinds to the last intact frame) clears it.
+	failed error
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open creates or recovers a log in dir. Recovery truncates the final
+// segment at the first torn or corrupt frame (a crash mid-append must
+// never refuse to start) and positions the log to append after the last
+// intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if opts.SegmentBytes < 4096 {
+		return nil, fmt.Errorf("wal: segment size %d below 4KiB", opts.SegmentBytes)
+	}
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegmentLocked(0); err != nil {
+			return nil, err
+		}
+	} else {
+		l.firstLSN = segLSNOf(segs[0])
+		last := segs[len(segs)-1]
+		start := segLSNOf(last)
+		count, good, err := scanTail(last)
+		if err != nil {
+			return nil, err
+		}
+		// Truncate the torn tail so the next append lands on a clean
+		// frame boundary.
+		if err := os.Truncate(last, good); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.seg = f
+		l.segStart = start
+		l.segBytes = good
+		l.nextLSN = start + uint64(count)
+	}
+	if opts.Policy == PolicyInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scanTail walks one segment counting intact records; it returns the
+// record count and the byte offset of the first torn/corrupt frame (==
+// file size when the segment is clean).
+func scanTail(path string) (count int, good int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [frameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return count, good, nil // clean EOF or torn header
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if length > maxRecordBytes {
+			return count, good, nil // corrupt length: treat as torn tail
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return count, good, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return count, good, nil // corrupt payload
+		}
+		count++
+		good += frameHeader + int64(length)
+	}
+}
+
+// Append writes one record, applying the fsync policy, and returns the
+// LSN it was assigned.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn, err := l.appendLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.policySyncLocked()
+}
+
+// AppendBatch writes a batch of records with one write(2) and (under
+// PolicyEveryBatch) one fsync, returning the LSN of the first. The
+// batch lands in one segment, so it replays together.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, fmt.Errorf("wal: empty batch")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.checkUsableLocked(); err != nil {
+		return 0, err
+	}
+	var total int
+	for _, p := range payloads {
+		if len(p) > maxRecordBytes {
+			return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(p))
+		}
+		total += frameHeader + len(p)
+	}
+	if l.segBytes > 0 && l.segBytes+int64(total) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	buf := l.encBuf[:0]
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	l.encBuf = buf[:0]
+	first := l.nextLSN
+	n, err := l.seg.Write(buf)
+	l.segBytes += int64(n)
+	if err != nil {
+		return 0, l.failWriteLocked(err)
+	}
+	l.nextLSN += uint64(len(payloads))
+	return first, l.policySyncLocked()
+}
+
+func (l *Log) appendLocked(payload []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.checkUsableLocked(); err != nil {
+		return 0, err
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if l.segBytes > 0 && l.segBytes+frameHeader+int64(len(payload)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	buf := appendFrame(l.encBuf[:0], payload)
+	l.encBuf = buf[:0]
+	lsn := l.nextLSN
+	n, err := l.seg.Write(buf)
+	l.segBytes += int64(n)
+	if err != nil {
+		return 0, l.failWriteLocked(err)
+	}
+	l.nextLSN++
+	return lsn, nil
+}
+
+// failWriteLocked poisons the log after a short or failed write: the
+// segment tail may now hold a torn frame, and any frame appended after
+// it would be truncated by the next recovery scan despite having been
+// acknowledged. Refusing further appends until a reopen keeps the
+// "acknowledged means durable" contract honest.
+func (l *Log) failWriteLocked(err error) error {
+	l.failed = fmt.Errorf("wal: append failed, log requires reopen: %w", err)
+	return l.failed
+}
+
+// checkUsableLocked surfaces a poisoned log or a (cleared-on-read)
+// background-sync failure.
+func (l *Log) checkUsableLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	return l.takeSyncErrLocked()
+}
+
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// policySyncLocked applies the fsync policy after an append.
+func (l *Log) policySyncLocked() error {
+	if l.opts.Policy != PolicyEveryBatch {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// takeSyncErrLocked surfaces (and clears) a background-sync failure.
+func (l *Log) takeSyncErrLocked() error {
+	err := l.syncErr
+	l.syncErr = nil
+	return err
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				if err := l.seg.Sync(); err != nil && l.syncErr == nil {
+					l.syncErr = fmt.Errorf("wal: background sync: %w", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// rotateLocked seals the active segment and opens a fresh one named by
+// the next LSN, then applies the retention limits to the sealed set.
+func (l *Log) rotateLocked() error {
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: seal: %w", err)
+	}
+	l.seg = nil
+	if err := l.openSegmentLocked(l.nextLSN); err != nil {
+		return err
+	}
+	return l.enforceRetentionLocked()
+}
+
+func (l *Log) openSegmentLocked(firstLSN uint64) error {
+	name := filepath.Join(l.dir, segName(firstLSN))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.seg = f
+	l.segStart = firstLSN
+	l.segBytes = 0
+	if l.nextLSN < firstLSN {
+		l.nextLSN = firstLSN
+	}
+	return nil
+}
+
+// Replay invokes fn for every record with lsn ≥ from, in LSN order. A
+// bad frame anywhere but the (already recovered) tail is interior
+// corruption and fails with ErrCorrupt — records are never silently
+// skipped. Replay holds the log's lock, so it cannot run concurrently
+// with appends; call it before serving traffic.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := l.replaySegment(seg, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) replaySegment(path string, from uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	lsn := segLSNOf(path)
+	var hdr [frameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("%w: torn header at lsn %d in %s", ErrCorrupt, lsn, filepath.Base(path))
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if length > maxRecordBytes {
+			return fmt.Errorf("%w: %d-byte frame at lsn %d in %s", ErrCorrupt, length, lsn, filepath.Base(path))
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return fmt.Errorf("%w: torn payload at lsn %d in %s", ErrCorrupt, lsn, filepath.Base(path))
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return fmt.Errorf("%w: checksum mismatch at lsn %d in %s", ErrCorrupt, lsn, filepath.Base(path))
+		}
+		if lsn >= from {
+			if err := fn(lsn, payload); err != nil {
+				return err
+			}
+		}
+		lsn++
+	}
+}
+
+// FirstLSN returns the oldest retained LSN.
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstLSN
+}
+
+// NextLSN returns the LSN the next append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// SegmentCount returns the number of on-disk segments.
+func (l *Log) SegmentCount() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	return len(segs), err
+}
+
+// TruncateFront drops whole sealed segments every record of which is
+// below keepFrom — the explicit retention hook for callers that know
+// their low-water mark (e.g. a checkpointer that has superseded older
+// state). The active segment is never dropped.
+func (l *Log) TruncateFront(keepFrom uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// Segment i's records all precede segment i+1's first LSN.
+		if segLSNOf(segs[i+1]) > keepFrom {
+			break
+		}
+		if err := l.dropSegmentLocked(segs[i], segLSNOf(segs[i+1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnforceRetention applies the size/age limits now (rotation applies
+// them automatically).
+func (l *Log) EnforceRetention() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.enforceRetentionLocked()
+}
+
+func (l *Log) enforceRetentionLocked() error {
+	if l.opts.RetainBytes <= 0 && l.opts.RetainAge <= 0 {
+		return nil
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	// Never drop the active segment or the newest sealed one: the most
+	// recent records must survive retention however the limits are set.
+	if len(segs) < 3 {
+		return nil
+	}
+	var total int64
+	infos := make([]os.FileInfo, len(segs))
+	for i, seg := range segs {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		infos[i] = fi
+		total += fi.Size()
+	}
+	now := time.Now()
+	for i := 0; i+2 < len(segs); i++ {
+		tooBig := l.opts.RetainBytes > 0 && total > l.opts.RetainBytes
+		tooOld := l.opts.RetainAge > 0 && now.Sub(infos[i].ModTime()) > l.opts.RetainAge
+		if !tooBig && !tooOld {
+			break
+		}
+		if err := l.dropSegmentLocked(segs[i], segLSNOf(segs[i+1])); err != nil {
+			return err
+		}
+		total -= infos[i].Size()
+	}
+	return nil
+}
+
+func (l *Log) dropSegmentLocked(path string, nextFirst uint64) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("wal: drop segment: %w", err)
+	}
+	l.firstLSN = nextFirst
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stopSync
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.seg.Sync(); err != nil {
+		l.seg.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) segments() ([]string, error) {
+	segs, err := filepath.Glob(filepath.Join(l.dir, "wal-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstLSN)
+}
+
+func segLSNOf(path string) uint64 {
+	var lsn uint64
+	fmt.Sscanf(filepath.Base(path), "wal-%016x.seg", &lsn)
+	return lsn
+}
