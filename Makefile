@@ -1,8 +1,8 @@
 # Tier-1 verification plus the race gate over the concurrency-sensitive
 # packages (the parallel epoch pipeline: core, aggregator, answer,
 # pubsub, engine, wal), the hot-path allocs/op gate, the multi-query
-# determinism gate, and the kill-and-resume crash gate. `make ci` is the
-# pre-merge check.
+# determinism gate, the kill-and-resume crash gate, and the surge
+# overload gate. `make ci` is the pre-merge check.
 
 GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/...
@@ -11,9 +11,9 @@ RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... 
 # path (split, join+decrypt+decode+window, randomized response).
 HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability
 
-.PHONY: ci fmt vet build test race smoke multiquery allocgate crash bench bench-json fuzz
+.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge bench bench-json fuzz
 
-ci: fmt vet build test race allocgate multiquery smoke crash
+ci: fmt vet build test race allocgate multiquery smoke crash surge
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -53,7 +53,14 @@ multiquery:
 # checkpoint/resume protocol over durable brokers.
 crash:
 	$(GO) test -run 'TestCrashRecoveryAggregator|TestCrashRecoveryProxy' -count=1 ./cmd/privapprox-node
-	$(GO) test -run 'TestSystemCheckpointResume|TestSystemCheckpointResumeMultiQuery' -count=1 ./internal/core
+	$(GO) test -run 'TestSystemCheckpointResume|TestSystemCheckpointResumeMultiQuery|TestSLOCheckpointResumeMidShed' -count=1 ./internal/core
+
+# The closed-loop overload gate: the same deterministic 10× load surge
+# through a controlled (SLO shedding) and an uncontrolled system; the
+# controlled run must shed, keep tail lag at the target, and drain its
+# backlog while the uncontrolled backlog persists.
+surge:
+	$(GO) test -run 'TestSurgeGate|TestSLOClosedLoopShedsAndRecovers' -count=1 ./internal/surge ./internal/core
 
 # The allocs/op regression gate: split, join, respond-bits, and
 # accumulate must stay at 0 steady-state allocations per op, and the
@@ -83,12 +90,17 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_wal.json < .bench_wal.tmp
 	@rm -f .bench_wal.tmp
 	@echo wrote BENCH_wal.json
+	$(GO) test -run '^$$' -bench 'BenchmarkOverloadFrontier' -benchmem ./internal/surge > .bench_overload.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_overload.json < .bench_overload.tmp
+	@rm -f .bench_overload.tmp
+	@echo wrote BENCH_overload.json
 
-# Short fuzz smoke over every wire codec: the share split/join, the
-# answer message, the control-plane query-set announcement, and the
-# WAL record framing.
+# Short fuzz smoke over every wire codec — the share split/join, the
+# answer message, the control-plane query-set announcement, the WAL
+# record framing — plus the SLO controller's checkpoint state.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSplitJoinRoundTrip -fuzztime 10s ./internal/xorcrypt
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 10s ./internal/answer
 	$(GO) test -run '^$$' -fuzz FuzzQuerySetRoundTrip -fuzztime 10s ./internal/engine
 	$(GO) test -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzSLOControllerRestore -fuzztime 10s ./internal/budget

@@ -132,6 +132,7 @@ func runProxy(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "listen address")
 	index := fs.Int("index", 0, "proxy index (0 = answer stream, ≥1 = key stream)")
 	partitions := fs.Int("partitions", 4, "topic partitions")
+	partitionCap := fs.Int("partition-cap", 0, "max unconsumed records per answer partition; publishers past the bound get backpressure (0 = unbounded)")
 	dataDir := fs.String("data-dir", "", "durable broker directory (empty = in-memory)")
 	fsync := fs.String("fsync", "never", "WAL fsync policy: never, interval, every-batch")
 	fs.Parse(args)
@@ -155,6 +156,16 @@ func runProxy(args []string) error {
 	}
 	if err := broker.CreateTopic(proxy.TopicFor(*index), *partitions); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
 		return err
+	}
+	if *partitionCap > 0 {
+		// Bounded answer partitions: a client fleet outrunning the
+		// aggregator's drain sees ErrPartitionFull (or blocks in the
+		// PublishWait variants) instead of growing the proxy without
+		// bound. The control topic stays unbounded — announcements are
+		// tiny and must never be refused.
+		if err := broker.SetTopicCapacity(proxy.TopicFor(*index), *partitionCap); err != nil {
+			return err
+		}
 	}
 	// The control topic carries query announcements; single-partition so
 	// announcements keep a total order.

@@ -105,6 +105,13 @@ type QuerySpec struct {
 	// Confidence for this query's error bounds; 0 inherits the
 	// aggregator default.
 	Confidence float64
+	// Shed is the overload shed threshold ∈ (0, 1] the estimator should
+	// report with fired windows; 0 means "leave unchanged" (new queries
+	// start at 1, no shedding). The estimate itself needs no correction —
+	// the SRS scale-up uses the *observed* sample size, so shedding
+	// shows up as honestly wider margins, not bias — but results carry
+	// the threshold so consumers can see approximation being spent.
+	Shed float64
 }
 
 // BucketEstimate is the query result for one answer bucket.
@@ -129,6 +136,10 @@ type Result struct {
 	Population int // U
 	Inverted   bool
 	Buckets    []BucketEstimate
+	// Shed is the overload shed threshold in effect when the window
+	// fired (1 = no shedding). The margins already reflect the realized
+	// sample size; Shed documents *why* they widened.
+	Shed float64
 }
 
 // Stats is a snapshot of the aggregator's message accounting. Decoded
@@ -233,6 +244,10 @@ type queryState struct {
 	wmMax   atomic.Int64
 	dropped atomic.Int64
 	decoded atomic.Int64
+	// shedBits is the current shed threshold as Float64bits, atomic so
+	// the SLO controller can move it while windows fire. Zero (never
+	// stored) reads as 1.
+	shedBits atomic.Uint64
 
 	// estMu guards the estimator's rng and memoized RR-loss cache
 	// (estimates normally run under fireMu; BatchAnalyze calls the
@@ -408,6 +423,9 @@ func (a *Aggregator) AddQuery(spec QuerySpec) error {
 			st.estLog = append(st.estLog, estEvent{clear: true})
 			st.estMu.Unlock()
 		}
+		if spec.Shed != 0 {
+			st.storeShed(spec.Shed)
+		}
 		return nil
 	}
 	assigner, err := stream.NewSlidingAssignerAt(spec.Query.Window, spec.Query.Slide, a.cfg.Origin)
@@ -434,9 +452,50 @@ func (a *Aggregator) AddQuery(spec QuerySpec) error {
 	a.nextOrd++
 	st.params.Store(&spec.Params)
 	st.wmMax.Store(wmUnseen)
+	st.storeShed(spec.Shed)
 	a.swapStates(old, st, nil)
 	a.updateRetain()
 	return nil
+}
+
+// storeShed normalizes and records a query's shed threshold.
+func (st *queryState) storeShed(shed float64) {
+	if !(shed > 0) || shed > 1 {
+		shed = 1
+	}
+	st.shedBits.Store(math.Float64bits(shed))
+}
+
+// loadShed returns the query's current shed threshold (1 = unshed).
+func (st *queryState) loadShed() float64 {
+	bits := st.shedBits.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// SetShed records a query's overload shed threshold ∈ (0, 1] so
+// subsequently fired windows report it (values outside the range
+// normalize to 1). It touches no window or estimator state — the
+// estimate is already realized-rate-aware — and is safe to call
+// concurrently with firing.
+func (a *Aggregator) SetShed(id query.ID, shed float64) error {
+	st := a.states.Load().byWire[id.Uint64()]
+	if st == nil || st.q.QID != id {
+		return fmt.Errorf("%w: %s", ErrUnknownQuery, id)
+	}
+	st.storeShed(shed)
+	return nil
+}
+
+// Shed returns a query's current shed threshold.
+func (a *Aggregator) Shed(id query.ID) (float64, error) {
+	st := a.states.Load().byWire[id.Uint64()]
+	if st == nil || st.q.QID != id {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownQuery, id)
+	}
+	return st.loadShed(), nil
 }
 
 // updateRetain re-derives the joiner's completed-key retention horizon
@@ -986,6 +1045,7 @@ func (a *Aggregator) estimateWithPopulation(st *queryState, w stream.Window, acc
 		Responses:  n,
 		Population: effPopulation,
 		Inverted:   st.q.Inverted,
+		Shed:       st.loadShed(),
 	}
 	for i, label := range st.q.Buckets.Labels() {
 		be := BucketEstimate{Label: label, ObservedYes: acc.Yes(i)}

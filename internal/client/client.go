@@ -19,6 +19,7 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -115,6 +116,10 @@ type Stats struct {
 	Participated int64
 	AnswersSent  int64
 	BytesSent    int64
+	// Shedded counts (query, epoch) events where the base sampling coin
+	// said participate but the overload shed threshold suppressed the
+	// answer — approximation spent instead of backlog grown.
+	Shedded int64
 }
 
 // Config assembles a client.
@@ -125,6 +130,13 @@ type Config struct {
 	Sinks      []ShareSink
 	Reducer    Reducer // defaults to ReduceLast
 	Seed       int64   // deterministic randomness for experiments
+	// MIDSource optionally supplies the splitter's message-identifier
+	// bytes (16 per answer). MIDs are the pub/sub partition keys, so a
+	// seeded source makes partition routing — and therefore bounded,
+	// mid-stream drains — reproducible across runs; nil keeps the
+	// default crypto-random generator (the right choice for deployments,
+	// where MIDs must be unlinkable across runs).
+	MIDSource io.Reader
 }
 
 // Client is one user device.
@@ -160,6 +172,7 @@ type Client struct {
 	participated atomic.Int64
 	answersSent  atomic.Int64
 	bytesSent    atomic.Int64
+	shedded      atomic.Int64
 }
 
 type subscription struct {
@@ -170,6 +183,13 @@ type subscription struct {
 	rz       *rr.Randomizer
 	qidWire  uint64
 	vec      *answer.BitVector // per-subscription truthful-answer scratch
+	// shed ∈ (0, 1] is the overload-control threshold: the effective
+	// participation fraction this epoch is params.S·shed. Unlike a
+	// re-subscription it does NOT redraw the coin stream — a
+	// shed-suppressed client still consumes its randomized-response
+	// draws (see answerQuery), so the stream stays independent of the
+	// shed history and crash recovery needs no shed replay.
+	shed float64
 }
 
 // New validates the configuration and builds a client.
@@ -188,7 +208,7 @@ func New(cfg Config) (*Client, error) {
 	if reducer == nil {
 		reducer = ReduceLast
 	}
-	splitter, err := xorcrypt.NewSplitter(len(cfg.Sinks), nil, nil)
+	splitter, err := xorcrypt.NewSplitter(len(cfg.Sinks), nil, cfg.MIDSource)
 	if err != nil {
 		return nil, err
 	}
@@ -261,6 +281,10 @@ func (c *Client) SubscribeQuery(signed *query.Signed, analystKey ed25519.PublicK
 		return err
 	}
 	if i, ok := c.byWire[sub.qidWire]; ok {
+		// Re-subscription swaps parameters and redraws coins but keeps
+		// the overload-control threshold — shedding is a property of the
+		// query's standing load, not of one parameter revision.
+		sub.shed = c.subs[i].shed
 		c.subs[i] = sub
 		return nil
 	}
@@ -328,7 +352,26 @@ func (c *Client) buildSubscription(signed *query.Signed, key ed25519.PublicKey, 
 		decider:  decider,
 		rz:       rz,
 		qidWire:  wire,
+		shed:     1,
 	}, nil
+}
+
+// SetShed sets a query's shed threshold ∈ (0, 1] — 1 means no shedding.
+// It reports whether the query was an active subscription. Setting the
+// threshold touches neither the subscription generation nor the
+// randomizer, so it is safe to call between epochs at any frequency:
+// the coin streams are untouched and determinism per (client, query,
+// epoch, shed-schedule) holds.
+func (c *Client) SetShed(id query.ID, shed float64) bool {
+	i, ok := c.byWire[id.Uint64()]
+	if !ok {
+		return false
+	}
+	if !(shed > 0) || shed > 1 {
+		shed = 1
+	}
+	c.subs[i].shed = shed
+	return true
 }
 
 // FastForward advances every active subscription's deterministic
@@ -374,6 +417,12 @@ func (c *Client) fastForwardSub(sub *subscription, from, to uint64) {
 	for e := from; e < to; e++ {
 		if sub.decider.Participate(c.id, e) {
 			sub.rz.Skip(nbits)
+			// One message identifier per base-participating epoch: answered
+			// and shed epochs consume a MID alike (see answerQuery), so the
+			// splitter's MID stream needs no shed history either. The skip
+			// order across subscriptions differs from the live run's
+			// epoch-major order, but only the stream position matters.
+			_ = c.splitter.SkipMID()
 		}
 	}
 }
@@ -426,8 +475,28 @@ func (c *Client) AnswerOnce(epoch uint64) (bool, error) {
 
 // answerQuery runs the sample → local query → randomize → split →
 // transmit pipeline for one subscription.
+//
+// The participation gate is three-way. Non-participants (the base
+// sampling coin says no) consume nothing. Shed-suppressed clients —
+// base-participating but above the effective fraction S·shed — skip
+// the query and transmission but still consume exactly the randomness
+// a full answer would (rz.Skip), so the coin stream's position is a
+// function of the base participation pattern alone: FastForward and
+// crash recovery never need to know the shed history.
 func (c *Client) answerQuery(sub *subscription, epoch uint64) (bool, error) {
 	if !sub.decider.Participate(c.id, epoch) {
+		return false, nil
+	}
+	if sub.shed < 1 && !sub.decider.ParticipateShed(c.id, epoch, sub.shed) {
+		// A shed answer still consumes its randomized-response draws AND
+		// its message identifier, so both streams' positions stay
+		// functions of base participation alone — crash recovery can
+		// fast-forward them without replaying the shed history.
+		sub.rz.Skip(len(sub.query.Buckets))
+		if err := c.splitter.SkipMID(); err != nil {
+			return false, err
+		}
+		c.shedded.Add(1)
 		return false, nil
 	}
 	c.participated.Add(1)
@@ -502,6 +571,7 @@ func (c *Client) Stats() Stats {
 		Participated: c.participated.Load(),
 		AnswersSent:  c.answersSent.Load(),
 		BytesSent:    c.bytesSent.Load(),
+		Shedded:      c.shedded.Load(),
 	}
 }
 

@@ -482,3 +482,92 @@ func TestFastForwardReproducesCoinStream(t *testing.T) {
 		t.Fatal("skipping FastForward changed nothing; the test workload is degenerate")
 	}
 }
+
+// TestShedPreservesCoinStream is the client-side determinism property
+// of load shedding: a shed-suppressed epoch must consume exactly the
+// randomness a full answer would, so on every epoch the shedding client
+// *does* answer, its transmitted plaintext is identical to an unshed
+// twin's. (Shares are compared post-join — the XOR keystream is not
+// seed-derived, only the plaintext is.)
+func TestShedPreservesCoinStream(t *testing.T) {
+	params := budget.Params{S: 0.8, RR: rr.Params{P: 0.75, Q: 0.5}}
+	id := testQuery(t).QID
+	build := func() (*Client, []*copySink) {
+		sinks := []*copySink{{}, {}}
+		c, err := New(Config{
+			ID:    "client-1",
+			DB:    testDB(t, 3.5),
+			Sinks: []ShareSink{sinks[0], sinks[1]},
+			Seed:  7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(&query.Signed{Query: testQuery(t)}, params); err != nil {
+			t.Fatal(err)
+		}
+		return c, sinks
+	}
+	shedder, shedSinks := build()
+	plain, plainSinks := build()
+	if !shedder.SetShed(id, 0.4) {
+		t.Fatal("SetShed on active query returned false")
+	}
+	if shedder.SetShed(query.ID{Analyst: "ghost", Serial: 1}, 0.4) {
+		t.Fatal("SetShed on unknown query returned true")
+	}
+	shedder.SetShed(id, 1)
+
+	const epochs = 40
+	shedFrom, shedTo := uint64(10), uint64(25)
+	for e := uint64(0); e < epochs; e++ {
+		if e == shedFrom {
+			shedder.SetShed(id, 0.4)
+		}
+		if e == shedTo {
+			shedder.SetShed(id, 1)
+		}
+		if _, err := shedder.AnswerOnce(e); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.AnswerOnce(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shedStats, plainStats := shedder.Stats(), plain.Stats()
+	if shedStats.Shedded == 0 {
+		t.Fatal("shed window suppressed nothing — test is vacuous")
+	}
+	if shedStats.AnswersSent+shedStats.Shedded != plainStats.AnswersSent {
+		t.Fatalf("shedder sent %d + shed %d, plain sent %d — base participation diverged",
+			shedStats.AnswersSent, shedStats.Shedded, plainStats.AnswersSent)
+	}
+
+	decodeByEpoch := func(joined [][]byte) map[uint64][]byte {
+		out := make(map[uint64][]byte, len(joined))
+		for _, raw := range joined {
+			var msg answer.Message
+			if err := msg.UnmarshalBinary(raw); err != nil {
+				t.Fatalf("joined plaintext undecodable: %v", err)
+			}
+			out[msg.Epoch] = raw
+		}
+		return out
+	}
+	shedAnswers := decodeByEpoch(joinedAnswers(t, shedSinks[0], shedSinks[1]))
+	plainAnswers := decodeByEpoch(joinedAnswers(t, plainSinks[0], plainSinks[1]))
+	if len(shedAnswers) >= len(plainAnswers) {
+		t.Fatalf("shed run answered %d epochs, unshed %d — shedding removed nothing",
+			len(shedAnswers), len(plainAnswers))
+	}
+	for e, raw := range shedAnswers {
+		want, ok := plainAnswers[e]
+		if !ok {
+			t.Fatalf("epoch %d: shed run answered but unshed run did not — shed set not nested", e)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("epoch %d: shed run's answer differs from unshed twin — rz stream shifted", e)
+		}
+	}
+}

@@ -14,13 +14,23 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"privapprox/internal/aggregator"
+	"privapprox/internal/budget"
 	"privapprox/internal/query"
 )
 
-var sysCkptMagic = []byte("PSC1")
+// Checkpoint magics: PSC2 adds the SLO overload-control section (flag
+// byte, controller configuration, and per-query controller state)
+// between the registration epochs and the aggregator section. PSC1
+// records — written before overload control existed — are still
+// accepted by Restore; they simply carry no SLO state.
+var (
+	sysCkptMagic   = []byte("PSC2")
+	sysCkptMagicV1 = []byte("PSC1")
+)
 
 // Checkpoint serializes the system's resumable state. Call it between
 // epochs (after RunEpoch returns), never concurrently with one.
@@ -57,7 +67,121 @@ func (s *System) Checkpoint() ([]byte, error) {
 		buf = binary.BigEndian.AppendUint64(buf, r.id.Serial)
 		buf = binary.BigEndian.AppendUint64(buf, r.epoch)
 	}
+	buf = s.appendSLOState(buf)
 	return s.agg.Checkpoint(buf)
+}
+
+// appendSLOState writes the PSC2 overload-control section: a flag byte,
+// then (when SLO control is on) the controller configuration and every
+// per-query controller's serialized state, sorted by query ID so the
+// record is deterministic. The in-flight shed thresholds live inside
+// the controller state — Restore re-actuates them, so a recovered
+// system resumes shedding at the level the crashed one had reached.
+func (s *System) appendSLOState(buf []byte) []byte {
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
+	if !s.sloEnabled {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.sloTarget))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.sloMin))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(s.sloWindow))
+	ids := make([]query.ID, 0, len(s.slos))
+	for id := range s.slos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Analyst != ids[j].Analyst {
+			return ids[i].Analyst < ids[j].Analyst
+		}
+		return ids[i].Serial < ids[j].Serial
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(id.Analyst)))
+		buf = append(buf, id.Analyst...)
+		buf = binary.BigEndian.AppendUint64(buf, id.Serial)
+		buf = s.slos[id].AppendState(buf)
+	}
+	return buf
+}
+
+// restoreSLOState parses the PSC2 overload-control section, reinstalls
+// the controllers, and re-actuates each query's checkpointed shed
+// threshold through the registry and aggregator. Returns the remaining
+// bytes (the aggregator section).
+func (s *System) restoreSLOState(d []byte) ([]byte, error) {
+	if len(d) < 1 {
+		return nil, fmt.Errorf("%w: short system checkpoint", ErrConfig)
+	}
+	enabled := d[0]
+	d = d[1:]
+	if enabled > 1 {
+		return nil, fmt.Errorf("%w: bad SLO flag %d", ErrConfig, enabled)
+	}
+	if enabled == 0 {
+		return d, nil
+	}
+	if !s.cfg.MultiQuery {
+		return nil, fmt.Errorf("%w: checkpoint has SLO state but MultiQuery mode is off", ErrConfig)
+	}
+	if len(d) < 24 {
+		return nil, fmt.Errorf("%w: short system checkpoint", ErrConfig)
+	}
+	target := math.Float64frombits(binary.BigEndian.Uint64(d))
+	shedMin := math.Float64frombits(binary.BigEndian.Uint64(d[8:]))
+	window := int(binary.BigEndian.Uint32(d[16:]))
+	count := binary.BigEndian.Uint32(d[20:])
+	d = d[24:]
+	slos := make(map[query.ID]*budget.SLOController, count)
+	for i := uint32(0); i < count; i++ {
+		if len(d) < 4 {
+			return nil, fmt.Errorf("%w: short system checkpoint", ErrConfig)
+		}
+		alen := binary.BigEndian.Uint32(d)
+		d = d[4:]
+		if uint32(len(d)) < alen+8 {
+			return nil, fmt.Errorf("%w: short system checkpoint", ErrConfig)
+		}
+		id := query.ID{Analyst: string(d[:alen])}
+		d = d[alen:]
+		id.Serial = binary.BigEndian.Uint64(d)
+		d = d[8:]
+		ctl, err := budget.NewSLOController(target, shedMin, window)
+		if err != nil {
+			return nil, err
+		}
+		rest, err := ctl.RestoreState(d)
+		if err != nil {
+			return nil, err
+		}
+		d = rest
+		slos[id] = ctl
+	}
+	s.ctrlMu.Lock()
+	s.sloTarget, s.sloMin, s.sloWindow = target, shedMin, window
+	s.sloEnabled = true
+	s.slos = slos
+	s.ctrlMu.Unlock()
+	// Re-actuate the checkpointed thresholds: the rebuilt registry and
+	// aggregator start every query at shed 1, but the crashed system was
+	// mid-shed — push each controller's threshold back through the same
+	// path a live adjustment takes.
+	for id, ctl := range slos {
+		if shed := ctl.Shed(); shed != 1 {
+			if err := s.registry.SetShed(id, shed); err != nil {
+				return nil, err
+			}
+			if err := s.agg.SetShed(id, shed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := s.follower.Sync(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // regEpoch pairs a query with the epoch it was registered at.
@@ -74,7 +198,9 @@ type regEpoch struct {
 // MultiQuery mode the same queries must be re-registered (in the same
 // order) before calling Restore.
 func (s *System) Restore(data []byte) error {
-	if len(data) < len(sysCkptMagic) || !bytes.Equal(data[:len(sysCkptMagic)], sysCkptMagic) {
+	v2 := len(data) >= len(sysCkptMagic) && bytes.Equal(data[:len(sysCkptMagic)], sysCkptMagic)
+	v1 := !v2 && len(data) >= len(sysCkptMagicV1) && bytes.Equal(data[:len(sysCkptMagicV1)], sysCkptMagicV1)
+	if !v2 && !v1 {
 		return fmt.Errorf("%w: bad system checkpoint magic", ErrConfig)
 	}
 	d := data[len(sysCkptMagic):]
@@ -117,6 +243,13 @@ func (s *System) Restore(data []byte) error {
 		id.Serial = binary.BigEndian.Uint64(d)
 		regs[id] = binary.BigEndian.Uint64(d[8:16])
 		d = d[16:]
+	}
+	if v2 {
+		rest, err := s.restoreSLOState(d)
+		if err != nil {
+			return err
+		}
+		d = rest
 	}
 	if err := s.agg.Restore(d); err != nil {
 		return err

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"privapprox/internal/aggregator"
+	"privapprox/internal/budget"
+	"privapprox/internal/minisql"
+	"privapprox/internal/query"
+	"privapprox/internal/rr"
+	"privapprox/internal/wal"
+	"privapprox/internal/workload"
+)
+
+// shedParams leave both noise sources on so shedding interacts with the
+// full pipeline (sampling, randomized response, estimator rescaling).
+var shedParams = budget.Params{S: 0.8, RR: rr.Params{P: 0.9, Q: 0.6}}
+
+// shedRun is everything observable from a run with a shed schedule.
+type shedRun struct {
+	Results []aggregator.Result
+	Shedded int64
+	Decoded int64
+}
+
+// runShedSystem drives a MultiQuery system for `epochs` epochs under the
+// given parallelism knobs, actuating a shed schedule through the control
+// plane: threshold 0.4 from epoch 3, back to 1 from epoch 7 — the same
+// path an SLO controller adjustment takes.
+func runShedSystem(t *testing.T, workers, shards, epochs int) shedRun {
+	t.Helper()
+	q, err := workload.TaxiQuery("analyst", 1, time.Second, 4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Clients:    60,
+		Proxies:    2,
+		Seed:       4242,
+		MultiQuery: true,
+		Params:     &shedParams,
+		Workers:    workers,
+		Shards:     shards,
+		Populate: func(i int, db *minisql.DB) error {
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			return workload.PopulateTaxi(db, rng, 3, time.Unix(1000, 0), time.Minute)
+		},
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	var run shedRun
+	for e := 0; e < epochs; e++ {
+		switch e {
+		case 3:
+			if err := sys.Registry().SetShed(q.QID, 0.4); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Aggregator().SetShed(q.QID, 0.4); err != nil {
+				t.Fatal(err)
+			}
+		case 7:
+			if err := sys.Registry().SetShed(q.QID, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Aggregator().SetShed(q.QID, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, _, err := sys.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Results = append(run.Results, res...)
+	}
+	final, err := sys.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Results = append(run.Results, final...)
+	for _, c := range sys.Clients() {
+		run.Shedded += c.Stats().Shedded
+	}
+	run.Decoded = sys.Aggregator().Decoded()
+	return run
+}
+
+// TestShedDeterministicAcrossWorkersAndShards extends the determinism
+// contract to active shedding: with a shed schedule riding the control
+// plane mid-run, results and shed counts must stay byte-identical for
+// every Workers × Shards combination under a fixed Seed.
+func TestShedDeterministicAcrossWorkersAndShards(t *testing.T) {
+	const epochs = 10
+	want := runShedSystem(t, 1, 1, epochs)
+	if want.Shedded == 0 {
+		t.Fatal("shed schedule suppressed no answers; test is vacuous")
+	}
+	if want.Decoded == 0 || len(want.Results) == 0 {
+		t.Fatalf("degenerate sequential run: %+v", want)
+	}
+	for _, knobs := range [][2]int{{8, 1}, {1, 8}, {8, 8}} {
+		got := runShedSystem(t, knobs[0], knobs[1], epochs)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d shards=%d diverges from sequential under shedding\n got: %+v\nwant: %+v",
+				knobs[0], knobs[1], got, want)
+		}
+	}
+}
+
+// overloadConfig is the shared fleet for the closed-loop tests: small
+// population, two proxies, sliding windows so lag observations arrive
+// every couple of epochs.
+func overloadConfig(t *testing.T, seed int64) (Config, *query.Query) {
+	t.Helper()
+	q, err := workload.TaxiQuery("analyst", 1, time.Second, 4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Clients:    30,
+		Proxies:    2,
+		Seed:       seed,
+		MultiQuery: true,
+		Params:     &shedParams,
+		Workers:    1,
+		Populate: func(i int, db *minisql.DB) error {
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			return workload.PopulateTaxi(db, rng, 3, time.Unix(1000, 0), time.Minute)
+		},
+	}
+	return cfg, q
+}
+
+func TestEnableSLOValidation(t *testing.T) {
+	cfg := taxiSystemConfig(t, 4, shedParams)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.EnableSLO(4, 0.1, 8); err == nil {
+		t.Error("EnableSLO accepted legacy single-query mode")
+	}
+
+	mcfg, q := overloadConfig(t, 1)
+	msys, err := New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msys.Close()
+	if err := msys.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := msys.EnableSLO(0, 0.1, 8); err == nil {
+		t.Error("EnableSLO accepted zero target")
+	}
+	if err := msys.EnableSLO(4, 0, 8); err == nil {
+		t.Error("EnableSLO accepted zero shed floor")
+	}
+	if err := msys.EnableSLO(4, 0.1, 0); err == nil {
+		t.Error("EnableSLO accepted zero window")
+	}
+	if err := msys.EnableSLO(4, 0.1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := msys.SLOShed(q.QID); got != 1 {
+		t.Errorf("initial SLOShed = %v, want 1", got)
+	}
+}
+
+// TestSLOClosedLoopShedsAndRecovers drives the full loop: offered load
+// at ~5× the drain budget makes window-fire lag grow, the controller
+// tightens the shed threshold (observable on clients, in the registry,
+// and stamped on results), and once the overload ends the threshold
+// relaxes back out.
+func TestSLOClosedLoopShedsAndRecovers(t *testing.T) {
+	cfg, q := overloadConfig(t, 7)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableSLO(4, 0.1, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surge: 5 answer epochs per tick against a drain budget covering
+	// under one epoch's worth of shares, for 12 ticks. Without control
+	// the lag grows ~2 slides per tick; with it, shedding lets the drain
+	// catch back up mid-surge.
+	var surgeResults []aggregator.Result
+	var peakPending int64
+	for tick := 0; tick < 12; tick++ {
+		for k := 0; k < 5; k++ {
+			if _, err := sys.AnswerEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, drained, err := sys.DrainUpTo(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drained > 40 {
+			t.Fatalf("DrainUpTo(40) drained %d", drained)
+		}
+		surgeResults = append(surgeResults, res...)
+		pending, err := sys.PendingShares()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pending > peakPending {
+			peakPending = pending
+		}
+	}
+	if peakPending == 0 {
+		t.Fatal("surge never built a backlog; overload never happened")
+	}
+	surgeShed := sys.SLOShed(q.QID)
+	if surgeShed >= 1 {
+		t.Fatalf("controller did not tighten under overload: shed = %v", surgeShed)
+	}
+	// The threshold reached the clients through the control plane…
+	var shedded int64
+	for _, c := range sys.Clients() {
+		shedded += c.Stats().Shedded
+	}
+	if shedded == 0 {
+		t.Error("no client shed an answer despite a tightened threshold")
+	}
+	// …and the registry's snapshot carries it.
+	entry, ok := sys.Registry().Entry(q.QID)
+	if !ok {
+		t.Fatal("query vanished from registry")
+	}
+	if entry.Shed != surgeShed {
+		t.Errorf("registry shed = %v, controller shed = %v", entry.Shed, surgeShed)
+	}
+	// Late results are stamped with a sub-1 threshold.
+	sawStamp := false
+	for _, r := range surgeResults {
+		if r.Shed < 1 {
+			sawStamp = true
+		}
+	}
+	if !sawStamp {
+		t.Error("no surge result stamped with shed < 1")
+	}
+
+	// Recovery: drain the backlog dry, then run at sustainable load; the
+	// relax path walks the threshold back up.
+	for {
+		_, drained, err := sys.DrainUpTo(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drained == 0 {
+			break
+		}
+	}
+	for e := 0; e < 100; e++ {
+		if _, _, err := sys.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered := sys.SLOShed(q.QID)
+	if recovered <= surgeShed {
+		t.Errorf("threshold did not recover: surge %v, after recovery %v", surgeShed, recovered)
+	}
+}
+
+// TestSLOCheckpointResumeMidShed is the crash gate for overload
+// control: a system checkpointed mid-surge — threshold tightened,
+// backlog queued — must resume shedding at the checkpointed level and
+// produce results identical to an uninterrupted run. Un-shedding on
+// recovery would re-overload the fleet the moment it came back.
+func TestSLOCheckpointResumeMidShed(t *testing.T) {
+	const ticks, crashAfter = 12, 6
+	dir := t.TempDir()
+
+	build := func(dataDir string, seed int64) (*System, *query.Query) {
+		cfg, q := overloadConfig(t, seed)
+		cfg.DataDir = dataDir
+		cfg.WALFsync = wal.PolicyEveryBatch
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Register(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EnableSLO(4, 0.1, 3); err != nil {
+			t.Fatal(err)
+		}
+		return sys, q
+	}
+	tickOnce := func(sys *System) []aggregator.Result {
+		for k := 0; k < 5; k++ {
+			if _, err := sys.AnswerEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, _, err := sys.DrainUpTo(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Uninterrupted reference.
+	ref, qID := build("", 99)
+	defer ref.Close()
+	var want []aggregator.Result
+	for i := 0; i < ticks; i++ {
+		want = append(want, tickOnce(ref)...)
+	}
+
+	// First life: crash mid-surge.
+	sysA, _ := build(dir, 99)
+	var got []aggregator.Result
+	for i := 0; i < crashAfter; i++ {
+		got = append(got, tickOnce(sysA)...)
+	}
+	crashShed := sysA.SLOShed(qID.QID)
+	if crashShed >= 1 {
+		t.Fatalf("surge did not tighten before the crash: shed = %v", crashShed)
+	}
+	ckpt, err := sysA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA.Close()
+
+	// Second life over the same data directory.
+	sysB, _ := build(dir, 99)
+	defer sysB.Close()
+	if err := sysB.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sysB.SLOShed(qID.QID), crashShed; got != want {
+		t.Fatalf("restored shed = %v, want %v", got, want)
+	}
+	// The threshold was re-actuated, not just remembered: the registry
+	// snapshot and aggregator stamp both carry it.
+	if entry, ok := sysB.Registry().Entry(qID.QID); !ok || entry.Shed != crashShed {
+		t.Fatalf("restored registry shed = %+v, want %v", entry, crashShed)
+	}
+	if shed, err := sysB.Aggregator().Shed(qID.QID); err != nil || shed != crashShed {
+		t.Fatalf("restored aggregator shed = %v (%v), want %v", shed, err, crashShed)
+	}
+	for i := crashAfter; i < ticks; i++ {
+		got = append(got, tickOnce(sysB)...)
+	}
+	if !resultsEqual(got, want) {
+		t.Fatalf("mid-shed resume diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+	if a, b := sysB.SLOShed(qID.QID), ref.SLOShed(qID.QID); a != b {
+		t.Errorf("post-resume shed %v diverged from reference %v", a, b)
+	}
+}
+
+// TestRestoreAcceptsPSC1 pins backward compatibility: a pre-overload-
+// control checkpoint (PSC1 — no SLO section) still restores. The v1
+// record is synthesized from a v2 one by dropping the zero SLO flag
+// byte, which sits immediately before the aggregator section.
+func TestRestoreAcceptsPSC1(t *testing.T) {
+	const epochs, crashAfter = 4, 2
+	dir := t.TempDir()
+
+	ref, err := New(taxiSystemConfig(t, 6, recoveryParams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := runEpochsInto(t, ref, epochs, nil)
+	final, err := ref.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, final...)
+
+	cfgA := taxiSystemConfig(t, 6, recoveryParams)
+	cfgA.DataDir = dir
+	cfgA.WALFsync = wal.PolicyEveryBatch
+	sysA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runEpochsInto(t, sysA, crashAfter, nil)
+	ckpt, err := sysA.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-serialize just the aggregator section to locate the tail, then
+	// splice out the SLO flag byte (zero here — SLO control is off) and
+	// swap the magic.
+	aggCkpt, err := sysA.Aggregator().Checkpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA.Close()
+	cut := len(ckpt) - len(aggCkpt)
+	if cut < 5 || !bytes.Equal(ckpt[cut:], aggCkpt) || ckpt[cut-1] != 0 {
+		t.Fatalf("checkpoint layout changed; cannot synthesize a v1 record")
+	}
+	v1 := append([]byte("PSC1"), ckpt[4:cut-1]...)
+	v1 = append(v1, aggCkpt...)
+
+	cfgB := taxiSystemConfig(t, 6, recoveryParams)
+	cfgB.DataDir = dir
+	cfgB.WALFsync = wal.PolicyEveryBatch
+	sysB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysB.Close()
+	if err := sysB.Restore(v1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sysB.Epoch(), uint64(crashAfter); got != want {
+		t.Fatalf("restored epoch = %d, want %d", got, want)
+	}
+	got = runEpochsInto(t, sysB, epochs-crashAfter, got)
+	final, err = sysB.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, final...)
+	if !resultsEqual(got, want) {
+		t.Fatalf("v1 restore diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}

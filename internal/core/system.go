@@ -153,6 +153,16 @@ type System struct {
 	// each client subscription through exactly its own live epochs.
 	regEpochs map[query.ID]uint64
 
+	// SLO overload controllers (EnableSLO, MultiQuery mode): one per
+	// query, created lazily; guarded by ctrlMu. The controllers'
+	// decisions are recorded in checkpoints so crash recovery resumes
+	// the loop mid-flight instead of un-shedding an overloaded system.
+	slos       map[query.ID]*budget.SLOController
+	sloTarget  float64 // p95 window-fire lag target, in slides
+	sloMin     float64
+	sloWindow  int
+	sloEnabled bool
+
 	// now stamps record arrival once per poll batch (tests inject a
 	// fake clock to pin down per-poll latency accounting).
 	now func() time.Time
@@ -315,6 +325,12 @@ func New(cfg Config) (*System, error) {
 			Sinks:   sinks,
 			Reducer: cfg.Reducer,
 			Seed:    cfg.Seed + int64(i) + 2,
+			// Seeded MIDs pin the shares' partition routing, extending the
+			// determinism contract to bounded drains (DrainUpTo): where a
+			// partial drain cuts off depends on which partition each share
+			// landed in. Deployments (cmd/privapprox-node) keep the default
+			// crypto-random MIDs.
+			MIDSource: mrand.New(mrand.NewSource(cfg.Seed + (int64(i)+1)*1_000_003)),
 		}
 		if !cfg.MultiQuery {
 			// Legacy single-query mode pins the system analyst's key on
@@ -479,7 +495,212 @@ func (s *System) RunEpoch() ([]aggregator.Result, int, error) {
 		return nil, participants, err
 	}
 	results, err := s.drain()
-	return results, participants, err
+	if err != nil {
+		return results, participants, err
+	}
+	return results, participants, s.observeSLO(results)
+}
+
+// AnswerEpoch runs just the answering half of RunEpoch: pending control
+// announcements are applied, and every client answers the current epoch,
+// leaving the shares queued at the proxies undrained. Paired with
+// DrainUpTo it models an aggregator whose per-tick drain capacity is
+// bounded — the surge harness drives overload by answering more epochs
+// per tick than the drain budget covers. Returns the participant count.
+func (s *System) AnswerEpoch() (int, error) {
+	if s.follower != nil {
+		if _, err := s.follower.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	epoch := s.epoch
+	s.epoch++
+	if s.registry != nil && len(s.registry.Active()) == 0 {
+		return 0, nil
+	}
+	return s.answerAll(epoch)
+}
+
+// DrainUpTo forwards at most max queued records from the proxies to the
+// aggregator — a bounded, always-sequential drain (deterministic
+// round-robin over the proxy consumers) modelling fixed aggregation
+// capacity per tick. It returns fired windows in window-start order and
+// the number of records actually drained; a count under max means the
+// proxies ran dry. Fired windows feed the overload controllers when
+// EnableSLO is on, exactly as in RunEpoch.
+func (s *System) DrainUpTo(max int) ([]aggregator.Result, int, error) {
+	if max <= 0 {
+		return nil, 0, nil
+	}
+	if err := s.ensureConsumers(); err != nil {
+		return nil, 0, err
+	}
+	var fired []aggregator.Result
+	drained := 0
+	// Split each round's budget fairly across the proxy consumers: a
+	// share only decodes once ALL its sibling shares arrive, so draining
+	// one proxy's whole backlog before touching the next would burn the
+	// budget on un-joinable halves and stall the watermark.
+	chunk := (max + len(s.consumers) - 1) / len(s.consumers)
+	if chunk > 4096 {
+		chunk = 4096
+	}
+	for drained < max {
+		any := false
+		for src, c := range s.consumers {
+			room := max - drained
+			if room <= 0 {
+				break
+			}
+			if room > chunk {
+				room = chunk
+			}
+			recs, err := c.Poll(room)
+			if err != nil {
+				return fired, drained, err
+			}
+			now := s.now()
+			for _, rec := range recs {
+				res, err := s.submitRecord(rec, src, now)
+				if err != nil {
+					return fired, drained, err
+				}
+				fired = append(fired, res...)
+			}
+			drained += len(recs)
+			if len(recs) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	aggregator.SortResults(fired, s.agg.QueryOrder())
+	return fired, drained, s.observeSLO(fired)
+}
+
+// PendingShares reports how many records are still queued at the
+// proxies ahead of the aggregator's consumers — the backlog a bounded
+// drain leaves behind. Without overload control this grows without
+// bound under sustained over-offered load.
+func (s *System) PendingShares() (int64, error) {
+	if err := s.ensureConsumers(); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range s.consumers {
+		lag, err := c.Lag()
+		if err != nil {
+			return total, err
+		}
+		total += lag
+	}
+	return total, nil
+}
+
+// EnableSLO installs the closed-loop overload controller (MultiQuery
+// mode): after every drain, each fired window's lag — how far its end
+// trails the fleet's current event time, in slides — feeds a per-query
+// budget.SLOController targeting the given p95 lag. When the controller
+// tightens or relaxes the shed threshold, the change is distributed
+// like any parameter update: through the registry's control topics to
+// the clients (which shed deterministically via their hash deciders)
+// and into the aggregator (which stamps results with the threshold in
+// force). Controller state is checkpointed, so crash recovery resumes
+// the loop mid-flight instead of un-shedding an overloaded system.
+func (s *System) EnableSLO(targetLagSlides, shedMin float64, window int) error {
+	if !s.cfg.MultiQuery {
+		return fmt.Errorf("%w: SLO control requires MultiQuery mode", ErrConfig)
+	}
+	if _, err := budget.NewSLOController(targetLagSlides, shedMin, window); err != nil {
+		return err
+	}
+	s.ctrlMu.Lock()
+	s.sloTarget, s.sloMin, s.sloWindow = targetLagSlides, shedMin, window
+	s.sloEnabled = true
+	if s.slos == nil {
+		s.slos = make(map[query.ID]*budget.SLOController)
+	}
+	s.ctrlMu.Unlock()
+	return nil
+}
+
+// SLOShed returns the shed threshold currently in force for a query (1
+// when SLO control is off or the query has not fired a window yet).
+func (s *System) SLOShed(id query.ID) float64 {
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
+	if ctl := s.slos[id]; ctl != nil {
+		return ctl.Shed()
+	}
+	return 1
+}
+
+// observeSLO folds fired windows into their queries' overload
+// controllers and actuates shed-threshold changes through the control
+// plane. Lag is measured in slides: (current event time − window end) /
+// slide, where current event time is Origin + epochsAnswered×Frequency.
+// A fleet that keeps up fires windows within a slide or two of the
+// watermark; a backlogged fleet fires them ever further behind.
+func (s *System) observeSLO(results []aggregator.Result) error {
+	if len(results) == 0 {
+		return nil
+	}
+	s.ctrlMu.Lock()
+	if !s.sloEnabled {
+		s.ctrlMu.Unlock()
+		return nil
+	}
+	type actuation struct {
+		id   query.ID
+		shed float64
+	}
+	var acts []actuation
+	epochs := s.epoch
+	for _, res := range results {
+		entry, ok := s.registry.Entry(res.Query)
+		if !ok {
+			continue // straggler of a stopped query
+		}
+		q := entry.Signed.Query
+		if q.Slide <= 0 {
+			continue
+		}
+		cur := s.cfg.Origin.Add(time.Duration(epochs) * q.Frequency)
+		lag := float64(cur.Sub(res.Window.End)) / float64(q.Slide)
+		ctl := s.slos[res.Query]
+		if ctl == nil {
+			c, err := budget.NewSLOController(s.sloTarget, s.sloMin, s.sloWindow)
+			if err != nil {
+				s.ctrlMu.Unlock()
+				return err
+			}
+			s.slos[res.Query] = c
+			ctl = c
+		}
+		prev := ctl.Shed()
+		if next := ctl.Observe(lag); next != prev {
+			acts = append(acts, actuation{id: res.Query, shed: next})
+		}
+	}
+	s.ctrlMu.Unlock()
+	if len(acts) == 0 {
+		return nil
+	}
+	// Actuate outside the lock: registry announcement (no revision bump —
+	// coin streams are untouched), aggregator stamp, then one sync so the
+	// new threshold is in force from the next answered epoch.
+	for _, a := range acts {
+		if err := s.registry.SetShed(a.id, a.shed); err != nil {
+			return err
+		}
+		if err := s.agg.SetShed(a.id, a.shed); err != nil {
+			return err
+		}
+	}
+	_, err := s.follower.Sync()
+	return err
 }
 
 // answerAll fans AnswerOnce over the client population with a bounded

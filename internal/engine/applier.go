@@ -19,6 +19,14 @@ type Subscriber interface {
 	UnsubscribeQuery(id query.ID) bool
 }
 
+// ShedSetter is the optional overload-control surface: subscribers that
+// also implement it (client.Client does) receive per-query shed
+// thresholds from snapshots. A Subscriber without it simply never
+// sheds — the control plane degrades gracefully for minimal clients.
+type ShedSetter interface {
+	SetShed(id query.ID, shed float64) bool
+}
+
 // Applier reconciles a set of clients against query-set snapshots. It
 // is the client-process half of query distribution: feed it every
 // control payload observed (in any order, with duplicates and gaps) and
@@ -43,6 +51,7 @@ type Applier struct {
 	version uint64
 	applied bool
 	revs    map[string]uint64   // ID.String() → last applied revision
+	sheds   map[string]float64  // ID.String() → last applied shed threshold
 	active  map[string]query.ID // currently subscribed
 }
 
@@ -53,6 +62,7 @@ func NewApplier(clients ...Subscriber) *Applier {
 		clients: clients,
 		trusted: make(map[string]ed25519.PublicKey),
 		revs:    make(map[string]uint64),
+		sheds:   make(map[string]float64),
 		active:  make(map[string]query.ID),
 	}
 }
@@ -135,16 +145,34 @@ func (ap *Applier) Apply(qs *QuerySet) error {
 		id := e.Signed.Query.QID
 		key := id.String()
 		next[key] = id
+		shed := e.Shed
+		if !(shed > 0) || shed > 1 {
+			shed = 1
+		}
 		rev, seen := ap.revs[key]
-		if _, isActive := ap.active[key]; isActive && seen && rev == e.Rev {
-			continue // unchanged entry: leave the subscription untouched
+		_, isActive := ap.active[key]
+		if isActive && seen && rev == e.Rev {
+			// Unchanged entry: leave the subscription (and its coin
+			// stream) untouched, but forward a moved shed threshold —
+			// shed changes deliberately do not bump Rev.
+			if ap.sheds[key] != shed {
+				ap.setShed(id, shed)
+				ap.sheds[key] = shed
+			}
+			continue
 		}
 		for _, c := range ap.clients {
 			if err := c.SubscribeQuery(e.Signed, e.AnalystKey, e.Params); err != nil {
 				return fmt.Errorf("subscribe %s: %w", id, err)
 			}
 		}
+		// Re-assert the snapshot's threshold after (re-)subscribing:
+		// clients carry the old threshold across a re-subscription, and
+		// a fresh subscription starts unshed — either way the snapshot
+		// is authoritative.
+		ap.setShed(id, shed)
 		ap.revs[key] = e.Rev
+		ap.sheds[key] = shed
 		ap.active[key] = id
 	}
 	for key, id := range ap.active {
@@ -155,10 +183,22 @@ func (ap *Applier) Apply(qs *QuerySet) error {
 			c.UnsubscribeQuery(id)
 		}
 		delete(ap.active, key)
+		delete(ap.revs, key)
+		delete(ap.sheds, key)
 	}
 	ap.version = qs.Version
 	ap.applied = true
 	return nil
+}
+
+// setShed forwards one query's shed threshold to every client that
+// opts into overload control.
+func (ap *Applier) setShed(id query.ID, shed float64) {
+	for _, c := range ap.clients {
+		if ss, ok := c.(ShedSetter); ok {
+			ss.SetShed(id, shed)
+		}
+	}
 }
 
 // Follower drives an Applier from a pub/sub control-topic consumer —

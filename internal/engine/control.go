@@ -76,6 +76,13 @@ type Entry struct {
 	// when it moves, keeping a client's per-query coin stream stable
 	// across unrelated snapshot churn.
 	Rev uint64
+	// Shed ∈ (0, 1] is the overload-control threshold: clients answer
+	// at the effective fraction Params.S·Shed. Shed changes do NOT bump
+	// Rev — appliers forward them via SetShed without re-subscribing,
+	// so actuating the controller never redraws client coin streams.
+	// Zero on the wire normalizes to 1 (no shedding), which keeps old
+	// snapshots and zero-valued entries meaning "unshed".
+	Shed float64
 }
 
 // QuerySet is one versioned snapshot of the active query set.
@@ -132,6 +139,11 @@ func appendEntry(buf []byte, e *Entry) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.Params.RR.P))
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.Params.RR.Q))
 	buf = binary.BigEndian.AppendUint64(buf, e.Rev)
+	shed := e.Shed
+	if !(shed > 0) || shed > 1 {
+		shed = 1
+	}
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(shed))
 	return buf, nil
 }
 
@@ -326,6 +338,12 @@ func decodeEntry(d *ctlDec) (Entry, error) {
 	}
 	if e.Rev, err = d.u64(); err != nil {
 		return e, err
+	}
+	if e.Shed, err = d.f64(); err != nil {
+		return e, err
+	}
+	if !(e.Shed > 0) || e.Shed > 1 {
+		e.Shed = 1
 	}
 	e.Signed = &query.Signed{Query: q, Signature: sig}
 	e.AnalystKey = ed25519.PublicKey(pub)

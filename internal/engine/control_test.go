@@ -161,6 +161,16 @@ func FuzzQuerySetRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
+	// Seed the shed-threshold wire field: a mid-shed snapshot and one
+	// whose out-of-range shed must normalize to 1 on decode.
+	for _, shed := range []float64{0.25, 1, 7.5} {
+		qs.Entries[0].Shed = shed
+		s, err := qs.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(s)
+	}
 	f.Add([]byte{opQuerySet})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		qs, err := DecodeQuerySet(payload)
@@ -185,6 +195,14 @@ func FuzzQuerySetRoundTrip(f *testing.F) {
 				!bytes.Equal(a.Signed.Signature, b.Signed.Signature) ||
 				len(a.Signed.Query.Buckets) != len(b.Signed.Query.Buckets) {
 				t.Fatalf("entry %d changed across round trip", i)
+			}
+			// Decode normalizes Shed into (0, 1], and re-encoding a
+			// normalized value must be a fixed point.
+			if !(a.Shed > 0) || a.Shed > 1 {
+				t.Fatalf("entry %d decoded shed %v outside (0, 1]", i, a.Shed)
+			}
+			if a.Shed != b.Shed {
+				t.Fatalf("entry %d shed changed across round trip: %v vs %v", i, a.Shed, b.Shed)
 			}
 		}
 	})

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"crypto/ed25519"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"privapprox/internal/budget"
 	"privapprox/internal/client"
 	"privapprox/internal/minisql"
 	"privapprox/internal/netsim"
@@ -211,5 +213,140 @@ func TestApplierIgnoresStaleAndDuplicateSnapshots(t *testing.T) {
 	}
 	if got := c.Subscriptions(); got != 2 {
 		t.Fatalf("subscriptions after replay = %d, want 2", got)
+	}
+}
+
+// shedMock records applier traffic: subscription counts per query and
+// the last shed threshold forwarded through the ShedSetter surface.
+type shedMock struct {
+	subs  map[string]int
+	sheds map[string]float64
+}
+
+func newShedMock() *shedMock {
+	return &shedMock{subs: make(map[string]int), sheds: make(map[string]float64)}
+}
+
+func (m *shedMock) SubscribeQuery(signed *query.Signed, _ ed25519.PublicKey, _ budget.Params) error {
+	m.subs[signed.Query.QID.String()]++
+	return nil
+}
+
+func (m *shedMock) UnsubscribeQuery(id query.ID) bool {
+	delete(m.subs, id.String())
+	return true
+}
+
+func (m *shedMock) SetShed(id query.ID, shed float64) bool {
+	m.sheds[id.String()] = shed
+	return true
+}
+
+// bareMock is a Subscriber without the ShedSetter surface — minimal
+// clients must keep working when snapshots carry shed thresholds.
+type bareMock struct{ subs int }
+
+func (m *bareMock) SubscribeQuery(*query.Signed, ed25519.PublicKey, budget.Params) error {
+	m.subs++
+	return nil
+}
+func (m *bareMock) UnsubscribeQuery(query.ID) bool { return true }
+
+// TestShedDistribution checks the overload-control side channel of the
+// control plane: Registry.SetShed broadcasts a new snapshot whose entry
+// carries the threshold but an unchanged Rev, and the applier forwards
+// it through SetShed without re-subscribing — so actuating the SLO
+// controller never redraws client coin streams.
+func TestShedDistribution(t *testing.T) {
+	pub, priv := testKey(11)
+	r := NewRegistry()
+	if err := r.Trust("alice", pub); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	if err := r.AttachSink(sink); err != nil {
+		t.Fatal(err)
+	}
+	signed := testSigned(t, "alice", 1, priv)
+	id := signed.Query.QID
+	if err := r.Register(signed, testParams()); err != nil {
+		t.Fatal(err)
+	}
+	rev0 := func() uint64 {
+		e, ok := r.Entry(id)
+		if !ok {
+			t.Fatal("entry missing")
+		}
+		return e.Rev
+	}()
+
+	if err := r.SetShed(id, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := r.Entry(id)
+	if e.Rev != rev0 {
+		t.Fatalf("SetShed bumped Rev %d → %d", rev0, e.Rev)
+	}
+	if e.Shed != 0.4 {
+		t.Fatalf("entry shed = %v, want 0.4", e.Shed)
+	}
+	if err := r.SetShed(query.ID{Analyst: "ghost", Serial: 9}, 0.5); err == nil {
+		t.Fatal("SetShed on unknown query succeeded")
+	}
+
+	mock := newShedMock()
+	bare := &bareMock{}
+	ap := NewApplier(mock, bare)
+	for _, payload := range sink.payloads {
+		if err := ap.ApplyPayload(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mock.subs[id.String()]; got != 1 {
+		t.Fatalf("SubscribeQuery called %d times, want 1 (shed change must not re-subscribe)", got)
+	}
+	if got := mock.sheds[id.String()]; got != 0.4 {
+		t.Fatalf("forwarded shed = %v, want 0.4", got)
+	}
+	if bare.subs != 1 {
+		t.Fatalf("bare subscriber saw %d subscriptions, want 1", bare.subs)
+	}
+
+	// Recovery: shed back to 1 flows through the same path.
+	if err := r.SetShed(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range sink.payloads[len(sink.payloads)-1:] {
+		if err := ap.ApplyPayload(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mock.sheds[id.String()]; got != 1 {
+		t.Fatalf("recovered shed = %v, want 1", got)
+	}
+	if got := mock.subs[id.String()]; got != 1 {
+		t.Fatalf("recovery re-subscribed (%d calls)", got)
+	}
+
+	// A feedback re-registration (Rev bump) re-subscribes AND re-asserts
+	// the standing threshold.
+	if err := r.SetShed(id, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	retuned := testParams()
+	retuned.S = 0.5
+	if err := r.Register(testSigned(t, "alice", 1, priv), retuned); err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range sink.payloads {
+		if err := ap.ApplyPayload(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mock.subs[id.String()]; got != 2 {
+		t.Fatalf("rev bump: SubscribeQuery called %d times, want 2", got)
+	}
+	if got := mock.sheds[id.String()]; got != 0.25 {
+		t.Fatalf("shed after re-registration = %v, want 0.25", got)
 	}
 }

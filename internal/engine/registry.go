@@ -112,15 +112,40 @@ func (r *Registry) Register(signed *query.Signed, params budget.Params) error {
 	if prev, ok := r.byWire[wire]; ok && prev != q.QID {
 		return fmt.Errorf("%w: %s and %s both map to %#x", ErrWireCollision, prev, q.QID, wire)
 	}
-	entry := Entry{Signed: signed, AnalystKey: pub, Params: params}
+	entry := Entry{Signed: signed, AnalystKey: pub, Params: params, Shed: 1}
 	if i, ok := r.index[q.QID.String()]; ok {
 		entry.Rev = r.entries[i].Rev + 1
+		// Re-registration retunes parameters; the overload shed threshold
+		// is orthogonal standing state and carries over.
+		entry.Shed = r.entries[i].Shed
 		r.entries[i] = entry
 	} else {
 		r.index[q.QID.String()] = len(r.entries)
 		r.entries = append(r.entries, entry)
 		r.byWire[wire] = q.QID
 	}
+	return r.broadcastLocked()
+}
+
+// SetShed sets a query's overload shed threshold ∈ (0, 1] and
+// broadcasts the updated snapshot. Unlike Register it does NOT bump the
+// entry's Rev: appliers forward the new threshold to clients without
+// re-subscribing, so actuating the SLO controller never redraws coin
+// streams. Values outside (0, 1] normalize to 1 (no shedding).
+func (r *Registry) SetShed(id query.ID, shed float64) error {
+	if !(shed > 0) || shed > 1 {
+		shed = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.index[id.String()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownQuery, id)
+	}
+	if r.entries[i].Shed == shed {
+		return nil
+	}
+	r.entries[i].Shed = shed
 	return r.broadcastLocked()
 }
 
@@ -183,6 +208,9 @@ func (r *Registry) Bootstrap(qs *QuerySet) error {
 		}
 		if _, ok := index[q.QID.String()]; ok {
 			return fmt.Errorf("%w: duplicate entry %s", query.ErrInvalidQuery, q.QID)
+		}
+		if !(e.Shed > 0) || e.Shed > 1 {
+			e.Shed = 1
 		}
 		index[q.QID.String()] = len(entries)
 		byWire[wire] = q.QID

@@ -58,6 +58,12 @@ type Proxy struct {
 	// in-process broker; attached proxies leave lifecycle and stats to
 	// the remote process.
 	broker *pubsub.Broker
+	// submitTimeout > 0 switches Submit/SubmitBatch to the blocking
+	// publish path: on pubsub.ErrPartitionFull the publish retries until
+	// the record lands or the deadline passes, instead of failing the
+	// client's flush outright. Set before the proxy is shared; not
+	// synchronized against concurrent Submit calls.
+	submitTimeout time.Duration
 }
 
 // New builds a proxy with its own broker and a single topic. Index 0 is
@@ -118,6 +124,24 @@ func (p *Proxy) Name() string { return p.name }
 // Topic returns the proxy's stream name.
 func (p *Proxy) Topic() string { return p.topic }
 
+// SetSubmitTimeout configures how long Submit and SubmitBatch block
+// waiting for space when the proxy's topic is bounded and full. Zero
+// (the default) fails fast with pubsub.ErrPartitionFull; the caller —
+// typically a client under backpressure — decides whether to shed.
+// Configure before serving traffic.
+func (p *Proxy) SetSubmitTimeout(d time.Duration) { p.submitTimeout = d }
+
+// SetCapacity bounds the backlog of every partition of this proxy's
+// share topic (see pubsub.Broker.SetTopicCapacity). Only proxies that
+// own their broker can be bounded locally; attached proxies return an
+// error — bound the remote broker in its own process.
+func (p *Proxy) SetCapacity(capacity int) error {
+	if p.broker == nil {
+		return fmt.Errorf("proxy: %s is attached; set capacity on the remote broker", p.name)
+	}
+	return p.broker.SetTopicCapacity(p.topic, capacity)
+}
+
 // Submit accepts one share from a client: the processing at a
 // PrivApprox proxy is exactly one publish — no noise addition, no
 // inter-proxy coordination (the property Fig. 6 measures). The payload
@@ -125,6 +149,12 @@ func (p *Proxy) Topic() string { return p.topic }
 // ShareSink ownership contract.
 func (p *Proxy) Submit(share xorcrypt.Share) error {
 	mid := share.MID
+	if p.submitTimeout > 0 {
+		if wp, ok := p.t.(pubsub.WaitPublisher); ok {
+			_, _, err := wp.PublishWait(p.topic, mid[:], share.Payload, p.submitTimeout)
+			return err
+		}
+	}
 	_, _, err := p.t.Publish(p.topic, mid[:], share.Payload)
 	return err
 }
@@ -153,7 +183,16 @@ func (p *Proxy) SubmitBatch(shares []xorcrypt.Share) error {
 		// copies or serializes it before PublishBatch returns.
 		msgs = append(msgs, pubsub.Message{Key: shares[i].MID[:], Value: shares[i].Payload})
 	}
-	_, err := p.t.PublishBatch(p.topic, msgs)
+	var err error
+	if p.submitTimeout > 0 {
+		if wp, ok := p.t.(pubsub.WaitPublisher); ok {
+			_, err = wp.PublishBatchWait(p.topic, msgs, p.submitTimeout)
+		} else {
+			_, err = p.t.PublishBatch(p.topic, msgs)
+		}
+	} else {
+		_, err = p.t.PublishBatch(p.topic, msgs)
+	}
 	for i := range msgs {
 		msgs[i] = pubsub.Message{}
 	}
@@ -318,7 +357,30 @@ func (f *Fleet) Announce(payload []byte) error {
 	return nil
 }
 
-// TotalStats sums traffic over the fleet.
+// SetCapacity bounds every owned proxy's share-topic backlog (attached
+// proxies are skipped — their brokers live elsewhere).
+func (f *Fleet) SetCapacity(capacity int) error {
+	for _, p := range f.proxies {
+		if p.broker == nil {
+			continue
+		}
+		if err := p.SetCapacity(capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetSubmitTimeout sets the blocking-publish deadline on every proxy.
+func (f *Fleet) SetSubmitTimeout(d time.Duration) {
+	for _, p := range f.proxies {
+		p.SetSubmitTimeout(d)
+	}
+}
+
+// TotalStats sums traffic over the fleet. MaxBacklog is the fleet-wide
+// maximum, not a sum — it answers "how far behind is the worst
+// partition anywhere".
 func (f *Fleet) TotalStats() pubsub.Stats {
 	var total pubsub.Stats
 	for _, p := range f.proxies {
@@ -327,6 +389,11 @@ func (f *Fleet) TotalStats() pubsub.Stats {
 		total.BytesIn += s.BytesIn
 		total.MessagesOut += s.MessagesOut
 		total.BytesOut += s.BytesOut
+		total.Rejected += s.Rejected
+		total.TotalBacklog += s.TotalBacklog
+		if s.MaxBacklog > total.MaxBacklog {
+			total.MaxBacklog = s.MaxBacklog
+		}
 	}
 	return total
 }

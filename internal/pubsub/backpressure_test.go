@@ -1,0 +1,313 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// partitionForKey mirrors the broker's key → partition routing so tests
+// can craft keys that land on chosen partitions.
+func partitionForKey(key []byte, partitions int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	part := int(h.Sum32()) % partitions
+	if part < 0 {
+		part += partitions
+	}
+	return part
+}
+
+// keyFor brute-forces a key routed to the wanted partition.
+func keyFor(t *testing.T, partitions, want int) []byte {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if partitionForKey(k, partitions) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key found for partition %d/%d", want, partitions)
+	return nil
+}
+
+func TestPublishCapacityReject(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 3); err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor(t, 1, 0)
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+			t.Fatalf("publish %d within capacity: %v", i, err)
+		}
+	}
+	_, _, err := b.Publish("answer", key, []byte("v"))
+	if !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("publish beyond capacity: got %v, want ErrPartitionFull", err)
+	}
+	if end, _ := b.EndOffset("answer", 0); end != 3 {
+		t.Fatalf("end offset after reject = %d, want 3", end)
+	}
+	if s := b.Stats(); s.Rejected != 1 {
+		t.Fatalf("Stats.Rejected = %d, want 1", s.Rejected)
+	}
+}
+
+func TestCommitFreesCapacity(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 2); err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor(t, 1, 0)
+	for i := 0; i < 2; i++ {
+		if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.Publish("answer", key, []byte("v")); !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("expected full, got %v", err)
+	}
+	// Consuming alone does not free space; committing does. With two
+	// groups, the *slowest* committed offset is the floor.
+	if err := b.CommitOffset("fast", "answer", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CommitOffset("slow", "answer", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Floor is 1 → backlog 1 → room for exactly 1 more.
+	if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+		t.Fatalf("publish after commit freed space: %v", err)
+	}
+	if _, _, err := b.Publish("answer", key, []byte("v")); !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("expected full again, got %v", err)
+	}
+}
+
+// TestPublishBatchAllOrNothing is the regression test for the
+// mixed-partition batch case: a batch spanning a full partition and an
+// empty one must publish nothing at all.
+func TestPublishBatchAllOrNothing(t *testing.T) {
+	const parts = 4
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", parts); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 2); err != nil {
+		t.Fatal(err)
+	}
+	fullKey := keyFor(t, parts, 1)
+	emptyKey := keyFor(t, parts, 2)
+	// Fill partition 1 to capacity.
+	for i := 0; i < 2; i++ {
+		if _, _, err := b.Publish("answer", fullKey, []byte("fill")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := []Message{
+		{Key: emptyKey, Value: []byte("a")}, // would land on empty partition 2
+		{Key: fullKey, Value: []byte("b")},  // refused: partition 1 full
+		{Key: emptyKey, Value: []byte("c")},
+	}
+	_, err := b.PublishBatch("answer", batch)
+	if !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("mixed batch: got %v, want ErrPartitionFull", err)
+	}
+	// Nothing from the batch may have landed anywhere.
+	wantEnds := map[int]int64{0: 0, 1: 2, 2: 0, 3: 0}
+	for p := 0; p < parts; p++ {
+		end, err := b.EndOffset("answer", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end != wantEnds[p] {
+			t.Errorf("partition %d end = %d, want %d (batch partially applied)", p, end, wantEnds[p])
+		}
+	}
+	if s := b.Stats(); s.Rejected != int64(len(batch)) {
+		t.Errorf("Stats.Rejected = %d, want %d", s.Rejected, len(batch))
+	}
+	// After freeing space the identical batch retries cleanly — the
+	// all-or-nothing contract is what makes blind retry duplicate-free.
+	if err := b.CommitOffset("g", "answer", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.PublishBatch("answer", batch)
+	if err != nil {
+		t.Fatalf("retry after commit: %v", err)
+	}
+	if len(res) != len(batch) {
+		t.Fatalf("retry results = %d, want %d", len(res), len(batch))
+	}
+}
+
+func TestPublishWaitSucceedsAfterCommit(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor(t, 1, 0)
+	if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.CommitOffset("g", "answer", 0, 1)
+	}()
+	if _, _, err := b.PublishWait("answer", key, []byte("v"), 5*time.Second); err != nil {
+		t.Fatalf("PublishWait after commit: %v", err)
+	}
+}
+
+func TestPublishWaitDeadline(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor(t, 1, 0)
+	if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err := b.PublishWait("answer", key, []byte("v"), 30*time.Millisecond)
+	if !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("PublishWait on stuck partition: got %v, want ErrPartitionFull", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("PublishWait returned after %v, before the deadline", elapsed)
+	}
+	// A non-full error must return immediately, not retry to deadline.
+	start = time.Now()
+	if _, _, err := b.PublishWait("nope", key, []byte("v"), 5*time.Second); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("PublishWait unknown topic: %v", err)
+	} else if time.Since(start) > time.Second {
+		t.Fatal("PublishWait retried a non-full error")
+	}
+}
+
+func TestStatsBacklog(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("answer", 2); err != nil {
+		t.Fatal(err)
+	}
+	k0 := keyFor(t, 2, 0)
+	k1 := keyFor(t, 2, 1)
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.Publish("answer", k0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.Publish("answer", k1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.TotalBacklog != 4 {
+		t.Fatalf("TotalBacklog = %d, want 4", s.TotalBacklog)
+	}
+	if s.MaxBacklog != 3 {
+		t.Fatalf("MaxBacklog = %d, want 3", s.MaxBacklog)
+	}
+	if lag, err := b.Backlog("answer"); err != nil || lag != 4 {
+		t.Fatalf("Backlog = %d, %v; want 4", lag, err)
+	}
+	if err := b.CommitOffset("g", "answer", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	s = b.Stats()
+	if s.TotalBacklog != 2 {
+		t.Fatalf("TotalBacklog after commit = %d, want 2", s.TotalBacklog)
+	}
+	if s.MaxBacklog != 1 {
+		t.Fatalf("MaxBacklog after commit = %d, want 1", s.MaxBacklog)
+	}
+	if _, err := b.Backlog("nope"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("Backlog unknown topic: %v", err)
+	}
+}
+
+func TestSetTopicCapacityErrors(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.SetTopicCapacity("nope", 5); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("SetTopicCapacity unknown topic: %v", err)
+	}
+	if err := b.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor(t, 1, 0)
+	if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Publish("answer", key, []byte("v")); !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("expected full, got %v", err)
+	}
+	// capacity <= 0 removes the bound.
+	if err := b.SetTopicCapacity("answer", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Publish("answer", key, []byte("v")); err != nil {
+		t.Fatalf("publish after unbounding: %v", err)
+	}
+}
+
+// TestTCPPartitionFullSentinel checks the ErrPartitionFull contract
+// across the wire: the sentinel must survive serialization so remote
+// publishers can errors.Is on it, and the client-side Wait variants must
+// retry on it.
+func TestTCPPartitionFullSentinel(t *testing.T) {
+	b, _, cli := startServer(t)
+	if err := cli.CreateTopic("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetTopicCapacity("answer", 1); err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor(t, 1, 0)
+	if _, _, err := cli.Publish("answer", key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := cli.Publish("answer", key, []byte("v"))
+	if !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("remote publish beyond capacity: got %v, want ErrPartitionFull", err)
+	}
+	if _, err := cli.PublishBatch("answer", []Message{{Key: key, Value: []byte("v")}}); !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("remote batch beyond capacity: got %v, want ErrPartitionFull", err)
+	}
+	// Client-side blocking publish: commit on the broker frees space,
+	// the client retry lands.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.CommitOffset("g", "answer", 0, 1)
+	}()
+	if _, err := cli.PublishBatchWait("answer", []Message{{Key: key, Value: []byte("v")}}, 5*time.Second); err != nil {
+		t.Fatalf("PublishBatchWait over TCP: %v", err)
+	}
+	// Other sentinels survive the wire too.
+	if _, err := cli.Partitions("ghost"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("remote unknown topic: got %v, want ErrNoTopic", err)
+	}
+}

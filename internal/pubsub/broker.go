@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -22,6 +23,16 @@ var (
 	ErrNoPartition = errors.New("pubsub: no such partition")
 	ErrBadOffset   = errors.New("pubsub: offset out of range")
 	ErrClosed      = errors.New("pubsub: broker closed")
+	// ErrPartitionFull is the backpressure signal of a bounded partition
+	// (SetTopicCapacity): the publish would push the partition's
+	// unconsumed backlog — records past the slowest committed consumer
+	// offset — beyond its capacity. The publish (or the whole batch, for
+	// PublishBatch: a full batch is refused all-or-nothing, never
+	// partially applied) had no effect; the publisher may retry after
+	// consumers commit progress, or use PublishWait/PublishBatchWait to
+	// block with a deadline. The sentinel survives the TCP transport:
+	// errors.Is(err, ErrPartitionFull) holds on the remote publisher too.
+	ErrPartitionFull = errors.New("pubsub: partition full")
 )
 
 // Record is one log entry, the unit producers publish and consumers
@@ -36,17 +47,34 @@ type Record struct {
 }
 
 // Stats counts broker traffic; Fig. 9's network accounting reads these.
+// The backlog fields surface consumer lag at snapshot time, the signal
+// overload control acts on.
 type Stats struct {
 	MessagesIn  int64
 	BytesIn     int64
 	MessagesOut int64
 	BytesOut    int64
+	// Rejected counts publish attempts refused with ErrPartitionFull
+	// (each message of a refused batch counts once per attempt).
+	Rejected int64
+	// TotalBacklog is the number of unconsumed records summed over all
+	// partitions at snapshot time: per partition, end offset minus the
+	// slowest committed consumer offset (the full log length before any
+	// group commits).
+	TotalBacklog int64
+	// MaxBacklog is the largest single-partition backlog at snapshot
+	// time.
+	MaxBacklog int64
 }
 
 type partitionLog struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	records []Record
+	// capacity, when > 0, bounds the partition's unconsumed backlog:
+	// a publish that would leave more than capacity records past the
+	// slowest committed consumer offset fails with ErrPartitionFull.
+	capacity int
 	// w, when non-nil, is the partition's write-ahead log: every publish
 	// journals its record here — before the in-memory append, before the
 	// ack — so an acknowledged record survives a broker restart. The WAL
@@ -151,8 +179,70 @@ func (b *Broker) Partitions(topic string) (int, error) {
 	return len(t.partitions), nil
 }
 
+// SetTopicCapacity bounds every partition of a topic to at most
+// capacity unconsumed records. A publish that would push a partition's
+// backlog — records past the slowest committed consumer offset —
+// beyond the bound fails with ErrPartitionFull instead of growing the
+// log without limit. capacity <= 0 removes the bound. Partition logs
+// are append-only, so the bound is on the *unconsumed* suffix: a
+// partition frees space when its slowest consumer group commits
+// progress, not when records are deleted.
+func (b *Broker) SetTopicCapacity(topic string, capacity int) error {
+	b.mu.RLock()
+	t, ok := b.topics[topic]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	for _, p := range t.partitions {
+		p.mu.Lock()
+		p.capacity = capacity
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// committedFloor returns the slowest committed consumer offset for one
+// partition — 0 when no group has committed yet, so a bounded partition
+// admits at most capacity records until its first consumer commit.
+func (b *Broker) committedFloor(topic string, partition int) int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	floor := int64(-1)
+	for _, gt := range b.offsets {
+		tp, ok := gt[topic]
+		if !ok {
+			continue
+		}
+		off, ok := tp[partition]
+		if !ok {
+			continue
+		}
+		if floor < 0 || off < floor {
+			floor = off
+		}
+	}
+	if floor < 0 {
+		return 0
+	}
+	return floor
+}
+
+// overCapacity reports whether appending n records would overflow the
+// bounded partition. Caller holds p.mu; floor was read before the lock,
+// which is safe because commits only advance — a stale floor can only
+// make the check more conservative.
+func (p *partitionLog) overCapacity(n int, floor int64) bool {
+	return p.capacity > 0 && int64(len(p.records))+int64(n)-floor > int64(p.capacity)
+}
+
 // Publish appends a record. A non-nil key selects the partition by hash
-// (records with equal keys stay ordered); a nil key round-robins.
+// (records with equal keys stay ordered); a nil key round-robins. On a
+// bounded partition at capacity the record is refused with
+// ErrPartitionFull (see SetTopicCapacity).
 func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 	b.mu.RLock()
 	if b.closed {
@@ -179,7 +269,16 @@ func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 		b.statsMu.Unlock()
 	}
 	p := t.partitions[part]
+	floor := b.committedFloor(topic, part)
 	p.mu.Lock()
+	if p.overCapacity(1, floor) {
+		capacity := p.capacity
+		p.mu.Unlock()
+		b.statsMu.Lock()
+		b.stats.Rejected++
+		b.statsMu.Unlock()
+		return 0, 0, fmt.Errorf("%w: topic %q partition %d at capacity %d", ErrPartitionFull, topic, part, capacity)
+	}
 	offset := int64(len(p.records))
 	now := time.Now()
 	if p.w != nil {
@@ -216,6 +315,13 @@ func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 // partition is locked once, and the traffic counters are updated once
 // for the whole batch. Results are returned in input order. Partition
 // selection matches Publish (key hash, nil key round-robins).
+//
+// The batch is all-or-nothing: every target partition's capacity is
+// checked (and every partition journaled) before any in-memory append,
+// so a batch spanning several partitions of a bounded topic is either
+// fully applied or refused with ErrPartitionFull having published
+// nothing — a partially applied batch would break the publisher's
+// retry (retrying would duplicate the partitions that did land).
 func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error) {
 	if len(msgs) == 0 {
 		return nil, nil
@@ -263,18 +369,54 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 		}
 	}
 
-	// Append per partition under one lock each, broadcasting once.
+	// Two-phase apply: lock every target partition (in ascending order,
+	// so concurrent batches cannot deadlock), check all capacities, then
+	// journal and append. No partition's memory log is touched until the
+	// whole batch is known to fit and is journaled.
+	parts := make([]int, 0, len(byPart))
+	for part := range byPart {
+		parts = append(parts, part)
+	}
+	sort.Ints(parts)
+	floors := make([]int64, len(parts))
+	for i, part := range parts {
+		floors[i] = b.committedFloor(topic, part)
+	}
+	locked := 0
+	unlockAll := func() {
+		for _, part := range parts[:locked] {
+			t.partitions[part].mu.Unlock()
+		}
+	}
+	for _, part := range parts {
+		t.partitions[part].mu.Lock()
+		locked++
+	}
 	now := time.Now()
-	for part, idxs := range byPart {
+	for i, part := range parts {
 		p := t.partitions[part]
-		p.mu.Lock()
+		if p.overCapacity(len(byPart[part]), floors[i]) {
+			capacity := p.capacity
+			unlockAll()
+			b.statsMu.Lock()
+			b.stats.Rejected += int64(len(msgs))
+			b.statsMu.Unlock()
+			return nil, fmt.Errorf("%w: topic %q partition %d at capacity %d (batch of %d refused whole)",
+				ErrPartitionFull, topic, part, capacity, len(msgs))
+		}
+	}
+	for _, part := range parts {
+		p := t.partitions[part]
 		if p.w != nil {
-			if err := journalBatch(p, now, msgs, idxs); err != nil {
-				p.mu.Unlock()
+			if err := journalBatch(p, now, msgs, byPart[part]); err != nil {
+				unlockAll()
 				return nil, err
 			}
 		}
-		for _, i := range idxs {
+	}
+	for _, part := range parts {
+		p := t.partitions[part]
+		for _, i := range byPart[part] {
 			offset := int64(len(p.records))
 			results[i].Offset = offset
 			p.records = append(p.records, Record{
@@ -287,14 +429,64 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 			})
 		}
 		p.cond.Broadcast()
-		p.mu.Unlock()
 	}
+	unlockAll()
 
 	b.statsMu.Lock()
 	b.stats.MessagesIn += int64(len(msgs))
 	b.stats.BytesIn += bytesIn
 	b.statsMu.Unlock()
 	return results, nil
+}
+
+// PublishWait is Publish with a deadline-bounded retry on backpressure:
+// while the target partition is full it retries until a publish lands
+// or the timeout passes, then returns the last ErrPartitionFull. Errors
+// other than ErrPartitionFull return immediately.
+func (b *Broker) PublishWait(topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
+	return publishWait(b, topic, key, value, timeout)
+}
+
+// PublishBatchWait is PublishBatch with the same deadline-bounded retry
+// as PublishWait; the all-or-nothing batch contract makes the retry
+// safe (a refused batch published nothing).
+func (b *Broker) PublishBatchWait(topic string, msgs []Message, timeout time.Duration) ([]PubResult, error) {
+	return publishBatchWait(b, topic, msgs, timeout)
+}
+
+// fullRetryInterval paces blocked publishers: capacity frees only when
+// the slowest consumer group commits, so a tight spin would just burn
+// the locks the consumers need.
+const fullRetryInterval = time.Millisecond
+
+// publishWait implements the blocking publish over any Transport (the
+// in-process broker and the TCP client share it).
+func publishWait(t Transport, topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		part, off, err := t.Publish(topic, key, value)
+		if err == nil || !errors.Is(err, ErrPartitionFull) {
+			return part, off, err
+		}
+		if !time.Now().Before(deadline) {
+			return 0, 0, err
+		}
+		time.Sleep(fullRetryInterval)
+	}
+}
+
+func publishBatchWait(t Transport, topic string, msgs []Message, timeout time.Duration) ([]PubResult, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		res, err := t.PublishBatch(topic, msgs)
+		if err == nil || !errors.Is(err, ErrPartitionFull) {
+			return res, err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, err
+		}
+		time.Sleep(fullRetryInterval)
+	}
 }
 
 // Fetch returns up to max records from a partition starting at offset.
@@ -439,11 +631,51 @@ func (b *Broker) CommittedOffset(group, topic string, partition int) (int64, err
 	return 0, nil
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters plus consumer-lag
+// accounting: TotalBacklog/MaxBacklog are computed at snapshot time
+// from the partition logs and the committed consumer offsets.
 func (b *Broker) Stats() Stats {
 	b.statsMu.Lock()
-	defer b.statsMu.Unlock()
-	return b.stats
+	s := b.stats
+	b.statsMu.Unlock()
+	b.mu.RLock()
+	topics := make([]*topicLog, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.RUnlock()
+	for _, t := range topics {
+		for i, p := range t.partitions {
+			p.mu.Lock()
+			end := int64(len(p.records))
+			p.mu.Unlock()
+			backlog := end - b.committedFloor(t.name, i)
+			s.TotalBacklog += backlog
+			if backlog > s.MaxBacklog {
+				s.MaxBacklog = backlog
+			}
+		}
+	}
+	return s
+}
+
+// Backlog returns one topic's total unconsumed records: the sum over
+// partitions of end offset minus the slowest committed consumer offset.
+func (b *Broker) Backlog(topic string) (int64, error) {
+	b.mu.RLock()
+	t, ok := b.topics[topic]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+	var total int64
+	for i, p := range t.partitions {
+		p.mu.Lock()
+		end := int64(len(p.records))
+		p.mu.Unlock()
+		total += end - b.committedFloor(t.name, i)
+	}
+	return total, nil
 }
 
 // Close marks the broker closed; publishes fail and blocked polls wake.

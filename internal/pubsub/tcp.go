@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -504,9 +505,32 @@ func (cc *clientConn) roundTrip(req []byte) (*dec, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, errors.New(msg)
+		return nil, wireError(msg)
 	}
 	return d, nil
+}
+
+// wireSentinels are the broker errors re-attached on the client side of
+// the TCP transport: the server serializes an error as its message
+// string, and the matching sentinel is recovered by prefix so
+// errors.Is keeps working across the wire — most importantly for
+// ErrPartitionFull, which publishers must distinguish from fatal
+// errors to retry (PublishWait) instead of failing.
+var wireSentinels = []error{
+	ErrPartitionFull, ErrNoTopic, ErrTopicExists, ErrNoPartition, ErrBadOffset, ErrClosed,
+}
+
+func wireError(msg string) error {
+	for _, s := range wireSentinels {
+		text := s.Error()
+		if msg == text {
+			return s
+		}
+		if strings.HasPrefix(msg, text+":") {
+			return fmt.Errorf("%w%s", s, msg[len(text):])
+		}
+	}
+	return errors.New(msg)
 }
 
 // pick returns the connection with the fewest in-flight requests,
@@ -624,6 +648,22 @@ func (c *Client) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 		start += n
 	}
 	return out, nil
+}
+
+// PublishWait mirrors Broker.PublishWait: the client retries while the
+// remote partition reports ErrPartitionFull, until the timeout. The
+// server holds no blocked publisher state — each retry is a fresh
+// round-trip — so a slow publisher cannot pin a server handler.
+func (c *Client) PublishWait(topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
+	return publishWait(c, topic, key, value, timeout)
+}
+
+// PublishBatchWait mirrors Broker.PublishBatchWait. Note the atomicity
+// grain: batches above maxBatchBytes are split into chunked frames, and
+// all-or-nothing holds per chunk (each chunk is one broker batch), not
+// across chunks.
+func (c *Client) PublishBatchWait(topic string, msgs []Message, timeout time.Duration) ([]PubResult, error) {
+	return publishBatchWait(c, topic, msgs, timeout)
 }
 
 // waitToMillis converts a fetch wait to whole milliseconds for the

@@ -45,7 +45,19 @@ type Transport interface {
 	CommittedOffset(group, topic string, partition int) (int64, error)
 }
 
+// WaitPublisher is the optional blocking-publish surface bounded
+// (backpressured) topics call for: a publisher that must not drop on
+// transient ErrPartitionFull uses the Wait variants, which retry until
+// the record lands or the timeout passes. Both the in-process *Broker
+// and the TCP *Client implement it.
+type WaitPublisher interface {
+	PublishWait(topic string, key, value []byte, timeout time.Duration) (int, int64, error)
+	PublishBatchWait(topic string, msgs []Message, timeout time.Duration) ([]PubResult, error)
+}
+
 var (
-	_ Transport = (*Broker)(nil)
-	_ Transport = (*Client)(nil)
+	_ Transport     = (*Broker)(nil)
+	_ Transport     = (*Client)(nil)
+	_ WaitPublisher = (*Broker)(nil)
+	_ WaitPublisher = (*Client)(nil)
 )

@@ -74,9 +74,15 @@ func NewHashDecider(fraction float64, seed uint64) (*HashDecider, error) {
 // Fraction returns the participation probability s.
 func (d *HashDecider) Fraction() float64 { return d.fraction }
 
-// Participate reports whether the client participates in the epoch. The
-// decision is a pure function of (clientID, epoch, seed).
-func (d *HashDecider) Participate(clientID string, epoch uint64) bool {
+// Uniform maps (clientID, epoch, seed) to a deterministic draw
+// u ∈ [0, 1) — the coordinate behind Participate. Exposing it lets a
+// shed threshold compose with the per-query fraction on the *same*
+// draw: the participants at effective fraction f·shed are exactly the
+// subset of the fraction-f participants with the smallest u, so
+// tightening shed only removes clients, never swaps one set for
+// another (a nested, deterministic shrink — the property that keeps
+// shedding an SRS over the population).
+func (d *HashDecider) Uniform(clientID string, epoch uint64) float64 {
 	h := fnv.New64a()
 	var buf [16]byte
 	binary.BigEndian.PutUint64(buf[:8], d.seed)
@@ -92,8 +98,23 @@ func (d *HashDecider) Participate(clientID string, epoch uint64) bool {
 	x ^= x >> 33
 	x *= 0xc4ceb9fe1a85ec53
 	x ^= x >> 33
-	u := float64(x>>11) / float64(1<<53)
-	return u < d.fraction
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Participate reports whether the client participates in the epoch. The
+// decision is a pure function of (clientID, epoch, seed).
+func (d *HashDecider) Participate(clientID string, epoch uint64) bool {
+	return d.Uniform(clientID, epoch) < d.fraction
+}
+
+// ParticipateShed is Participate at the effective fraction s·shed,
+// where shed ∈ (0, 1] is the overload-control threshold. Its
+// participants are always a subset of Participate's for the same
+// epoch (shed = 1 is exactly Participate), so overload shedding
+// composes with per-query sampling without disturbing the coin
+// streams of clients that keep participating.
+func (d *HashDecider) ParticipateShed(clientID string, epoch uint64, shed float64) bool {
+	return d.Uniform(clientID, epoch) < d.fraction*shed
 }
 
 // SumEstimate is the approximate sum τ̂ with its error bound (paper

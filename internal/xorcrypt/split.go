@@ -106,6 +106,17 @@ func (s *Splitter) nextMID() (MID, error) {
 	return mid, nil
 }
 
+// SkipMID draws and discards one identifier, advancing the MID stream
+// without splitting a message. Callers that suppress a message after
+// the participation decision (overload shedding) and callers replaying
+// history (crash-recovery fast-forward) use it to keep a deterministic
+// midSrc at the same position an unsuppressed, uninterrupted run would
+// reach — the stream position stays a function of participation alone.
+func (s *Splitter) SkipMID() error {
+	_, err := s.nextMID()
+	return err
+}
+
 // SplitScratch owns the share slice and payload buffers SplitInto
 // reuses across messages. The zero value is ready to use; buffers grow
 // on first use and are reused afterwards, so a steady-state split
