@@ -5,11 +5,12 @@
 # overload gate. `make ci` is the pre-merge check.
 
 GO ?= go
-RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/...
+RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/... ./internal/xorcrypt/...
 
 # Benchmarks whose numbers seed BENCH_hotpath.json: the per-answer hot
-# path (split, join+decrypt+decode+window, randomized response).
-HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability
+# path (split, join+decrypt+decode+window, randomized response), plus
+# the batch-size sweep of the columnar submit tail.
+HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability|BenchmarkFig8SubmitBatch
 
 .PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge bench bench-json fuzz
 
@@ -63,11 +64,11 @@ surge:
 	$(GO) test -run 'TestSurgeGate|TestSLOClosedLoopShedsAndRecovers' -count=1 ./internal/surge ./internal/core
 
 # The allocs/op regression gate: split, join, respond-bits, and
-# accumulate must stay at 0 steady-state allocations per op, and the
-# full aggregator submit tail within its small constant — with one
-# query and with several active.
+# accumulate — per-message and batch forms — must stay at 0 steady-state
+# allocations per op, the full aggregator submit tail (per-share and
+# batch) likewise, and the multi-query tail within its small constant.
 allocgate:
-	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs|TestAggregatorMultiQuerySubmitAllocs' -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs|TestAggregatorMultiQuerySubmitAllocs|TestFig8SubmitZeroAllocs|TestAggregatorSubmitBatchZeroAllocs' -count=1 .
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEpochPipelineParallel|BenchmarkTCPPipeline|BenchmarkMultiQuery' -benchmem .
@@ -96,11 +97,13 @@ bench-json:
 	@echo wrote BENCH_overload.json
 
 # Short fuzz smoke over every wire codec — the share split/join, the
-# answer message, the control-plane query-set announcement, the WAL
-# record framing — plus the SLO controller's checkpoint state.
+# answer message, the columnar publish frame (wire v2), the
+# control-plane query-set announcement, the WAL record framing — plus
+# the SLO controller's checkpoint state.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSplitJoinRoundTrip -fuzztime 10s ./internal/xorcrypt
 	$(GO) test -run '^$$' -fuzz FuzzMessageRoundTrip -fuzztime 10s ./internal/answer
+	$(GO) test -run '^$$' -fuzz FuzzFrameV2RoundTrip -fuzztime 10s ./internal/pubsub
 	$(GO) test -run '^$$' -fuzz FuzzQuerySetRoundTrip -fuzztime 10s ./internal/engine
 	$(GO) test -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzSLOControllerRestore -fuzztime 10s ./internal/budget

@@ -68,6 +68,27 @@ func TestHotPathZeroAllocs(t *testing.T) {
 		joinBuf = out
 	})
 
+	// Batch split/join — the wire-v2 columnar kernels.
+	const bcount = 16
+	bmsgs := make([]byte, bcount*len(msg))
+	var bscratch xorcrypt.SplitBatchScratch
+	gate(t, "xorcrypt.SplitBatchInto", func() {
+		if _, err := splitter.SplitBatchInto(bmsgs, len(msg), bcount, &bscratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cols, err := splitter.SplitBatchInto(bmsgs, len(msg), bcount, &bscratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate(t, "xorcrypt.JoinColumnsInto", func() {
+		out, err := xorcrypt.JoinColumnsInto(joinBuf, cols.Lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinBuf = out
+	})
+
 	// Randomized response over a packed answer vector (Table 3).
 	rz, err := rr.NewRandomizer(rr.Params{P: 0.9, Q: 0.6}, rand.New(rand.NewSource(1)))
 	if err != nil {
@@ -81,6 +102,15 @@ func TestHotPathZeroAllocs(t *testing.T) {
 		rz.RespondBits(vec.Bytes(), vec.Len())
 	})
 
+	// Batch randomized response over a packed answer lane: 16 slots of
+	// 11 bits at the wire stride.
+	const nbits = 11
+	stride := answer.EncodedLen(nbits) - answer.HeaderLen
+	lane := make([]byte, bcount*stride)
+	gate(t, "rr.RespondBitsBatch", func() {
+		rz.RespondBitsBatch(lane, stride, nbits, bcount)
+	})
+
 	// Window accumulation (Fig. 8).
 	acc, err := answer.NewAccumulator(11)
 	if err != nil {
@@ -89,6 +119,23 @@ func TestHotPathZeroAllocs(t *testing.T) {
 	gate(t, "answer.Accumulator.Add", func() {
 		if err := acc.Add(vec); err != nil {
 			t.Fatal(err)
+		}
+	})
+	gate(t, "answer.Accumulator.AddBatch", func() {
+		if err := acc.AddBatch(lane, stride, nbits, bcount); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Columnar batch encode: one fixed-stride lane per epoch flush.
+	var enc answer.BatchEncoder
+	bm := answer.Message{QueryID: 1, Epoch: 2, Answer: vec}
+	gate(t, "answer.BatchEncoder.Append", func() {
+		enc.Reset()
+		for k := 0; k < 4; k++ {
+			if err := enc.Append(&bm); err != nil {
+				t.Fatal(err)
+			}
 		}
 	})
 
@@ -228,5 +275,133 @@ func TestAggregatorMultiQuerySubmitAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(200, submit); allocs > 4 {
 		t.Errorf("multi-query aggregator submit tail: %v allocs per message, want ≤ 4", allocs)
+	}
+}
+
+// TestFig8SubmitZeroAllocs pins BenchmarkFig8Scalability's loop shape —
+// split + two per-share submits, with the joiner's replay-suppression
+// set swept periodically as an epoch timer would — at exactly zero
+// steady-state allocations per message. Without the sweep the
+// completed-MID map grows monotonically and its bucket growth leaks
+// back in as phantom B/op.
+func TestFig8SubmitZeroAllocs(t *testing.T) {
+	q, err := workload.TaxiQuery("gate", 1, time.Second, time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregator.New(aggregator.Config{
+		Query:      q,
+		Params:     budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}},
+		Population: 1 << 20,
+		Proxies:    2,
+		Origin:     time.Unix(0, 0),
+		Seed:       9,
+		Shards:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitter, err := xorcrypt.NewSplitter(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := answer.OneHot(11, 0)
+	raw, err := (&answer.Message{QueryID: q.QID.Uint64(), Epoch: 0, Answer: vec}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(10, 0)
+	var scratch xorcrypt.SplitScratch
+	n := 0
+	submit := func() {
+		shares, err := splitter.SplitInto(raw, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src, sh := range shares {
+			if _, err := agg.SubmitShare(sh, src, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n++
+		if n%64 == 0 {
+			agg.SweepJoins(now.Add(2 * time.Hour))
+		}
+	}
+	// Warm past several sweep cycles so the join maps reach their
+	// steady-state footprint.
+	for i := 0; i < 256; i++ {
+		submit()
+	}
+	if allocs := testing.AllocsPerRun(200, submit); allocs != 0 {
+		t.Errorf("Fig 8 submit tail: %v allocs per message, want 0", allocs)
+	}
+}
+
+// TestAggregatorSubmitBatchZeroAllocs holds the vectorized tail — one
+// columnar split plus one SubmitShareBatch per proxy lane, sweeping
+// periodically — at exactly zero steady-state allocations per batch.
+func TestAggregatorSubmitBatchZeroAllocs(t *testing.T) {
+	q, err := workload.TaxiQuery("gate", 1, time.Second, time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregator.New(aggregator.Config{
+		Query:      q,
+		Params:     budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}},
+		Population: 1 << 20,
+		Proxies:    2,
+		Origin:     time.Unix(0, 0),
+		Seed:       9,
+		Shards:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitter, err := xorcrypt.NewSplitter(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := answer.OneHot(11, 0)
+	raw, err := (&answer.Message{QueryID: q.QID.Uint64(), Epoch: 0, Answer: vec}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	size := len(raw)
+	msgs := make([]byte, 0, batch*size)
+	for k := 0; k < batch; k++ {
+		msgs = append(msgs, raw...)
+	}
+	shares := make([][]xorcrypt.Share, 2)
+	for src := range shares {
+		shares[src] = make([]xorcrypt.Share, batch)
+	}
+	now := time.Unix(10, 0)
+	var scratch xorcrypt.SplitBatchScratch
+	n := 0
+	submit := func() {
+		cols, err := splitter.SplitBatchInto(msgs, size, batch, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := range shares {
+			for k := 0; k < batch; k++ {
+				shares[src][k] = cols.Share(src, k)
+			}
+			if _, err := agg.SubmitShareBatch(shares[src], src, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n++
+		if n%4 == 0 {
+			agg.SweepJoins(now.Add(2 * time.Hour))
+		}
+	}
+	for i := 0; i < 16; i++ {
+		submit()
+	}
+	if allocs := testing.AllocsPerRun(50, submit); allocs != 0 {
+		t.Errorf("batch submit tail: %v allocs per batch, want 0", allocs)
 	}
 }

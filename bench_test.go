@@ -596,6 +596,84 @@ func BenchmarkFig8Scalability(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		// Sweep the joiner's replay-suppression set periodically, as a
+		// long-lived deployment's epoch timer does — without it the
+		// completed-MID map grows monotonically and its bucket growth
+		// shows up as phantom B/op in what is a zero-allocation tail
+		// (TestFig8SubmitZeroAllocs pins the steady state at exactly 0).
+		if i%4096 == 4095 {
+			agg.SweepJoins(now.Add(2 * time.Hour))
+		}
+	}
+}
+
+// BenchmarkFig8SubmitBatch is the batch-granular Fig 8: one columnar
+// split fans a whole batch into per-proxy lanes, and the aggregator
+// consumes each lane through the vectorized join → decrypt → decode →
+// accumulate tail. The per-batch-size sweep records the amortization
+// frontier (ns/answer vs batch) in BENCH_hotpath.json.
+func BenchmarkFig8SubmitBatch(b *testing.B) {
+	for _, batch := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			q, err := workload.TaxiQuery("bench", 1, time.Second, time.Hour, time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg, err := aggregator.New(aggregator.Config{
+				Query:      q,
+				Params:     budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}},
+				Population: 1 << 30,
+				Proxies:    2,
+				Origin:     time.Unix(0, 0),
+				Seed:       9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			splitter, err := xorcrypt.NewSplitter(2, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vec, _ := answer.OneHot(11, 0)
+			raw, err := (&answer.Message{QueryID: q.QID.Uint64(), Epoch: 0, Answer: vec}).MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			size := len(raw)
+			msgs := make([]byte, 0, batch*size)
+			for k := 0; k < batch; k++ {
+				msgs = append(msgs, raw...)
+			}
+			shares := make([][]xorcrypt.Share, 2)
+			for src := range shares {
+				shares[src] = make([]xorcrypt.Share, batch)
+			}
+			now := time.Now()
+			var scratch xorcrypt.SplitBatchScratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cols, err := splitter.SplitBatchInto(msgs, size, batch, &scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for src := range shares {
+					for k := 0; k < batch; k++ {
+						shares[src][k] = cols.Share(src, k)
+					}
+					if _, err := agg.SubmitShareBatch(shares[src], src, now); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if i%64 == 63 {
+					agg.SweepJoins(now.Add(2 * time.Hour))
+				}
+			}
+			b.StopTimer()
+			answers := float64(batch) * float64(b.N)
+			b.ReportMetric(answers/b.Elapsed().Seconds(), "answers/sec")
+			b.ReportMetric(b.Elapsed().Seconds()/answers*1e9, "ns/answer")
+		})
 	}
 }
 

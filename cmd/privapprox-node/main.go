@@ -60,7 +60,25 @@ import (
 	"privapprox/internal/rr"
 	"privapprox/internal/wal"
 	"privapprox/internal/workload"
+	"privapprox/internal/xorcrypt"
 )
+
+// decodeShareBatch decodes one polled record batch into the reusable
+// shares slice for a single batch submission. On a decode error the
+// prefix decoded so far is returned alongside the error so the caller
+// can still submit it — the same partial progress as record-at-a-time
+// decoding.
+func decodeShareBatch(recs []pubsub.Record, shares []xorcrypt.Share) ([]xorcrypt.Share, error) {
+	shares = shares[:0]
+	for _, rec := range recs {
+		share, err := proxy.DecodeRecord(rec)
+		if err != nil {
+			return shares, err
+		}
+		shares = append(shares, share)
+	}
+	return shares, nil
+}
 
 // defaultOrigin matches core.Config's default so the in-process and
 // networked pipelines line up epoch for epoch.
@@ -588,6 +606,7 @@ func runAggregator(args []string) error {
 	}
 
 	lastProgress := time.Now()
+	var shares []xorcrypt.Share
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, *idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < *idle {
 		progressed := false
@@ -596,17 +615,15 @@ func runAggregator(args []string) error {
 			if err != nil {
 				return err
 			}
-			now := time.Now()
-			for _, rec := range recs {
-				share, err := proxy.DecodeRecord(rec)
-				if err != nil {
-					return err
-				}
-				results, err := agg.SubmitShare(share, src, now)
-				if err != nil {
-					return err
-				}
-				printResults(results)
+			var decErr error
+			shares, decErr = decodeShareBatch(recs, shares)
+			results, err := agg.SubmitShareBatch(shares, src, time.Now())
+			if err != nil {
+				return err
+			}
+			printResults(results)
+			if decErr != nil {
+				return decErr
 			}
 			if len(recs) > 0 {
 				progressed = true
@@ -690,6 +707,7 @@ func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Agg
 	}
 
 	lastProgress := time.Now()
+	var shares []xorcrypt.Share
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < idle {
 		progressed := false
@@ -698,17 +716,15 @@ func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Agg
 			if err != nil {
 				return err
 			}
-			now := time.Now()
-			for _, rec := range recs {
-				share, err := proxy.DecodeRecord(rec)
-				if err != nil {
-					return err
-				}
-				res, err := agg.SubmitShare(share, src, now)
-				if err != nil {
-					return err
-				}
-				results = append(results, res...)
+			var decErr error
+			shares, decErr = decodeShareBatch(recs, shares)
+			res, err := agg.SubmitShareBatch(shares, src, time.Now())
+			results = append(results, res...)
+			if err != nil {
+				return err
+			}
+			if decErr != nil {
+				return decErr
 			}
 			if len(recs) > 0 {
 				progressed = true

@@ -1,0 +1,314 @@
+package aggregator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"privapprox/internal/answer"
+	"privapprox/internal/stream"
+	"privapprox/internal/xorcrypt"
+)
+
+// This file is the batch-granular form of the submit tail: where
+// SubmitShare runs join → decrypt → decode → demux → accumulate once
+// per share, SubmitShareBatch consumes a whole polled batch in two
+// phases — a record-order join pass that gathers completed groups into
+// contiguous per-source lanes, and a vectorized tail that XOR-joins
+// each lane region in one pass, decodes the packed slots, and folds
+// consecutive same-(query, epoch) slots into their windows with one
+// accumulator lock acquisition per segment.
+//
+// Equivalence contract: for a fixed submission sequence the batch path
+// is observably identical to the same shares submitted one at a time —
+// same fired results, same counters, same OnDecoded sequence. Phase A
+// preserves record order exactly (groups complete on the same share,
+// in the same order, as under per-share submission), and Phase B's
+// per-segment batching is safe because all slots of a segment share
+// one event time: a late verdict at the segment head holds for every
+// slot (the watermark only advances on observe, which runs after the
+// segment), a window that would refuse the first slot refuses all of
+// them, and per-bucket counts are integer sums, so one AddBatch equals
+// count sequential Adds. Observing once per segment instead of once
+// per slot is also equivalent — re-observing an already-observed event
+// time never advances the watermark, so only the first observation of
+// the segment could fire, and it runs against the same watermark
+// either way.
+
+// batchRun is one uniform-stride region of the Phase A lanes: count
+// completed join groups of size-byte payloads, starting at byte offset
+// off in every lane. Runs seal on payload-size change so Phase B can
+// XOR whole regions without per-message re-slicing.
+type batchRun struct {
+	off   int
+	size  int
+	count int
+}
+
+// submitScratch is the reusable working set of one SubmitShareBatch
+// call: per-source completion lanes, run metadata, the joined-plaintext
+// buffer, and the decode scratch the per-share path keeps per shard.
+// Pooled so concurrent drain goroutines never share one.
+type submitScratch struct {
+	lanes [][]byte
+	views [][]byte
+	runs  []batchRun
+	plain []byte
+	vec   answer.BitVector
+	msg   answer.Message
+	wins  []stream.Window
+}
+
+var submitScratchPool = sync.Pool{New: func() any { return &submitScratch{} }}
+
+// getScratch pops a pooled scratch shaped for n source lanes.
+func getScratch(n int) *submitScratch {
+	sc := submitScratchPool.Get().(*submitScratch)
+	if cap(sc.lanes) < n {
+		sc.lanes = make([][]byte, n)
+		sc.views = make([][]byte, n)
+	}
+	sc.lanes = sc.lanes[:n]
+	sc.views = sc.views[:n]
+	for i := range sc.lanes {
+		sc.lanes[i] = sc.lanes[i][:0]
+	}
+	sc.runs = sc.runs[:0]
+	return sc
+}
+
+// putScratch returns a scratch to the pool, dropping payload views but
+// keeping lane capacity for the next batch.
+func putScratch(sc *submitScratch) {
+	for i := range sc.views {
+		sc.views[i] = nil
+	}
+	submitScratchPool.Put(sc)
+}
+
+// SubmitShareBatch folds in a whole batch of shares from proxy stream
+// source — the batch-granular form of SubmitShare, with identical
+// semantics: results fired by the batch are returned in fire order
+// (exactly the concatenation of what per-share submission would have
+// returned), duplicates and malformed messages are counted, and
+// ownership of every share payload transfers to the aggregator. An
+// empty batch is a no-op.
+//
+// The batch is processed in share order, so a caller draining a polled
+// partition batch observes the same watermark advancement, late drops,
+// and fired windows as submitting share-by-share — poll chunking does
+// not affect results.
+func (a *Aggregator) SubmitShareBatch(shares []xorcrypt.Share, source int, arrival time.Time) ([]Result, error) {
+	if len(shares) == 0 {
+		return nil, nil
+	}
+	if source < 0 || source >= a.cfg.Proxies {
+		return nil, fmt.Errorf("%w: source %d of %d", stream.ErrJoinArity, source, a.cfg.Proxies)
+	}
+	sc := getScratch(a.cfg.Proxies)
+	defer putScratch(sc)
+
+	// Phase A: record-order join under shard locks, held over across
+	// consecutive same-shard shares. Completed groups' payloads are
+	// copied into contiguous per-source lanes in completion order and
+	// the groups recycled immediately; runs seal on size change.
+	var pendErr error
+	cur := -1
+	for _, sh := range shares {
+		shard := a.shardOf(sh.MID)
+		if shard != cur {
+			if cur >= 0 {
+				a.shards[cur].mu.Unlock()
+			}
+			a.shards[shard].mu.Lock()
+			cur = shard
+		}
+		joined, err := a.shards[shard].joiner.Add(sh.MID, source, sh.Payload, arrival)
+		if err != nil {
+			if errors.Is(err, stream.ErrDuplicate) {
+				a.duplicates.Add(1)
+				continue
+			}
+			pendErr = err
+			break
+		}
+		if joined == nil {
+			continue
+		}
+		// Uniformity check — exactly the per-message join's error
+		// conditions (empty or mismatched share lengths → malformed).
+		size := len(joined.Payloads[0])
+		uniform := size > 0
+		for _, p := range joined.Payloads[1:] {
+			if len(p) != size {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			a.shards[shard].joiner.Recycle(joined)
+			a.malformed.Add(1)
+			continue
+		}
+		if nr := len(sc.runs); nr == 0 || sc.runs[nr-1].size != size {
+			sc.runs = append(sc.runs, batchRun{off: len(sc.lanes[0]), size: size})
+		}
+		for i, p := range joined.Payloads {
+			sc.lanes[i] = append(sc.lanes[i], p...)
+		}
+		sc.runs[len(sc.runs)-1].count++
+		a.shards[shard].joiner.Recycle(joined)
+	}
+	if cur >= 0 {
+		a.shards[cur].mu.Unlock()
+	}
+
+	// Phase B: per run, one span XOR per lane recovers the packed
+	// plaintext batch; slots decode in order and consecutive
+	// same-(query, epoch) slots ingest as one segment. No shard lock is
+	// held here — the lanes are caller-local.
+	var out []Result
+	var unknown, badlen int64
+	for _, run := range sc.runs {
+		span := run.size * run.count
+		for i := range sc.lanes {
+			sc.views[i] = sc.lanes[i][run.off : run.off+span]
+		}
+		plain, err := xorcrypt.JoinColumnsInto(sc.plain[:0], sc.views)
+		if plain != nil {
+			sc.plain = plain
+		}
+		if err != nil {
+			a.malformed.Add(int64(run.count))
+			continue
+		}
+		segStart := -1
+		var segState *queryState
+		var segEpoch uint64
+		for k := 0; k < run.count; k++ {
+			slot := plain[k*run.size : (k+1)*run.size]
+			var st *queryState
+			var epoch uint64
+			good := false
+			if err := sc.msg.UnmarshalBinaryView(slot, &sc.vec); err != nil {
+				a.malformed.Add(1)
+			} else if qs := a.stateFor(sc.msg.QueryID); qs == nil {
+				unknown++
+			} else if sc.msg.Answer.Len() != qs.nbuckets {
+				badlen++
+			} else {
+				st, epoch, good = qs, sc.msg.Epoch, true
+			}
+			if segStart >= 0 && (!good || st != segState || epoch != segEpoch) {
+				out, err = a.ingestSegment(sc, segState, segEpoch, plain, segStart, k, run.size, out)
+				if err != nil {
+					a.foldDemuxDrops(unknown, badlen)
+					return out, err
+				}
+				segStart = -1
+			}
+			if good && segStart < 0 {
+				segStart, segState, segEpoch = k, st, epoch
+			}
+		}
+		if segStart >= 0 {
+			var err error
+			out, err = a.ingestSegment(sc, segState, segEpoch, plain, segStart, run.count, run.size, out)
+			if err != nil {
+				a.foldDemuxDrops(unknown, badlen)
+				return out, err
+			}
+		}
+	}
+	a.foldDemuxDrops(unknown, badlen)
+	return out, pendErr
+}
+
+// foldDemuxDrops folds a batch's demux drop counts into a shard's
+// lock-guarded counters (attribution to shard 0 is arbitrary — Stats
+// only ever reports the sum).
+func (a *Aggregator) foldDemuxDrops(unknown, badlen int64) {
+	if unknown == 0 && badlen == 0 {
+		return
+	}
+	js := &a.shards[0]
+	js.mu.Lock()
+	js.unknownQID += unknown
+	js.badLength += badlen
+	js.mu.Unlock()
+}
+
+// ingestSegment assigns slots [start, end) of a packed plaintext run —
+// all decoded, all of one query and epoch — to the query's windows with
+// one accumulator batch-fold per window, then advances the watermark
+// once. Mirrors ingest exactly (see the equivalence contract at the top
+// of this file); results fired by the advance are appended to out.
+func (a *Aggregator) ingestSegment(sc *submitScratch, st *queryState, epoch uint64, plain []byte, start, end, size int, out []Result) ([]Result, error) {
+	count := end - start
+	st.decoded.Add(int64(count))
+	eventTime := a.cfg.Origin.Add(time.Duration(epoch) * st.q.Frequency)
+	if a.cfg.OnDecoded != nil {
+		// Per slot, in order: the hook sees the same sequence as the
+		// per-share path. Ownership contract: the slot bytes are batch
+		// scratch, valid only for the duration of the callback.
+		for k := start; k < end; k++ {
+			a.cfg.OnDecoded(plain[k*size:(k+1)*size], eventTime)
+		}
+	}
+	if st.isLate(eventTime) {
+		st.dropped.Add(int64(count))
+		return out, nil
+	}
+
+	refused := false
+	sc.wins = st.assigner.AppendWindowsFor(sc.wins[:0], eventTime)
+	lane := plain[start*size+answer.HeaderLen:]
+	for _, w := range sc.wins {
+		ow := a.openWindowFor(st, w)
+		if ow == nil {
+			refused = true
+			continue
+		}
+		// Any stable shard target yields identical merged counts; the
+		// whole segment folds into shard 0 under one lock acquisition.
+		if err := ow.acc.AddBatch(0, lane, size, st.nbuckets, count); err != nil {
+			// ErrClosed: the window fired between lookup and fold — the
+			// whole segment is late there, same as the per-share path.
+			if errors.Is(err, answer.ErrClosed) {
+				refused = true
+			}
+		}
+	}
+	if refused {
+		st.dropped.Add(int64(count))
+	}
+
+	if !st.observe(eventTime) {
+		return out, nil
+	}
+	st.fireMu.Lock()
+	res, err := a.fireLocked(st, false)
+	st.fireMu.Unlock()
+	if err != nil {
+		return out, err
+	}
+	return append(out, res...), nil
+}
+
+// SweepJoins drops partial join groups whose first share arrived before
+// cutoff and forgets completed keys past the retain horizon, across all
+// shards — the bounded-memory half of AdvanceTo without its watermark
+// effects, for callers (long-running single-epoch drains, benchmarks)
+// that must reclaim join state without closing windows. It returns the
+// number of dropped partial groups.
+func (a *Aggregator) SweepJoins(cutoff time.Time) int {
+	dropped := 0
+	for i := range a.shards {
+		js := &a.shards[i]
+		js.mu.Lock()
+		dropped += js.joiner.Sweep(cutoff)
+		js.mu.Unlock()
+	}
+	return dropped
+}

@@ -1,0 +1,92 @@
+package answer
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file is the batch-granular half of the accumulate kernel: where
+// Add folds one decoded vector per call, AddBatch strides a contiguous
+// lane of count decoded messages and folds every answer in one pass,
+// entering the shard lock (ShardedAccumulator.AddBatch) once per batch
+// instead of once per message. Folding is integer addition, so a batch
+// fold is exactly equivalent to count sequential Add calls.
+
+// AddBatch folds count answer vectors laid out at a fixed stride inside
+// lane: slot s occupies lane[s*stride : s*stride+ceil(nbits/8)]. Every
+// slot must satisfy the zeroed-trailing-bits invariant (SetView and
+// FromBytes establish it; the aggregator decodes each slot before
+// accumulating) — like fold, a violation panics rather than silently
+// miscounting buckets.
+func (a *Accumulator) AddBatch(lane []byte, stride, nbits, count int) error {
+	nbytes, err := a.checkBatch(lane, stride, nbits, count)
+	if err != nil || count == 0 {
+		return err
+	}
+	mask := trailingMask(nbits)
+	yes := a.yes
+	for s := 0; s < count; s++ {
+		slot := lane[s*stride : s*stride+nbytes]
+		if slot[nbytes-1]&^mask != 0 {
+			panic("answer: BitVector trailing bits past Len() are set")
+		}
+		for bi, b := range slot {
+			for ; b != 0; b &= b - 1 {
+				yes[bi*8+bits.TrailingZeros8(b)]++
+			}
+		}
+	}
+	a.n += count
+	return nil
+}
+
+// checkBatch validates a lane description and returns the packed byte
+// width of one answer vector.
+func (a *Accumulator) checkBatch(lane []byte, stride, nbits, count int) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("%w: batch of %d answers", ErrSize, count)
+	}
+	if nbits != len(a.yes) {
+		return 0, fmt.Errorf("%w: vector %d bits, accumulator %d buckets", ErrSize, nbits, len(a.yes))
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	nbytes := (nbits + 7) / 8
+	if stride < nbytes {
+		return 0, fmt.Errorf("%w: stride %d below %d answer bytes", ErrSize, stride, nbytes)
+	}
+	if need := (count-1)*stride + nbytes; len(lane) < need {
+		return 0, fmt.Errorf("%w: %d-byte lane for %d slots of stride %d", ErrSize, len(lane), count, stride)
+	}
+	return nbytes, nil
+}
+
+// trailingMask returns the valid-bit mask of the final packed byte.
+func trailingMask(nbits int) byte {
+	if rem := nbits % 8; rem != 0 {
+		return byte(1)<<rem - 1
+	}
+	return 0xff
+}
+
+// AddBatch folds a whole decoded lane into shard i under one lock
+// acquisition. It is all-or-nothing: after CloseAndMerge the entire
+// batch fails with ErrClosed and no counts are mutated, mirroring the
+// per-message Add contract. Any stable shard assignment yields
+// identical merged counts, so batch callers may fold a full segment
+// into a single shard.
+func (s *ShardedAccumulator) AddBatch(shard int, lane []byte, stride, nbits, count int) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("%w: shard %d of %d", ErrSize, shard, len(s.shards))
+	}
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	err := sh.acc.AddBatch(lane, stride, nbits, count)
+	sh.mu.Unlock()
+	return err
+}

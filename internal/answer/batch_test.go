@@ -1,0 +1,225 @@
+package answer
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randVec returns a random nbits-wide vector (trailing bits zeroed by
+// construction through FromBytes).
+func randVec(t *testing.T, rng *rand.Rand, nbits int) *BitVector {
+	t.Helper()
+	raw := make([]byte, (nbits+7)/8)
+	rng.Read(raw)
+	v, err := FromBytes(raw, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestAddBatchMatchesSequentialAdd: folding a packed lane in one AddBatch
+// call must produce exactly the counts of per-vector Add calls, for
+// byte-aligned and non-byte-aligned widths and strides with slack.
+func TestAddBatchMatchesSequentialAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, nbits := range []int{1, 7, 8, 11, 64, 65} {
+		for _, pad := range []int{0, 3, HeaderLen} {
+			nbytes := (nbits + 7) / 8
+			stride := nbytes + pad
+			const count = 9
+			lane := make([]byte, count*stride)
+			seq, err := NewAccumulator(nbits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < count; s++ {
+				v := randVec(t, rng, nbits)
+				copy(lane[s*stride:], v.Bytes())
+				if err := seq.Add(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			bat, err := NewAccumulator(nbits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bat.AddBatch(lane, stride, nbits, count); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.YesCounts(), bat.YesCounts()) || seq.N() != bat.N() {
+				t.Fatalf("nbits=%d stride=%d: batch %v/%d vs sequential %v/%d",
+					nbits, stride, bat.YesCounts(), bat.N(), seq.YesCounts(), seq.N())
+			}
+		}
+	}
+}
+
+// TestAddBatchEdges: empty batches are no-ops, one-slot batches equal one
+// Add, and malformed lane geometry is rejected without mutation.
+func TestAddBatchEdges(t *testing.T) {
+	a, err := NewAccumulator(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBatch(nil, 2, 11, 0); err != nil || a.N() != 0 {
+		t.Fatalf("empty batch: n=%d err=%v", a.N(), err)
+	}
+	v, err := OneHot(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBatch(v.Bytes(), 2, 11, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 1 || a.Yes(3) != 1 {
+		t.Fatalf("single-slot batch: n=%d yes(3)=%d", a.N(), a.Yes(3))
+	}
+	for _, tc := range []struct {
+		name          string
+		lane          []byte
+		stride, nbits int
+		count         int
+	}{
+		{"negative count", make([]byte, 4), 2, 11, -1},
+		{"nbits mismatch", make([]byte, 4), 2, 12, 2},
+		{"stride below width", make([]byte, 4), 1, 11, 2},
+		{"short lane", make([]byte, 3), 2, 11, 2},
+	} {
+		if err := a.AddBatch(tc.lane, tc.stride, tc.nbits, tc.count); !errors.Is(err, ErrSize) {
+			t.Errorf("%s: err=%v", tc.name, err)
+		}
+	}
+	if a.N() != 1 {
+		t.Fatalf("rejected batches mutated the accumulator: n=%d", a.N())
+	}
+}
+
+// TestAddBatchPanicsOnTrailingGarbage: non-lane-aligned widths leave
+// slack bits in the final packed byte; a set bit there means the caller
+// skipped decoding and must panic, exactly like the per-vector fold.
+func TestAddBatchPanicsOnTrailingGarbage(t *testing.T) {
+	a, err := NewAccumulator(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := []byte{0x01, 0x08} // bit 11 set: past Len()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddBatch accepted trailing garbage bits")
+		}
+	}()
+	_ = a.AddBatch(lane, 2, 11, 1)
+}
+
+// TestShardedAddBatch: one lock per batch, same counts as per-message
+// sharded adds, all-or-nothing after close, shard index validated.
+func TestShardedAddBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const nbits, count = 13, 6
+	nbytes := (nbits + 7) / 8
+	lane := make([]byte, count*nbytes)
+	ref, err := NewShardedAccumulator(nbits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < count; s++ {
+		v := randVec(t, rng, nbits)
+		copy(lane[s*nbytes:], v.Bytes())
+		if err := ref.Add(s%4, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh, err := NewShardedAccumulator(nbits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddBatch(4, lane, nbytes, nbits, count); !errors.Is(err, ErrSize) {
+		t.Fatalf("out-of-range shard: %v", err)
+	}
+	if err := sh.AddBatch(1, lane, nbytes, nbits, count); err != nil {
+		t.Fatal(err)
+	}
+	mRef, err := ref.CloseAndMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSh, err := sh.CloseAndMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mRef.YesCounts(), mSh.YesCounts()) || mRef.N() != mSh.N() {
+		t.Fatalf("sharded batch counts diverge: %v vs %v", mSh.YesCounts(), mRef.YesCounts())
+	}
+	if err := sh.AddBatch(1, lane, nbytes, nbits, count); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed shard accepted a batch: %v", err)
+	}
+}
+
+// TestBatchEncoderShape: the encoder fixes (query, width) at the first
+// Append and rejects mixed-query and mixed-width batches at encode time —
+// the constraint that makes fixed-stride lanes a same-query guarantee.
+func TestBatchEncoderShape(t *testing.T) {
+	vec5, err := OneHot(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec9, err := OneHot(9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e BatchEncoder
+	if e.Stride() != 0 || e.Count() != 0 {
+		t.Fatalf("zero-value encoder: stride=%d count=%d", e.Stride(), e.Count())
+	}
+	if err := e.Append(&Message{QueryID: 7, Epoch: 1, Answer: vec5}); err != nil {
+		t.Fatal(err)
+	}
+	// Epochs may vary freely within a batch.
+	if err := e.Append(&Message{QueryID: 7, Epoch: 2, Answer: vec5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(&Message{QueryID: 8, Epoch: 1, Answer: vec5}); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("mixed query: %v", err)
+	}
+	if err := e.Append(&Message{QueryID: 7, Epoch: 1, Answer: vec9}); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("mixed width: %v", err)
+	}
+	if err := e.Append(&Message{QueryID: 7, Epoch: 1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("nil answer: %v", err)
+	}
+	if e.Count() != 2 || e.Stride() != EncodedLen(5) {
+		t.Fatalf("rejected messages altered the lane: count=%d stride=%d", e.Count(), e.Stride())
+	}
+	// Every accepted slot decodes back to its message.
+	lane := e.Bytes()
+	if len(lane) != e.Count()*e.Stride() {
+		t.Fatalf("lane length %d for %d×%d", len(lane), e.Count(), e.Stride())
+	}
+	for k := 0; k < e.Count(); k++ {
+		var m Message
+		if err := m.UnmarshalBinary(lane[k*e.Stride() : (k+1)*e.Stride()]); err != nil {
+			t.Fatal(err)
+		}
+		if m.QueryID != 7 || m.Epoch != uint64(k+1) || !m.Answer.Equal(vec5) {
+			t.Fatalf("slot %d decoded to %+v", k, m)
+		}
+	}
+	// Reset clears the shape: a different query is welcome again.
+	e.Reset()
+	if err := e.Append(&Message{QueryID: 9, Epoch: 3, Answer: vec9}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stride() != EncodedLen(9) || e.Count() != 1 {
+		t.Fatalf("post-reset shape: count=%d stride=%d", e.Count(), e.Stride())
+	}
+	// The answer lane inside each slot sits at HeaderLen, the offset the
+	// batch accumulate path relies on.
+	raw := e.Bytes()
+	if !bytes.Equal(raw[HeaderLen:HeaderLen+2], vec9.Bytes()) {
+		t.Fatal("answer bytes not at HeaderLen inside the slot")
+	}
+}

@@ -22,6 +22,13 @@ type Message struct {
 // wire layout: qid(8) | epoch(8) | nbits(4) | packed answer bytes.
 const msgHeaderLen = 8 + 8 + 4
 
+// HeaderLen is the fixed wire-header length preceding the packed answer
+// bits in every encoded Message. Batch consumers use it to locate the
+// answer lane inside a packed slot: in a batch of same-query messages at
+// stride EncodedLen(nbits), slot k's answer bytes start at
+// k*stride+HeaderLen.
+const HeaderLen = msgHeaderLen
+
 // ErrCorrupt reports a malformed wire message.
 var ErrCorrupt = errors.New("answer: corrupt message")
 

@@ -14,20 +14,33 @@ type BatchSink interface {
 	SubmitBatch(shares []xorcrypt.Share) error
 }
 
+// ColumnSink is the columnar flush surface — proxy.Proxy implements it
+// on top of the wire-v2 publish path. A call hands over count shares as
+// two contiguous lanes: MIDs at a xorcrypt.MIDSize stride and payloads
+// at a size-byte stride. Like SubmitBatch, the sink must fully consume
+// both lanes before returning; they belong to the caller.
+type ColumnSink interface {
+	SubmitColumns(mids, payloads []byte, count, size int) error
+}
+
 // Batcher is a ShareSink that buffers submitted shares and forwards
-// them to the underlying BatchSink in batches: automatically whenever
-// limit shares have accumulated (0 means no automatic flush), and on
-// Flush. It is safe for concurrent use, so a worker pool of clients can
-// share one Batcher per proxy; the epoch driver calls Flush once after
-// all clients answered, turning an epoch's O(N) proxy round-trips into
+// them to the underlying sink in batches: automatically whenever limit
+// shares have accumulated (0 means no automatic flush), and on Flush.
+// It is safe for concurrent use, so a worker pool of clients can share
+// one Batcher per proxy; the epoch driver calls Flush once after all
+// clients answered, turning an epoch's O(N) proxy round-trips into
 // O(1).
 //
-// Submit copies each share's payload into a batch-owned arena, so it
-// honours the ShareSink ownership contract (clients reuse their split
-// scratch immediately) without holding references into caller buffers.
-// Batch buffers — the share slice and the arena — are recycled through
-// a free list once the sink consumed them, so steady-state epochs reuse
-// the same memory instead of reallocating it.
+// Submit copies each share directly into the columnar layout wire v2
+// carries: per payload size, one contiguous MID lane and one contiguous
+// payload lane (the arena). Fixed stride is a per-segment property, so
+// a batch mixing query shapes simply fills one segment per shape, in
+// first-seen order. Flush hands whole segments to a ColumnSink without
+// re-slicing; for a sink without the columnar surface it materializes
+// per-share views of the lanes and falls back to SubmitBatch. Either
+// way the ShareSink ownership contract holds: callers reuse their split
+// scratch immediately, and batch buffers are recycled through a free
+// list once the sink consumed them.
 type Batcher struct {
 	sink  BatchSink
 	limit int
@@ -37,11 +50,41 @@ type Batcher struct {
 	free []*batchBuf
 }
 
-// batchBuf is one batch in flight: the share headers plus the arena
-// their payload bytes were copied into.
+// batchBuf is one batch in flight: columnar segments (segs[:nseg]
+// active; entries past nseg keep recycled lane capacity from earlier
+// epochs, since a steady-state batch repeats the same shape) plus a
+// scratch share slice for the row-view fallback.
 type batchBuf struct {
+	segs   []colSeg
+	nseg   int
+	count  int
 	shares []xorcrypt.Share
-	arena  []byte
+}
+
+// colSeg is one fixed-stride segment: count shares of size-byte
+// payloads, laid out as two contiguous lanes.
+type colSeg struct {
+	size  int
+	count int
+	mids  []byte
+	vals  []byte
+}
+
+// seg returns the segment for payloads of the given size, reusing a
+// recycled entry's lane capacity when possible.
+func (buf *batchBuf) seg(size int) *colSeg {
+	for i := range buf.segs[:buf.nseg] {
+		if buf.segs[i].size == size {
+			return &buf.segs[i]
+		}
+	}
+	if buf.nseg == len(buf.segs) {
+		buf.segs = append(buf.segs, colSeg{})
+	}
+	s := &buf.segs[buf.nseg]
+	s.size = size
+	buf.nseg++
+	return s
 }
 
 // NewBatcher wraps sink in a Batcher that auto-flushes every limit
@@ -51,8 +94,10 @@ func NewBatcher(sink BatchSink, limit int) *Batcher {
 	return &Batcher{sink: sink, limit: limit}
 }
 
-// Submit copies one share into the current batch, flushing if the batch
-// limit is reached. The caller keeps ownership of share.Payload.
+// Submit copies one share into the current batch's columnar lanes,
+// flushing if the batch limit is reached. The caller keeps ownership of
+// share.Payload. (Lane growth may reallocate; that is safe because the
+// lanes are append-only until the batch is flushed and recycled.)
 func (b *Batcher) Submit(share xorcrypt.Share) error {
 	b.mu.Lock()
 	buf := b.cur
@@ -60,24 +105,20 @@ func (b *Batcher) Submit(share xorcrypt.Share) error {
 		buf = b.getBufLocked()
 		b.cur = buf
 	}
-	off := len(buf.arena)
-	buf.arena = append(buf.arena, share.Payload...)
-	// Full-slice expression: the stored payload can never grow into a
-	// neighbour's bytes. (Arena growth may reallocate; earlier payload
-	// headers keep pointing at the old array, whose bytes are already
-	// final — the arena is append-only until recycled.)
-	buf.shares = append(buf.shares, xorcrypt.Share{
-		MID:     share.MID,
-		Payload: buf.arena[off:len(buf.arena):len(buf.arena)],
-	})
-	if b.limit > 0 && len(buf.shares) >= b.limit {
+	seg := buf.seg(len(share.Payload))
+	seg.mids = append(seg.mids, share.MID[:]...)
+	seg.vals = append(seg.vals, share.Payload...)
+	seg.count++
+	buf.count++
+	if b.limit > 0 && buf.count >= b.limit {
 		return b.flushLocked()
 	}
 	b.mu.Unlock()
 	return nil
 }
 
-// Flush forwards everything buffered to the sink as one batch.
+// Flush forwards everything buffered to the sink as one batch (one
+// columnar call per segment, or one SubmitBatch for row sinks).
 func (b *Batcher) Flush() error {
 	b.mu.Lock()
 	return b.flushLocked()
@@ -90,26 +131,46 @@ func (b *Batcher) Pending() int {
 	if b.cur == nil {
 		return 0
 	}
-	return len(b.cur.shares)
+	return b.cur.count
 }
 
 // flushLocked sends the current batch and releases b.mu. The send
 // happens outside the lock so a slow sink does not serialize other
-// submitters; swapping the whole batchBuf (shares and arena together)
-// keeps batches disjoint. Once the sink returns — having copied or
-// consumed the batch per the BatchSink contract — the buffer goes back
-// on the free list for the next epoch.
+// submitters; swapping the whole batchBuf keeps batches disjoint. Once
+// the sink returns — having copied or consumed the batch per its
+// contract — the buffer goes back on the free list for the next epoch.
 func (b *Batcher) flushLocked() error {
 	buf := b.cur
 	b.cur = nil
 	b.mu.Unlock()
-	if buf == nil || len(buf.shares) == 0 {
+	if buf == nil || buf.count == 0 {
 		if buf != nil {
 			b.putBuf(buf)
 		}
 		return nil
 	}
-	err := b.sink.SubmitBatch(buf.shares)
+	var err error
+	if cs, ok := b.sink.(ColumnSink); ok {
+		for i := range buf.segs[:buf.nseg] {
+			seg := &buf.segs[i]
+			if err = cs.SubmitColumns(seg.mids, seg.vals, seg.count, seg.size); err != nil {
+				break
+			}
+		}
+	} else {
+		shares := buf.shares[:0]
+		for i := range buf.segs[:buf.nseg] {
+			seg := &buf.segs[i]
+			for k := 0; k < seg.count; k++ {
+				var sh xorcrypt.Share
+				copy(sh.MID[:], seg.mids[k*xorcrypt.MIDSize:])
+				sh.Payload = seg.vals[k*seg.size : (k+1)*seg.size : (k+1)*seg.size]
+				shares = append(shares, sh)
+			}
+		}
+		buf.shares = shares
+		err = b.sink.SubmitBatch(shares)
+	}
 	b.putBuf(buf)
 	return err
 }
@@ -126,14 +187,22 @@ func (b *Batcher) getBufLocked() *batchBuf {
 	return &batchBuf{}
 }
 
-// putBuf resets a consumed batch buffer and returns it to the free
-// list.
+// putBuf resets a consumed batch buffer — truncating every segment's
+// lanes in place so their capacity survives — and returns it to the
+// free list.
 func (b *Batcher) putBuf(buf *batchBuf) {
+	for i := range buf.segs[:buf.nseg] {
+		seg := &buf.segs[i]
+		seg.mids = seg.mids[:0]
+		seg.vals = seg.vals[:0]
+		seg.count = 0
+	}
+	buf.nseg = 0
+	buf.count = 0
 	for i := range buf.shares {
 		buf.shares[i].Payload = nil
 	}
 	buf.shares = buf.shares[:0]
-	buf.arena = buf.arena[:0]
 	b.mu.Lock()
 	b.free = append(b.free, buf)
 	b.mu.Unlock()

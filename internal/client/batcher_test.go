@@ -141,8 +141,8 @@ func TestBatcherCopiesPayloadOnSubmit(t *testing.T) {
 }
 
 // TestBatcherRecyclesBuffers: after a flush cycle the next epoch's
-// batch must reuse the same share-slice storage instead of growing a
-// fresh one.
+// batch must reuse the same lane storage instead of growing fresh
+// arenas.
 func TestBatcherRecyclesBuffers(t *testing.T) {
 	sink := &recordingSink{}
 	b := NewBatcher(sink, 0)
@@ -153,19 +153,21 @@ func TestBatcherRecyclesBuffers(t *testing.T) {
 			}
 		}
 	}
+	lane := func() (*byte, *byte) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		seg := &b.cur.segs[0]
+		return &seg.mids[0], &seg.vals[0]
+	}
 	fill()
-	b.mu.Lock()
-	first := &b.cur.shares[0]
-	b.mu.Unlock()
+	firstMIDs, firstVals := lane()
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	fill()
-	b.mu.Lock()
-	second := &b.cur.shares[0]
-	b.mu.Unlock()
-	if first != second {
-		t.Error("batch buffer was not recycled across flushes")
+	secondMIDs, secondVals := lane()
+	if firstMIDs != secondMIDs || firstVals != secondVals {
+		t.Error("batch lanes were not recycled across flushes")
 	}
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)

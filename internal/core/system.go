@@ -49,6 +49,7 @@ import (
 	"privapprox/internal/pubsub"
 	"privapprox/internal/query"
 	"privapprox/internal/wal"
+	"privapprox/internal/xorcrypt"
 )
 
 // ErrConfig reports an invalid system configuration.
@@ -559,13 +560,10 @@ func (s *System) DrainUpTo(max int) ([]aggregator.Result, int, error) {
 			if err != nil {
 				return fired, drained, err
 			}
-			now := s.now()
-			for _, rec := range recs {
-				res, err := s.submitRecord(rec, src, now)
-				if err != nil {
-					return fired, drained, err
-				}
-				fired = append(fired, res...)
+			res, err := s.submitRecords(recs, src, s.now())
+			fired = append(fired, res...)
+			if err != nil {
+				return fired, drained, err
 			}
 			drained += len(recs)
 			if len(recs) > 0 {
@@ -836,13 +834,10 @@ func (s *System) drainSequential() ([]aggregator.Result, error) {
 			if err != nil {
 				return fired, err
 			}
-			now := s.now()
-			for _, rec := range recs {
-				res, err := s.submitRecord(rec, src, now)
-				if err != nil {
-					return fired, err
-				}
-				fired = append(fired, res...)
+			res, err := s.submitRecords(recs, src, s.now())
+			fired = append(fired, res...)
+			if err != nil {
+				return fired, err
 			}
 			if len(recs) > 0 {
 				any = true
@@ -877,18 +872,15 @@ func (s *System) drainParallel() ([]aggregator.Result, error) {
 				if len(recs) == 0 {
 					return
 				}
-				now := s.now()
-				for _, rec := range recs {
-					res, err := s.submitRecord(rec, src, now)
-					if err != nil {
-						latch.fail(err)
-						return
-					}
-					if len(res) > 0 {
-						mu.Lock()
-						fired = append(fired, res...)
-						mu.Unlock()
-					}
+				res, err := s.submitRecords(recs, src, s.now())
+				if len(res) > 0 {
+					mu.Lock()
+					fired = append(fired, res...)
+					mu.Unlock()
+				}
+				if err != nil {
+					latch.fail(err)
+					return
 				}
 			}
 		}(src, c)
@@ -897,14 +889,41 @@ func (s *System) drainParallel() ([]aggregator.Result, error) {
 	return fired, latch.err()
 }
 
-// submitRecord decodes one pub/sub record and feeds it to the
-// aggregator.
-func (s *System) submitRecord(rec pubsub.Record, src int, now time.Time) ([]aggregator.Result, error) {
-	share, err := proxy.DecodeRecord(rec)
-	if err != nil {
-		return nil, err
+// sharePool recycles the per-poll decode slice so the steady-state
+// drain allocates nothing per batch.
+var sharePool = sync.Pool{New: func() any { return new([]xorcrypt.Share) }}
+
+// submitRecords decodes one polled batch of pub/sub records and feeds
+// it to the aggregator in a single batch submission. On a decode error
+// at record k the k records already decoded are still submitted before
+// the error returns — the same partial progress as decoding and
+// submitting one record at a time. Records are deep copies handed over
+// by Poll, so payload ownership transfers cleanly to the join state.
+func (s *System) submitRecords(recs []pubsub.Record, src int, now time.Time) ([]aggregator.Result, error) {
+	if len(recs) == 0 {
+		return nil, nil
 	}
-	return s.agg.SubmitShare(share, src, now)
+	sp := sharePool.Get().(*[]xorcrypt.Share)
+	shares := (*sp)[:0]
+	var decErr error
+	for _, rec := range recs {
+		share, err := proxy.DecodeRecord(rec)
+		if err != nil {
+			decErr = err
+			break
+		}
+		shares = append(shares, share)
+	}
+	res, err := s.agg.SubmitShareBatch(shares, src, now)
+	// Drop the payload references before pooling: the aggregator owns
+	// them now, and a pooled slice must not pin them.
+	clear(shares)
+	*sp = shares[:0]
+	sharePool.Put(sp)
+	if err == nil {
+		err = decErr
+	}
+	return res, err
 }
 
 // AdvanceTo pushes the aggregator's watermark to the event time of the

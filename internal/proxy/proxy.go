@@ -201,6 +201,60 @@ func (p *Proxy) SubmitBatch(shares []xorcrypt.Share) error {
 	return err
 }
 
+// SubmitColumns accepts a columnar batch of count shares: a contiguous
+// MID lane (count × xorcrypt.MIDSize bytes) and a contiguous payload
+// lane at a fixed size-byte stride — one segment of a client's arena
+// batcher, one wire-v2 frame over TCP. Transports that implement
+// pubsub.ColumnPublisher carry the lanes without per-share re-slicing;
+// for any other transport the lanes are materialized into pooled
+// per-share messages, so every transport keeps working. Both lanes are
+// fully consumed before SubmitColumns returns (DESIGN.md §6, §10).
+func (p *Proxy) SubmitColumns(mids, payloads []byte, count, size int) error {
+	if count == 0 {
+		return nil
+	}
+	if cp, ok := p.t.(pubsub.ColumnPublisher); ok {
+		cols := pubsub.Columns{
+			Count:  count,
+			KeyLen: xorcrypt.MIDSize,
+			ValLen: size,
+			Keys:   mids,
+			Vals:   payloads,
+		}
+		var err error
+		if p.submitTimeout > 0 {
+			_, err = cp.PublishColumnsWait(p.topic, cols, p.submitTimeout)
+		} else {
+			_, err = cp.PublishColumns(p.topic, cols)
+		}
+		return err
+	}
+	mp := batchMsgPool.Get().(*[]pubsub.Message)
+	msgs := (*mp)[:0]
+	for i := 0; i < count; i++ {
+		msgs = append(msgs, pubsub.Message{
+			Key:   mids[i*xorcrypt.MIDSize : (i+1)*xorcrypt.MIDSize],
+			Value: payloads[i*size : (i+1)*size],
+		})
+	}
+	var err error
+	if p.submitTimeout > 0 {
+		if wp, ok := p.t.(pubsub.WaitPublisher); ok {
+			_, err = wp.PublishBatchWait(p.topic, msgs, p.submitTimeout)
+		} else {
+			_, err = p.t.PublishBatch(p.topic, msgs)
+		}
+	} else {
+		_, err = p.t.PublishBatch(p.topic, msgs)
+	}
+	for i := range msgs {
+		msgs[i] = pubsub.Message{}
+	}
+	*mp = msgs
+	batchMsgPool.Put(mp)
+	return err
+}
+
 // Consumer returns an aggregator-side consumer over this proxy's stream.
 func (p *Proxy) Consumer(group string) (*pubsub.Consumer, error) {
 	if p.broker != nil {

@@ -1,0 +1,387 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the columnar half of the publish path — wire v2. A batch
+// of N same-stride records travels and lands as two contiguous lanes
+// (keys, values) instead of N (key, value) pairs: the TCP frame is one
+// header plus two lane writes, the server hands the lanes to the broker
+// as views into the request frame, and the broker's in-memory append
+// copies each lane exactly once, storing records as subslices — the
+// whole path performs a constant number of copies per batch where v1
+// performs a constant number per message.
+
+// fnv1a32 is FNV-1a over b, matching hash/fnv's New32a exactly (the
+// routing function of Publish/PublishBatch) without constructing a
+// hasher per record.
+func fnv1a32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// PublishColumns appends a columnar batch in one call — the lane form
+// of PublishBatch, with the same routing (key-lane FNV hash; columnar
+// records always carry keys) and the same all-or-nothing contract: the
+// batch is fully applied or refused whole with ErrPartitionFull.
+// Results are returned in record order. Both lanes are fully consumed
+// before the call returns.
+func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error) {
+	if err := cols.Validate(); err != nil {
+		return nil, err
+	}
+	if cols.Count == 0 {
+		return nil, nil
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[topic]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, topic)
+	}
+
+	results := make([]PubResult, cols.Count)
+	byPart := make(map[int][]int) // partition → record indexes
+	for i := 0; i < cols.Count; i++ {
+		part := int(fnv1a32(cols.Key(i))) % len(t.partitions)
+		if part < 0 {
+			part += len(t.partitions)
+		}
+		results[i].Partition = part
+		byPart[part] = append(byPart[part], i)
+	}
+
+	// Two-phase apply, exactly as PublishBatch: lock every target
+	// partition in ascending order, check all capacities, journal, then
+	// append.
+	parts := make([]int, 0, len(byPart))
+	for part := range byPart {
+		parts = append(parts, part)
+	}
+	sort.Ints(parts)
+	floors := make([]int64, len(parts))
+	for i, part := range parts {
+		floors[i] = b.committedFloor(topic, part)
+	}
+	locked := 0
+	unlockAll := func() {
+		for _, part := range parts[:locked] {
+			t.partitions[part].mu.Unlock()
+		}
+	}
+	for _, part := range parts {
+		t.partitions[part].mu.Lock()
+		locked++
+	}
+	now := time.Now()
+	for i, part := range parts {
+		p := t.partitions[part]
+		if p.overCapacity(len(byPart[part]), floors[i]) {
+			capacity := p.capacity
+			unlockAll()
+			b.statsMu.Lock()
+			b.stats.Rejected += int64(cols.Count)
+			b.statsMu.Unlock()
+			return nil, fmt.Errorf("%w: topic %q partition %d at capacity %d (batch of %d refused whole)",
+				ErrPartitionFull, topic, part, capacity, cols.Count)
+		}
+	}
+	for _, part := range parts {
+		p := t.partitions[part]
+		if p.w != nil {
+			if err := journalColumns(p, now, cols, byPart[part]); err != nil {
+				unlockAll()
+				return nil, err
+			}
+		}
+	}
+	// One copy per lane for the whole batch; the stored records are
+	// subslices of the copies. Fetch deep-copies on the way out, so the
+	// shared backing arrays are never exposed to consumers.
+	keys := append([]byte(nil), cols.Keys...)
+	vals := append([]byte(nil), cols.Vals...)
+	for _, part := range parts {
+		p := t.partitions[part]
+		for _, i := range byPart[part] {
+			offset := int64(len(p.records))
+			results[i].Offset = offset
+			p.records = append(p.records, Record{
+				Topic:     topic,
+				Partition: part,
+				Offset:    offset,
+				Key:       keys[i*cols.KeyLen : (i+1)*cols.KeyLen : (i+1)*cols.KeyLen],
+				Value:     vals[i*cols.ValLen : (i+1)*cols.ValLen : (i+1)*cols.ValLen],
+				Timestamp: now,
+			})
+		}
+		p.cond.Broadcast()
+	}
+	unlockAll()
+
+	b.statsMu.Lock()
+	b.stats.MessagesIn += int64(cols.Count)
+	b.stats.BytesIn += int64(len(cols.Keys) + len(cols.Vals))
+	b.statsMu.Unlock()
+	return results, nil
+}
+
+// PublishColumnsWait is PublishColumns with the deadline-bounded retry
+// of PublishBatchWait; the all-or-nothing contract makes it safe.
+func (b *Broker) PublishColumnsWait(topic string, cols Columns, timeout time.Duration) ([]PubResult, error) {
+	return publishColumnsWait(b.PublishColumns, topic, cols, timeout)
+}
+
+func publishColumnsWait(pub func(string, Columns) ([]PubResult, error), topic string, cols Columns, timeout time.Duration) ([]PubResult, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		res, err := pub(topic, cols)
+		if err == nil || !errors.Is(err, ErrPartitionFull) {
+			return res, err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, err
+		}
+		time.Sleep(fullRetryInterval)
+	}
+}
+
+// journalColumns frames and appends one partition's slice of a columnar
+// batch as a single WAL batch, producing byte-identical journal records
+// to journalBatch for the same (key, value) sequence — replay cannot
+// tell which publish form wrote a record. The caller holds the
+// partition lock.
+func journalColumns(p *partitionLog, now time.Time, cols Columns, idxs []int) error {
+	total := len(idxs) * (12 + cols.KeyLen + cols.ValLen)
+	if cap(p.encBuf) < total {
+		p.encBuf = make([]byte, 0, total)
+	}
+	enc := p.encBuf[:0]
+	payloads := make([][]byte, 0, len(idxs))
+	for _, i := range idxs {
+		start := len(enc)
+		enc = appendPartitionRecord(enc, now, cols.Key(i), cols.Val(i))
+		payloads = append(payloads, enc[start:len(enc):len(enc)])
+	}
+	p.encBuf = enc[:0]
+	_, err := p.w.AppendBatch(payloads)
+	return err
+}
+
+// Client-side negotiation state, cached per Client (one probe per
+// pool): 0 = unprobed, 1 = server speaks wire v2, -1 = v1-only server.
+const (
+	featUnknown = int32(0)
+	featV2      = int32(1)
+	featV1Only  = int32(-1)
+)
+
+// Features asks the server for its capability mask. Against a v1
+// server the request itself fails with the "unknown opcode" wire error
+// (the connection survives); callers treat that as an empty mask.
+func (c *Client) Features() (uint64, error) {
+	var e enc
+	e.byte(opFeatures)
+	d, err := c.roundTrip(e.buf)
+	if err != nil {
+		return 0, err
+	}
+	return d.uint64()
+}
+
+// supportsColumns reports whether the server accepts opPublishBatchV2,
+// probing once via opFeatures and caching the verdict. Only a definite
+// protocol answer is cached — a transport failure leaves the state
+// unprobed so a later call retries.
+func (c *Client) supportsColumns() bool {
+	switch c.features.Load() {
+	case featV2:
+		return true
+	case featV1Only:
+		return false
+	}
+	mask, err := c.Features()
+	if err != nil {
+		if errors.Is(err, ErrWire) {
+			// The server parsed the frame and rejected the opcode: a v1
+			// peer. Remember and fall back for the life of this client.
+			c.features.Store(featV1Only)
+		}
+		return false
+	}
+	if mask&featureColumnarV2 != 0 {
+		c.features.Store(featV2)
+		return true
+	}
+	c.features.Store(featV1Only)
+	return false
+}
+
+// PublishColumns mirrors Broker.PublishColumns over TCP: the whole
+// batch travels as one opPublishBatchV2 frame — header plus two lane
+// writes, no per-message slicing (chunked by rows only past
+// maxBatchBytes). Against a v1 server it transparently falls back to
+// the row-oriented PublishBatch, materializing per-record views of the
+// lanes; either way both lanes are fully consumed before the call
+// returns.
+func (c *Client) PublishColumns(topic string, cols Columns) ([]PubResult, error) {
+	if err := cols.Validate(); err != nil {
+		return nil, err
+	}
+	if cols.Count == 0 {
+		return nil, nil
+	}
+	if !c.supportsColumns() {
+		msgs := make([]Message, cols.Count)
+		for i := range msgs {
+			msgs[i] = Message{Key: cols.Key(i), Value: cols.Val(i)}
+		}
+		return c.PublishBatch(topic, msgs)
+	}
+	stride := cols.KeyLen + cols.ValLen
+	rows := maxBatchBytes / stride
+	if rows < 1 {
+		rows = 1
+	}
+	out := make([]PubResult, 0, cols.Count)
+	e := getEnc()
+	defer putEnc(e)
+	for start := 0; start < cols.Count; start += rows {
+		n := cols.Count - start
+		if n > rows {
+			n = rows
+		}
+		e.buf = e.buf[:0]
+		e.byte(opPublishBatchV2)
+		e.str(topic)
+		e.uint32(uint32(n))
+		e.uint32(uint32(cols.KeyLen))
+		e.uint32(uint32(cols.ValLen))
+		e.bytes(cols.Keys[start*cols.KeyLen : (start+n)*cols.KeyLen])
+		e.bytes(cols.Vals[start*cols.ValLen : (start+n)*cols.ValLen])
+		d, err := c.roundTrip(e.buf)
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if int(cnt) != n {
+			return nil, fmt.Errorf("%w: columnar batch acked %d of %d records", ErrWire, cnt, n)
+		}
+		for i := 0; i < n; i++ {
+			part, err := d.uint32()
+			if err != nil {
+				return nil, err
+			}
+			off, err := d.uint64()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PubResult{Partition: int(part), Offset: int64(off)})
+		}
+	}
+	return out, nil
+}
+
+// PublishColumnsWait mirrors Broker.PublishColumnsWait. As with
+// PublishBatchWait, all-or-nothing holds per chunk for batches split
+// past maxBatchBytes.
+func (c *Client) PublishColumnsWait(topic string, cols Columns, timeout time.Duration) ([]PubResult, error) {
+	return publishColumnsWait(c.PublishColumns, topic, cols, timeout)
+}
+
+// handleFeatures answers the capability probe.
+func (s *Server) handleFeatures() []byte {
+	var e enc
+	e.byte(0)
+	e.uint64(featureColumnarV2)
+	return e.buf
+}
+
+// handlePublishColumns decodes an opPublishBatchV2 frame. The lanes are
+// views into the request frame (no copy); the broker copies each lane
+// once during its in-memory append.
+func (s *Server) handlePublishColumns(d *dec) []byte {
+	topic, err := d.str()
+	if err != nil {
+		return respErr(err)
+	}
+	count, err := d.uint32()
+	if err != nil {
+		return respErr(err)
+	}
+	keyLen, err := d.uint32()
+	if err != nil {
+		return respErr(err)
+	}
+	valLen, err := d.uint32()
+	if err != nil {
+		return respErr(err)
+	}
+	keys, err := d.view()
+	if err != nil {
+		return respErr(err)
+	}
+	vals, err := d.view()
+	if err != nil {
+		return respErr(err)
+	}
+	cols := Columns{
+		Count:  int(count),
+		KeyLen: int(keyLen),
+		ValLen: int(valLen),
+		Keys:   keys,
+		Vals:   vals,
+	}
+	// Validate re-checks lane geometry against the declared strides, so
+	// a lying count or stride is caught here (the lane lengths on the
+	// wire are the real bound, and the frame itself is capped).
+	if err := cols.Validate(); err != nil {
+		return respErr(err)
+	}
+	results, err := s.broker.PublishColumns(topic, cols)
+	if err != nil {
+		return respErr(err)
+	}
+	var e enc
+	e.byte(0)
+	e.uint32(uint32(len(results)))
+	for _, r := range results {
+		e.uint32(uint32(r.Partition))
+		e.uint64(uint64(r.Offset))
+	}
+	return e.buf
+}
+
+// appendColumns is a test/tooling helper materializing a []Message into
+// columnar lanes; it returns an error unless every key and value has
+// the uniform stride columns require.
+func appendColumns(msgs []Message) (Columns, error) {
+	cols := Columns{Count: len(msgs)}
+	if len(msgs) == 0 {
+		return cols, nil
+	}
+	cols.KeyLen = len(msgs[0].Key)
+	cols.ValLen = len(msgs[0].Value)
+	for _, m := range msgs {
+		if len(m.Key) != cols.KeyLen || len(m.Value) != cols.ValLen {
+			return Columns{}, fmt.Errorf("%w: mixed strides in columnar batch", ErrWire)
+		}
+		cols.Keys = append(cols.Keys, m.Key...)
+		cols.Vals = append(cols.Vals, m.Value...)
+	}
+	return cols, nil
+}

@@ -24,6 +24,11 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	// legacyV1 makes the server reject the wire-v2 opcodes (opFeatures,
+	// opPublishBatchV2) exactly like a pre-v2 build, for interop tests
+	// exercising the client's negotiation fallback. Set before clients
+	// connect.
+	legacyV1 bool
 }
 
 // Serve starts serving the broker on addr (e.g. "127.0.0.1:0") and
@@ -122,6 +127,9 @@ func (s *Server) handle(req []byte) []byte {
 	op, err := d.byte()
 	if err != nil {
 		return respErr(err)
+	}
+	if s.legacyV1 && (op == opFeatures || op == opPublishBatchV2) {
+		return respErr(fmt.Errorf("%w: unknown opcode %d", ErrWire, op))
 	}
 	switch op {
 	case opCreateTopic:
@@ -308,6 +316,10 @@ func (s *Server) handle(req []byte) []byte {
 		e.byte(0)
 		e.uint32(uint32(n))
 		return e.buf
+	case opFeatures:
+		return s.handleFeatures()
+	case opPublishBatchV2:
+		return s.handlePublishColumns(d)
 	default:
 		return respErr(fmt.Errorf("%w: unknown opcode %d", ErrWire, op))
 	}
@@ -374,6 +386,10 @@ func encodeOptBytes(e *enc, b []byte) {
 type Client struct {
 	conns []*clientConn
 	rr    atomic.Uint64
+	// features caches the wire-v2 negotiation verdict (see
+	// supportsColumns): featUnknown until probed, then featV2 or
+	// featV1Only for the life of the client.
+	features atomic.Int32
 }
 
 // DefaultPoolConns is the pool size DialPool uses for conns <= 0.
@@ -518,6 +534,9 @@ func (cc *clientConn) roundTrip(req []byte) (*dec, error) {
 // errors to retry (PublishWait) instead of failing.
 var wireSentinels = []error{
 	ErrPartitionFull, ErrNoTopic, ErrTopicExists, ErrNoPartition, ErrBadOffset, ErrClosed,
+	// ErrWire crosses the wire too so the client can recognize a v1
+	// server's "unknown opcode" rejection during feature negotiation.
+	ErrWire,
 }
 
 func wireError(msg string) error {

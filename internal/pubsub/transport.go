@@ -1,6 +1,9 @@
 package pubsub
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Message is one record to publish, the unit of the batched publish
 // path: a client flushes an epoch's worth of shares to a proxy as one
@@ -45,6 +48,63 @@ type Transport interface {
 	CommittedOffset(group, topic string, partition int) (int64, error)
 }
 
+// Columns is the columnar form of a publish batch: Count fixed-stride
+// records laid out as two contiguous lanes, record i's key at
+// Keys[i*KeyLen:(i+1)*KeyLen] and its value at Vals[i*ValLen:...]. It
+// is the shape wire v2 (opPublishBatchV2) carries in one frame — one
+// header plus two lane copies, never re-sliced per message — and the
+// shape xorcrypt's batch split produces. The fixed stride is a
+// same-query constraint by construction: batches mixing message sizes
+// cannot be expressed and are rejected before they reach the wire.
+//
+// The lanes are borrowed, not taken over: a publisher fully consumes
+// (copies or encodes) both lanes before PublishColumns returns, so the
+// caller may reuse them immediately — the same ownership rule as
+// Message keys/values (DESIGN.md §6, §10).
+type Columns struct {
+	Count  int
+	KeyLen int
+	ValLen int
+	Keys   []byte
+	Vals   []byte
+}
+
+// Validate checks the lane geometry.
+func (c Columns) Validate() error {
+	if c.Count < 0 {
+		return fmt.Errorf("%w: %d records", ErrWire, c.Count)
+	}
+	if c.Count == 0 {
+		return nil
+	}
+	if c.KeyLen <= 0 || c.ValLen <= 0 {
+		return fmt.Errorf("%w: key stride %d, value stride %d", ErrWire, c.KeyLen, c.ValLen)
+	}
+	if len(c.Keys) != c.Count*c.KeyLen {
+		return fmt.Errorf("%w: %d-byte key lane for %d×%d", ErrWire, len(c.Keys), c.Count, c.KeyLen)
+	}
+	if len(c.Vals) != c.Count*c.ValLen {
+		return fmt.Errorf("%w: %d-byte value lane for %d×%d", ErrWire, len(c.Vals), c.Count, c.ValLen)
+	}
+	return nil
+}
+
+// Key returns record i's key as a view into the key lane.
+func (c Columns) Key(i int) []byte { return c.Keys[i*c.KeyLen : (i+1)*c.KeyLen : (i+1)*c.KeyLen] }
+
+// Val returns record i's value as a view into the value lane.
+func (c Columns) Val(i int) []byte { return c.Vals[i*c.ValLen : (i+1)*c.ValLen : (i+1)*c.ValLen] }
+
+// ColumnPublisher is the optional columnar publish surface. Both the
+// in-process *Broker and the TCP *Client implement it; the client
+// negotiates per connection pool and transparently falls back to the
+// row-oriented PublishBatch against a v1 server, so callers may always
+// prefer the columnar call when they hold lane-shaped data.
+type ColumnPublisher interface {
+	PublishColumns(topic string, cols Columns) ([]PubResult, error)
+	PublishColumnsWait(topic string, cols Columns, timeout time.Duration) ([]PubResult, error)
+}
+
 // WaitPublisher is the optional blocking-publish surface bounded
 // (backpressured) topics call for: a publisher that must not drop on
 // transient ErrPartitionFull uses the Wait variants, which retry until
@@ -56,8 +116,10 @@ type WaitPublisher interface {
 }
 
 var (
-	_ Transport     = (*Broker)(nil)
-	_ Transport     = (*Client)(nil)
-	_ WaitPublisher = (*Broker)(nil)
-	_ WaitPublisher = (*Client)(nil)
+	_ Transport       = (*Broker)(nil)
+	_ Transport       = (*Client)(nil)
+	_ WaitPublisher   = (*Broker)(nil)
+	_ WaitPublisher   = (*Client)(nil)
+	_ ColumnPublisher = (*Broker)(nil)
+	_ ColumnPublisher = (*Client)(nil)
 )

@@ -29,7 +29,16 @@ const (
 	opCommitted
 	opPartitions
 	opPublishBatch
+	opFeatures
+	opPublishBatchV2
 )
+
+// featureColumnarV2 is the capability bit a server advertises in its
+// opFeatures response when it accepts the columnar opPublishBatchV2
+// frame. A v1 server answers opFeatures itself with "unknown opcode"
+// (connections survive unknown opcodes), which the client reads as an
+// empty feature mask — that error-as-answer is the whole negotiation.
+const featureColumnarV2 = uint64(1) << 0
 
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
@@ -130,4 +139,21 @@ func (d *dec) bytes() ([]byte, error) {
 func (d *dec) str() (string, error) {
 	b, err := d.bytes()
 	return string(b), err
+}
+
+// view reads a length-prefixed byte string like bytes but without
+// copying: the returned slice aliases the frame buffer and is valid
+// only while the frame is. The columnar publish handler uses it to pass
+// whole lanes straight to the broker, which copies them once.
+func (d *dec) view() ([]byte, error) {
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(d.buf)) < n {
+		return nil, fmt.Errorf("%w: short frame", ErrWire)
+	}
+	out := d.buf[:n:n]
+	d.buf = d.buf[n:]
+	return out, nil
 }

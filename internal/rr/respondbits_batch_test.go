@@ -1,0 +1,75 @@
+package rr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestRespondBitsBatchMatchesSequential pins the batch kernel's stream
+// contract: RespondBitsBatch consumes PRNG words in vector-major order,
+// exactly as count sequential RespondBits calls, so two identically
+// seeded randomizers produce byte-identical lanes — including
+// non-byte-aligned widths, strides with slack, and the preserved bits
+// past nbits in the final partial byte.
+func TestRespondBitsBatchMatchesSequential(t *testing.T) {
+	for _, nbits := range []int{1, 8, 11, 63} {
+		for _, pad := range []int{0, 5} {
+			nbytes := (nbits + 7) / 8
+			stride := nbytes + pad
+			const count = 9
+			src := rand.New(rand.NewSource(77))
+			laneBatch := make([]byte, count*stride)
+			src.Read(laneBatch)
+			// Zero each slot's bits past nbits (the caller invariant), but
+			// leave the inter-slot padding bytes as garbage: the kernel must
+			// not touch them.
+			for s := 0; s < count; s++ {
+				slot := laneBatch[s*stride : s*stride+nbytes]
+				if rem := nbits % 8; rem != 0 {
+					slot[nbytes-1] &= byte(1)<<rem - 1
+				}
+			}
+			laneSeq := append([]byte(nil), laneBatch...)
+
+			rzBatch, err := NewRandomizer(Params{P: 0.4, Q: 0.7}, rand.New(rand.NewSource(13)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rzSeq, err := NewRandomizer(Params{P: 0.4, Q: 0.7}, rand.New(rand.NewSource(13)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rzBatch.RespondBitsBatch(laneBatch, stride, nbits, count)
+			for s := 0; s < count; s++ {
+				rzSeq.RespondBits(laneSeq[s*stride:s*stride+nbytes], nbits)
+			}
+			if !bytes.Equal(laneBatch, laneSeq) {
+				t.Fatalf("nbits=%d stride=%d: batch lane diverges from sequential", nbits, stride)
+			}
+		}
+	}
+}
+
+// TestRespondBitsBatchEdges: empty and degenerate batches are no-ops
+// that leave the PRNG stream untouched, and a single-slot batch equals
+// one RespondBits call.
+func TestRespondBitsBatchEdges(t *testing.T) {
+	newRZ := func() *Randomizer {
+		rz, err := NewRandomizer(Params{P: 0.5, Q: 0.5}, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rz
+	}
+	a, b := newRZ(), newRZ()
+	a.RespondBitsBatch(nil, 4, 11, 0) // empty batch
+	a.RespondBitsBatch(nil, 4, 0, 3)  // zero-width vectors
+	buf1 := []byte{0x05, 0x02}
+	buf2 := append([]byte(nil), buf1...)
+	a.RespondBitsBatch(buf1, 2, 11, 1)
+	b.RespondBits(buf2, 11)
+	if !bytes.Equal(buf1, buf2) {
+		t.Fatal("no-op batches advanced the PRNG stream or single-slot batch diverged")
+	}
+}

@@ -122,6 +122,28 @@ func (r *Randomizer) Respond(truth bool) bool {
 // chi-square and unbiasedness tests. It performs no allocations and no
 // floating-point conversions on the hot path.
 func (r *Randomizer) RespondBits(bits []byte, nbits int) {
+	r.respondVec(bits, nbits)
+}
+
+// RespondBitsBatch randomizes count packed answer vectors laid out at a
+// fixed stride inside lane (slot s at lane[s*stride:]), in place — one
+// pass over the PRNG stream for a whole epoch's worth of answers. It
+// consumes PRNG words in vector-major order, exactly as count sequential
+// RespondBits calls would, so the output bits, the stream position, and
+// Skip-based fast-forward are all identical to the per-message path.
+func (r *Randomizer) RespondBitsBatch(lane []byte, stride, nbits, count int) {
+	if nbits <= 0 || count <= 0 {
+		return
+	}
+	nbytes := (nbits + 7) / 8
+	for s := 0; s < count; s++ {
+		r.respondVec(lane[s*stride:s*stride+nbytes], nbits)
+	}
+}
+
+// respondVec is the single-vector kernel behind RespondBits and
+// RespondBitsBatch.
+func (r *Randomizer) respondVec(bits []byte, nbits int) {
 	rng, thTrue, thFalse := r.rng, r.thTrue, r.thFalse
 	for i := 0; i < nbits; i += 8 {
 		byteIdx := i >> 3

@@ -1,0 +1,131 @@
+package xorcrypt
+
+import "fmt"
+
+// This file is the batch-granular form of the split/join kernels: where
+// SplitInto draws one key fill and one XOR per share of one message,
+// SplitBatchInto processes a whole packed batch of same-size messages
+// with one PRNG fill and one subtle.XORBytes call per proxy lane,
+// spanning every message in the batch.
+//
+// Determinism contract: a batch split consumes exactly as many key and
+// MID stream bytes as the equivalent sequence of SplitInto calls, and
+// draws MIDs in the same per-message order, so the splitter lands at
+// the same stream position either way and FastForward replay stays
+// valid. The key bytes are assigned to messages in a different order
+// (lane-major instead of message-major), which is invisible downstream:
+// keys cancel in the XOR join, so the recovered plaintexts — and every
+// result derived from them — are byte-identical to the v1 path.
+
+// ShareColumns is the columnar result of a batch split: Count messages
+// of Size bytes fanned out to N proxies as N contiguous lanes. Lane i
+// is destined for proxy i; message k's share on proxy i occupies
+// Lanes[i][k*Size:(k+1)*Size] and its identifier MIDs[k*MIDSize:...].
+// Exactly one lane holds ciphertexts and the rest key streams, and as
+// with per-message shares the two are indistinguishable.
+type ShareColumns struct {
+	N     int
+	Count int
+	Size  int
+	MIDs  []byte
+	Lanes [][]byte
+}
+
+// Share materializes message k's share for proxy i as a Share view
+// aliasing the column storage (no copy).
+func (c *ShareColumns) Share(i, k int) Share {
+	var sh Share
+	copy(sh.MID[:], c.MIDs[k*MIDSize:(k+1)*MIDSize])
+	sh.Payload = c.Lanes[i][k*c.Size : (k+1)*c.Size]
+	return sh
+}
+
+// SplitBatchScratch owns the column storage SplitBatchInto reuses
+// across batches. The zero value is ready to use.
+type SplitBatchScratch struct {
+	cols ShareColumns
+}
+
+// grow shapes the scratch for n lanes of count×size bytes plus the MID
+// column, reusing capacity from earlier batches.
+func (sc *SplitBatchScratch) grow(n, count, size int) *ShareColumns {
+	c := &sc.cols
+	c.N, c.Count, c.Size = n, count, size
+	if cap(c.MIDs) < count*MIDSize {
+		c.MIDs = make([]byte, count*MIDSize)
+	}
+	c.MIDs = c.MIDs[:count*MIDSize]
+	if cap(c.Lanes) < n {
+		c.Lanes = make([][]byte, n)
+	}
+	c.Lanes = c.Lanes[:n]
+	span := count * size
+	for i := range c.Lanes {
+		if cap(c.Lanes[i]) < span {
+			c.Lanes[i] = make([]byte, span)
+		}
+		c.Lanes[i] = c.Lanes[i][:span]
+	}
+	return c
+}
+
+// SplitBatchInto splits a packed batch of count same-size messages
+// (msgs holds them back to back: message k at msgs[k*size:(k+1)*size])
+// into columnar shares. Uniform stride is required by construction —
+// mixed-size (hence mixed-query) batches cannot be expressed; callers
+// pack the lane with answer.BatchEncoder, which rejects them at encode
+// time. A count of 0 yields empty columns and consumes no stream bytes.
+// The returned columns alias scratch and stay valid until the next
+// SplitBatchInto with the same scratch.
+func (s *Splitter) SplitBatchInto(msgs []byte, size, count int, scratch *SplitBatchScratch) (*ShareColumns, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: %d-byte message", ErrShapes, size)
+	}
+	if count < 0 || len(msgs) != count*size {
+		return nil, fmt.Errorf("%w: %d bytes for %d messages of %d", ErrShapes, len(msgs), count, size)
+	}
+	cols := scratch.grow(s.n, count, size)
+	for k := 0; k < count; k++ {
+		mid, err := s.nextMID()
+		if err != nil {
+			return nil, err
+		}
+		copy(cols.MIDs[k*MIDSize:], mid[:])
+	}
+	if count == 0 {
+		return cols, nil
+	}
+	cipher := cols.Lanes[0]
+	copy(cipher, msgs)
+	for i := 1; i < s.n; i++ {
+		key := cols.Lanes[i]
+		if err := s.prng.Fill(key); err != nil {
+			return nil, err
+		}
+		xorInto(cipher, key)
+	}
+	return cols, nil
+}
+
+// JoinColumnsInto XOR-joins whole share lanes — the batch form of
+// JoinPayloadsInto: lanes[i] holds one payload region per source,
+// every region the same nonzero length, and the result is the packed
+// plaintext batch written into dst's backing array. One XOR pass per
+// lane covers every message in the batch.
+func JoinColumnsInto(dst []byte, lanes [][]byte) ([]byte, error) {
+	if len(lanes) < 2 {
+		return nil, fmt.Errorf("%w: got %d share lanes", ErrShareCount, len(lanes))
+	}
+	span := len(lanes[0])
+	if span == 0 {
+		return nil, fmt.Errorf("%w: empty share lane", ErrShapes)
+	}
+	dst = append(dst[:0], lanes[0]...)
+	for _, l := range lanes[1:] {
+		if len(l) != span {
+			return nil, fmt.Errorf("%w: lane %d vs %d bytes", ErrShapes, len(l), span)
+		}
+		xorInto(dst, l)
+	}
+	return dst, nil
+}

@@ -1,0 +1,183 @@
+package xorcrypt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// batchSplitter builds a deterministic splitter for batch tests: AES-CTR
+// keystream from a fixed seed, MIDs from a seeded math/rand reader.
+func batchSplitter(t *testing.T, n int, seed int64) *Splitter {
+	t.Helper()
+	key := make([]byte, 32)
+	rand.New(rand.NewSource(seed)).Read(key)
+	prng, err := NewAESPRNG(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSplitter(n, prng, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// packedMsgs returns count distinct size-byte messages packed back to back.
+func packedMsgs(count, size int, seed int64) []byte {
+	msgs := make([]byte, count*size)
+	rand.New(rand.NewSource(seed)).Read(msgs)
+	return msgs
+}
+
+// TestSplitBatchRoundTrip: joining all lanes of a batch split recovers
+// the packed plaintext batch, and each per-message share view joins back
+// to its own message.
+func TestSplitBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		sp := batchSplitter(t, n, 42)
+		const count, size = 7, 9
+		msgs := packedMsgs(count, size, 7)
+		var scratch SplitBatchScratch
+		cols, err := sp.SplitBatchInto(msgs, size, count, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cols.N != n || cols.Count != count || cols.Size != size {
+			t.Fatalf("n=%d: cols geometry %d/%d/%d", n, cols.N, cols.Count, cols.Size)
+		}
+		joined, err := JoinColumnsInto(nil, cols.Lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(joined, msgs) {
+			t.Fatalf("n=%d: lane join does not recover the packed batch", n)
+		}
+		for k := 0; k < count; k++ {
+			shares := make([]Share, n)
+			for i := 0; i < n; i++ {
+				shares[i] = cols.Share(i, k)
+			}
+			got, err := Join(shares)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msgs[k*size:(k+1)*size]) {
+				t.Fatalf("n=%d: message %d does not survive per-share join", n, k)
+			}
+			for i := 1; i < n; i++ {
+				if shares[i].MID != shares[0].MID {
+					t.Fatalf("message %d shares disagree on MID", k)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitBatchStreamMatchesSequential pins the determinism contract: a
+// batch split consumes exactly the key and MID stream bytes of the
+// equivalent SplitInto sequence and draws MIDs in the same per-message
+// order, so two identically seeded splitters — one batching, one not —
+// agree on every MID, every recovered plaintext, and, afterwards, on the
+// very next split (identical stream positions).
+func TestSplitBatchStreamMatchesSequential(t *testing.T) {
+	const n, count, size = 3, 5, 16
+	spBatch := batchSplitter(t, n, 99)
+	spSeq := batchSplitter(t, n, 99)
+	msgs := packedMsgs(count, size, 3)
+
+	var bsc SplitBatchScratch
+	cols, err := spBatch.SplitBatchInto(msgs, size, count, &bsc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < count; k++ {
+		shares, err := spSeq.Split(msgs[k*size : (k+1)*size])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shares[0].MID != cols.Share(0, k).MID {
+			t.Fatalf("message %d: batch MID diverges from sequential MID", k)
+		}
+	}
+	// Both splitters must now sit at the same stream position: the next
+	// split of the same message yields byte-identical shares.
+	probe := packedMsgs(1, size, 8)
+	a, err := spBatch.Split(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spSeq.Split(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MID != b[i].MID || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Fatalf("share %d diverges after batch vs sequential splitting", i)
+		}
+	}
+}
+
+// TestSplitBatchEdges: empty batches consume no stream bytes, a single
+// message batch equals a plain split, and malformed geometry is rejected.
+func TestSplitBatchEdges(t *testing.T) {
+	var scratch SplitBatchScratch
+	spA := batchSplitter(t, 2, 5)
+	spB := batchSplitter(t, 2, 5)
+	// Empty batch: no-op, stream untouched.
+	cols, err := spA.SplitBatchInto(nil, 4, 0, &scratch)
+	if err != nil || cols.Count != 0 || len(cols.MIDs) != 0 {
+		t.Fatalf("empty batch: cols=%+v err=%v", cols, err)
+	}
+	msg := []byte{1, 2, 3, 4}
+	one, err := spA.SplitBatchInto(msg, 4, 1, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := spB.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		got := one.Share(i, 0)
+		if got.MID != ref[i].MID || !bytes.Equal(got.Payload, ref[i].Payload) {
+			t.Fatalf("single-message batch share %d diverges from Split", i)
+		}
+	}
+	// Geometry errors.
+	if _, err := spA.SplitBatchInto(msg, 0, 1, &scratch); !errors.Is(err, ErrShapes) {
+		t.Fatalf("zero size: %v", err)
+	}
+	if _, err := spA.SplitBatchInto(msg, 4, 2, &scratch); !errors.Is(err, ErrShapes) {
+		t.Fatalf("count/len mismatch: %v", err)
+	}
+	if _, err := spA.SplitBatchInto(msg, 4, -1, &scratch); !errors.Is(err, ErrShapes) {
+		t.Fatalf("negative count: %v", err)
+	}
+}
+
+// TestJoinColumnsIntoValidation: the batch join demands ≥2 lanes of
+// equal nonzero length, and reuses dst capacity.
+func TestJoinColumnsIntoValidation(t *testing.T) {
+	if _, err := JoinColumnsInto(nil, [][]byte{{1}}); !errors.Is(err, ErrShareCount) {
+		t.Fatalf("one lane: %v", err)
+	}
+	if _, err := JoinColumnsInto(nil, [][]byte{{}, {}}); !errors.Is(err, ErrShapes) {
+		t.Fatalf("empty lanes: %v", err)
+	}
+	if _, err := JoinColumnsInto(nil, [][]byte{{1, 2}, {3}}); !errors.Is(err, ErrShapes) {
+		t.Fatalf("ragged lanes: %v", err)
+	}
+	dst := make([]byte, 0, 16)
+	out, err := JoinColumnsInto(dst, [][]byte{{0xf0, 0x0f}, {0x0f, 0xf0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{0xff, 0xff}) {
+		t.Fatalf("join = %x", out)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("join did not reuse dst capacity")
+	}
+}
