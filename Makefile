@@ -5,16 +5,16 @@
 # overload gate. `make ci` is the pre-merge check.
 
 GO ?= go
-RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/... ./internal/xorcrypt/...
+RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/... ./internal/xorcrypt/... ./internal/chaos/...
 
 # Benchmarks whose numbers seed BENCH_hotpath.json: the per-answer hot
 # path (split, join+decrypt+decode+window, randomized response), plus
 # the batch-size sweep of the columnar submit tail.
 HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability|BenchmarkFig8SubmitBatch
 
-.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge bench bench-json fuzz
+.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge chaos bench bench-json fuzz
 
-ci: fmt vet build test race allocgate multiquery smoke crash surge
+ci: fmt vet build test race allocgate multiquery smoke crash surge chaos
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -62,6 +62,14 @@ crash:
 # backlog while the uncontrolled backlog persists.
 surge:
 	$(GO) test -run 'TestSurgeGate|TestSLOClosedLoopShedsAndRecovers' -count=1 ./internal/surge ./internal/core
+
+# The seeded fault-injection gate: chaos-wrapped transports (connection
+# resets, dropped acks, duplicated deliveries, a proxy kill+restart)
+# drive the full multi-proxy pipeline under nine fault schedules, and
+# every run must produce results byte-identical to the fault-free
+# baseline with the broker's session dedup absorbing the redeliveries.
+chaos:
+	$(GO) test -run 'TestChaosGate' -count=1 ./internal/chaos
 
 # The allocs/op regression gate: split, join, respond-bits, and
 # accumulate — per-message and batch forms — must stay at 0 steady-state

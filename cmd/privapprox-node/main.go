@@ -199,8 +199,8 @@ func runProxy(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := broker.Stats()
-	fmt.Printf("\nproxy stats: %d msgs in (%.1f KB), %d msgs out\n",
-		st.MessagesIn, float64(st.BytesIn)/1024, st.MessagesOut)
+	fmt.Printf("\nproxy stats: %d msgs in (%.1f KB), %d msgs out, %d duplicates deduped\n",
+		st.MessagesIn, float64(st.BytesIn)/1024, st.MessagesOut, st.Duplicates)
 	return srv.Close()
 }
 
@@ -266,6 +266,10 @@ func runSubmit(args []string) error {
 // dialFleet connects to every proxy address with a pooled pipelined
 // client and attaches a fleet handle over the transports.
 func dialFleet(proxyList string, conns int) (*proxy.Fleet, []*pubsub.Client, error) {
+	return dialFleetOpts(proxyList, pubsub.Options{Conns: conns})
+}
+
+func dialFleetOpts(proxyList string, opts pubsub.Options) (*proxy.Fleet, []*pubsub.Client, error) {
 	addrs := strings.Split(proxyList, ",")
 	if len(addrs) < 2 {
 		return nil, nil, fmt.Errorf("need ≥ 2 proxies, got %q", proxyList)
@@ -273,7 +277,7 @@ func dialFleet(proxyList string, conns int) (*proxy.Fleet, []*pubsub.Client, err
 	clients := make([]*pubsub.Client, 0, len(addrs))
 	transports := make([]pubsub.Transport, 0, len(addrs))
 	for _, addr := range addrs {
-		cli, err := pubsub.DialPool(strings.TrimSpace(addr), conns)
+		cli, err := pubsub.DialOptions(strings.TrimSpace(addr), opts)
 		if err != nil {
 			for _, c := range clients {
 				c.Close()
@@ -283,7 +287,13 @@ func dialFleet(proxyList string, conns int) (*proxy.Fleet, []*pubsub.Client, err
 		clients = append(clients, cli)
 		transports = append(transports, cli)
 	}
-	fleet, err := proxy.AttachFleet(transports)
+	attach := proxy.AttachFleet
+	if opts.LazyDial {
+		// Lazy dialing implies lazy attach: a down proxy must not block
+		// startup, so the topic probe is deferred to first submit.
+		attach = proxy.AttachFleetLazy
+	}
+	fleet, err := attach(transports)
 	if err != nil {
 		for _, c := range clients {
 			c.Close()
@@ -312,6 +322,9 @@ func runClient(args []string) error {
 	minQueries := fs.Int("queries", 1, "announced queries to wait for before answering")
 	wait := fs.Duration("wait", 10*time.Second, "how long to wait for query announcements")
 	seed := fs.Int64("seed", 1, "system seed (client i uses seed+i+2, as in core.Config)")
+	dialTimeout := fs.Duration("dial-timeout", 0, "per-connection dial timeout (0 = transport default)")
+	retries := fs.Int("retries", 1, "publish attempts per proxy flush (>1 enables idempotent retry after ambiguous failures)")
+	degraded := fs.Bool("degraded", false, "tolerate a dead proxy: a failed flush drops that proxy's shares for the epoch (counted) instead of aborting")
 	fs.Parse(args)
 	if *n <= 0 {
 		return fmt.Errorf("need ≥ 1 logical clients, got %d", *n)
@@ -320,11 +333,22 @@ func runClient(args []string) error {
 		return fmt.Errorf("first-epoch %d outside [0, %d]", *firstEpoch, *epochs)
 	}
 
-	fleet, tcps, err := dialFleet(*proxyList, *conns)
+	fleet, tcps, err := dialFleetOpts(*proxyList, pubsub.Options{
+		Conns:       *conns,
+		DialTimeout: *dialTimeout,
+		Seed:        *seed,
+		// Degraded mode must come up even while a proxy is down; its
+		// conns stay dead (fast-failing under backoff) until the proxy
+		// returns, and lost flushes are dropped+counted.
+		LazyDial: *degraded,
+	})
 	if err != nil {
 		return err
 	}
 	defer closeAll(tcps)
+	if *retries > 1 {
+		fleet.SetRetryPolicy(pubsub.RetryPolicy{Attempts: *retries, Seed: *seed})
+	}
 
 	// One batcher per proxy: every logical client submits into it, and
 	// the epoch loop flushes it as one frame — O(1) round-trips per
@@ -333,6 +357,7 @@ func runClient(args []string) error {
 	sinks := make([]client.ShareSink, fleet.Size())
 	for i := range batchers {
 		batchers[i] = client.NewBatcher(fleet.Proxy(i), *batch)
+		batchers[i].SetDegraded(*degraded)
 		sinks[i] = batchers[i]
 	}
 
@@ -404,14 +429,17 @@ func runClient(args []string) error {
 		}
 		fmt.Printf("epoch %d: %d/%d participated\n", e, participants, *n)
 	}
-	var answers, bytes int64
+	var answers, bytes, dropped int64
 	for _, c := range clients {
 		st := c.Stats()
 		answers += st.AnswersSent
 		bytes += st.BytesSent
 	}
-	fmt.Printf("clients %d..%d done: %d answers, %d bytes\n",
-		*offset, *offset+*n-1, answers, bytes)
+	for _, b := range batchers {
+		dropped += b.Dropped()
+	}
+	fmt.Printf("clients %d..%d done: %d answers, %d bytes, %d shares dropped\n",
+		*offset, *offset+*n-1, answers, bytes, dropped)
 	return nil
 }
 

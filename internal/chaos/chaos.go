@@ -1,0 +1,300 @@
+// Package chaos injects seeded faults into the data-plane publish path.
+// It is netsim.Link's live sibling: where Link models an adversarial
+// delivery schedule for the control plane offline, chaos.Transport
+// wraps a real pubsub transport and perturbs the session publish calls
+// as they happen — synthetic connection resets (the request never
+// executes), dropped acks (the request executes but the caller sees an
+// ambiguous failure), duplicated deliveries (the request executes
+// twice), and delays. Under a fixed seed the fault schedule is a pure
+// function of the call sequence, so a chaos run is reproducible and a
+// gate can assert that results under faults are byte-identical to the
+// fault-free run (the broker's producer-session dedup and the client's
+// retry policy absorb every injected fault).
+//
+// Faults target only the SessionPublisher surface: those are the calls
+// with an exactly-once contract to stress. Plain publishes pass through
+// untouched — without broker dedup, a replayed or duplicated share
+// would XOR the aggregator's MID join into silent garbage, which is the
+// bug class the session layer exists to prevent, not a behavior worth
+// simulating here.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"privapprox/internal/pubsub"
+)
+
+// Fault identifies one injected fault kind.
+type Fault int
+
+const (
+	// FaultNone: the call passes through untouched.
+	FaultNone Fault = iota
+	// FaultReset fails the call before it reaches the inner transport —
+	// a connection reset on send. The operation did not execute;
+	// retrying cannot double-publish even without dedup.
+	FaultReset
+	// FaultAckDrop executes the call, then reports an ambiguous failure
+	// — the broker applied the batch but the ack never arrived. Only a
+	// deduplicating retry recovers this without double-publishing.
+	FaultAckDrop
+	// FaultDuplicate executes the call twice with the same producer ID
+	// and sequence — a duplicated delivery the broker must dedup.
+	FaultDuplicate
+	// FaultDelay sleeps briefly, then executes the call normally.
+	FaultDelay
+)
+
+// String names the fault kind.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultReset:
+		return "reset"
+	case FaultAckDrop:
+		return "ack-drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ErrInjectedReset is the synthetic pre-execution failure. It is not a
+// pubsub sentinel, so pubsub.Producer treats it as a retryable
+// transport error — exactly like a real dial failure or reset.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Plan is one seeded fault schedule: per-call probabilities for each
+// fault kind (at most one fault fires per call, drawn in the order
+// reset, ack-drop, duplicate, delay from a single uniform variate).
+// The zero Plan injects nothing.
+type Plan struct {
+	// Seed fixes the schedule; the same seed and call sequence always
+	// yield the same faults. Seed 0 is a valid (distinct) schedule.
+	Seed int64
+	// Reset, AckDrop, Duplicate, Delay are per-call probabilities in
+	// [0, 1]; their sum must not exceed 1.
+	Reset     float64
+	AckDrop   float64
+	Duplicate float64
+	Delay     float64
+	// DelayFor is the FaultDelay sleep (default 200µs).
+	DelayFor time.Duration
+}
+
+// Validate checks the probabilities.
+func (p Plan) Validate() error {
+	for _, v := range []float64{p.Reset, p.AckDrop, p.Duplicate, p.Delay} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("chaos: probability %v outside [0, 1]", v)
+		}
+	}
+	if sum := p.Reset + p.AckDrop + p.Duplicate + p.Delay; sum > 1 {
+		return fmt.Errorf("chaos: fault probabilities sum to %v > 1", sum)
+	}
+	return nil
+}
+
+func (p Plan) delayFor() time.Duration {
+	if p.DelayFor > 0 {
+		return p.DelayFor
+	}
+	return 200 * time.Microsecond
+}
+
+// Stats counts the faults a Transport injected.
+type Stats struct {
+	Calls      int64 // session publish calls seen
+	Resets     int64
+	AckDrops   int64
+	Duplicates int64
+	Delays     int64
+}
+
+// Injected returns the total number of faults fired.
+func (s Stats) Injected() int64 { return s.Resets + s.AckDrops + s.Duplicates + s.Delays }
+
+// Transport wraps a pubsub transport with fault injection on the
+// session publish path; every other call passes straight through. It
+// implements the same optional surfaces as the wrapped transport's
+// common case (WaitPublisher, ColumnPublisher, SessionPublisher), so a
+// pubsub.Producer built over it negotiates sessions exactly as it would
+// over the bare transport.
+type Transport struct {
+	inner pubsub.Transport
+	sp    pubsub.SessionPublisher // nil when inner lacks sessions
+	plan  Plan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// Wrap builds a fault-injecting view of inner under the given plan.
+func Wrap(inner pubsub.Transport, plan Plan) (*Transport, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("chaos: nil transport")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Transport{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	t.sp, _ = inner.(pubsub.SessionPublisher)
+	return t, nil
+}
+
+// Stats returns the fault counters so far.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// draw picks at most one fault for the current call and counts it.
+func (t *Transport) draw() Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Calls++
+	r := t.rng.Float64()
+	switch {
+	case r < t.plan.Reset:
+		t.stats.Resets++
+		return FaultReset
+	case r < t.plan.Reset+t.plan.AckDrop:
+		t.stats.AckDrops++
+		return FaultAckDrop
+	case r < t.plan.Reset+t.plan.AckDrop+t.plan.Duplicate:
+		t.stats.Duplicates++
+		return FaultDuplicate
+	case r < t.plan.Reset+t.plan.AckDrop+t.plan.Duplicate+t.plan.Delay:
+		t.stats.Delays++
+		return FaultDelay
+	}
+	return FaultNone
+}
+
+// sessionCall runs one session publish under the drawn fault.
+func (t *Transport) sessionCall(send func() ([]pubsub.PubResult, error)) ([]pubsub.PubResult, error) {
+	switch t.draw() {
+	case FaultReset:
+		return nil, ErrInjectedReset
+	case FaultAckDrop:
+		if _, err := send(); err != nil {
+			return nil, err
+		}
+		// The batch landed; report the ack lost. Wrapping ErrAmbiguous
+		// states the truth — the caller cannot know the outcome — and
+		// routes the producer onto its deduplicated retry path.
+		return nil, fmt.Errorf("%w: chaos: injected ack drop", pubsub.ErrAmbiguous)
+	case FaultDuplicate:
+		res, err := send()
+		if err != nil {
+			return nil, err
+		}
+		// Redeliver with the same (pid, seq); the broker must dedup.
+		// An error from the duplicate is swallowed — the first delivery
+		// already succeeded and its results stand.
+		send()
+		return res, nil
+	case FaultDelay:
+		time.Sleep(t.plan.delayFor())
+	}
+	return send()
+}
+
+// PublishBatchSession injects a fault (per the plan) around the inner
+// session publish.
+func (t *Transport) PublishBatchSession(topic string, msgs []pubsub.Message, pid, seq uint64) ([]pubsub.PubResult, error) {
+	if t.sp == nil {
+		return nil, pubsub.ErrNoSession
+	}
+	return t.sessionCall(func() ([]pubsub.PubResult, error) {
+		return t.sp.PublishBatchSession(topic, msgs, pid, seq)
+	})
+}
+
+// PublishColumnsSession injects a fault (per the plan) around the inner
+// columnar session publish.
+func (t *Transport) PublishColumnsSession(topic string, cols pubsub.Columns, pid, seq uint64) ([]pubsub.PubResult, error) {
+	if t.sp == nil {
+		return nil, pubsub.ErrNoSession
+	}
+	return t.sessionCall(func() ([]pubsub.PubResult, error) {
+		return t.sp.PublishColumnsSession(topic, cols, pid, seq)
+	})
+}
+
+// --- fault-free passthroughs -------------------------------------------
+
+func (t *Transport) CreateTopic(topic string, partitions int) error {
+	return t.inner.CreateTopic(topic, partitions)
+}
+
+func (t *Transport) Partitions(topic string) (int, error) { return t.inner.Partitions(topic) }
+
+func (t *Transport) Publish(topic string, key, value []byte) (int, int64, error) {
+	return t.inner.Publish(topic, key, value)
+}
+
+func (t *Transport) PublishBatch(topic string, msgs []pubsub.Message) ([]pubsub.PubResult, error) {
+	return t.inner.PublishBatch(topic, msgs)
+}
+
+func (t *Transport) FetchWait(topic string, partition int, offset int64, max int, wait time.Duration) ([]pubsub.Record, error) {
+	return t.inner.FetchWait(topic, partition, offset, max, wait)
+}
+
+func (t *Transport) EndOffset(topic string, partition int) (int64, error) {
+	return t.inner.EndOffset(topic, partition)
+}
+
+func (t *Transport) CommitOffset(group, topic string, partition int, offset int64) error {
+	return t.inner.CommitOffset(group, topic, partition, offset)
+}
+
+func (t *Transport) CommittedOffset(group, topic string, partition int) (int64, error) {
+	return t.inner.CommittedOffset(group, topic, partition)
+}
+
+func (t *Transport) PublishWait(topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
+	if wp, ok := t.inner.(pubsub.WaitPublisher); ok {
+		return wp.PublishWait(topic, key, value, timeout)
+	}
+	return t.inner.Publish(topic, key, value)
+}
+
+func (t *Transport) PublishBatchWait(topic string, msgs []pubsub.Message, timeout time.Duration) ([]pubsub.PubResult, error) {
+	if wp, ok := t.inner.(pubsub.WaitPublisher); ok {
+		return wp.PublishBatchWait(topic, msgs, timeout)
+	}
+	return t.inner.PublishBatch(topic, msgs)
+}
+
+func (t *Transport) PublishColumns(topic string, cols pubsub.Columns) ([]pubsub.PubResult, error) {
+	if cp, ok := t.inner.(pubsub.ColumnPublisher); ok {
+		return cp.PublishColumns(topic, cols)
+	}
+	return nil, fmt.Errorf("chaos: inner transport has no columnar surface")
+}
+
+func (t *Transport) PublishColumnsWait(topic string, cols pubsub.Columns, timeout time.Duration) ([]pubsub.PubResult, error) {
+	if cp, ok := t.inner.(pubsub.ColumnPublisher); ok {
+		return cp.PublishColumnsWait(topic, cols, timeout)
+	}
+	return nil, fmt.Errorf("chaos: inner transport has no columnar surface")
+}
+
+var (
+	_ pubsub.Transport        = (*Transport)(nil)
+	_ pubsub.WaitPublisher    = (*Transport)(nil)
+	_ pubsub.ColumnPublisher  = (*Transport)(nil)
+	_ pubsub.SessionPublisher = (*Transport)(nil)
+)

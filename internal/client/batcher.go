@@ -2,6 +2,7 @@ package client
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"privapprox/internal/xorcrypt"
 )
@@ -44,6 +45,14 @@ type ColumnSink interface {
 type Batcher struct {
 	sink  BatchSink
 	limit int
+	// degraded makes Flush tolerate a dead sink: a batch the sink (after
+	// its own retries) could not accept is dropped and counted instead
+	// of failing the epoch — the client's other shares for those answers
+	// are orphaned at the aggregator, which simply never completes their
+	// joins, so the estimator sees the realized (smaller) sample and
+	// widens margins honestly.
+	degraded bool
+	dropped  atomic.Int64
 
 	mu   sync.Mutex
 	cur  *batchBuf
@@ -142,6 +151,7 @@ func (b *Batcher) Pending() int {
 func (b *Batcher) flushLocked() error {
 	buf := b.cur
 	b.cur = nil
+	degraded := b.degraded
 	b.mu.Unlock()
 	if buf == nil || buf.count == 0 {
 		if buf != nil {
@@ -150,10 +160,17 @@ func (b *Batcher) flushLocked() error {
 		return nil
 	}
 	var err error
+	lost := 0
 	if cs, ok := b.sink.(ColumnSink); ok {
 		for i := range buf.segs[:buf.nseg] {
 			seg := &buf.segs[i]
 			if err = cs.SubmitColumns(seg.mids, seg.vals, seg.count, seg.size); err != nil {
+				// Count this segment and every unsent one as dropped;
+				// the sink may have landed part of the failing segment,
+				// which over-counts drops slightly — the safe direction.
+				for _, s := range buf.segs[i:buf.nseg] {
+					lost += s.count
+				}
 				break
 			}
 		}
@@ -169,11 +186,31 @@ func (b *Batcher) flushLocked() error {
 			}
 		}
 		buf.shares = shares
-		err = b.sink.SubmitBatch(shares)
+		if err = b.sink.SubmitBatch(shares); err != nil {
+			lost = len(shares)
+		}
 	}
 	b.putBuf(buf)
+	if err != nil && degraded {
+		b.dropped.Add(int64(lost))
+		return nil
+	}
 	return err
 }
+
+// SetDegraded toggles degraded mode: when on, a failed flush drops the
+// batch (counted by Dropped) instead of returning the error, so an
+// epoch proceeds while a proxy is down. Set it before the Batcher is
+// shared across goroutines.
+func (b *Batcher) SetDegraded(on bool) {
+	b.mu.Lock()
+	b.degraded = on
+	b.mu.Unlock()
+}
+
+// Dropped returns the number of shares discarded by degraded-mode
+// flushes since the Batcher was created.
+func (b *Batcher) Dropped() int64 { return b.dropped.Load() }
 
 // getBufLocked pops a recycled batch buffer or builds a fresh one; the
 // caller holds b.mu.

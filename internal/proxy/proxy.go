@@ -64,6 +64,14 @@ type Proxy struct {
 	// client's flush outright. Set before the proxy is shared; not
 	// synchronized against concurrent Submit calls.
 	submitTimeout time.Duration
+	// prod is the idempotent batch front-end: SubmitBatch/SubmitColumns
+	// go through a producer session, so a retry after an ambiguous
+	// transport failure is deduplicated by the broker instead of
+	// double-publishing shares (a duplicated share would XOR the MID
+	// join into garbage). retry is the policy SetRetryPolicy installed,
+	// kept so SetSubmitTimeout can re-derive the effective policy.
+	prod  *pubsub.Producer
+	retry pubsub.RetryPolicy
 }
 
 // New builds a proxy with its own broker and a single topic. Index 0 is
@@ -101,7 +109,9 @@ func newWithBroker(name string, index, partitions int, b *pubsub.Broker) (*Proxy
 		b.Close()
 		return nil, err
 	}
-	return &Proxy{name: name, topic: topic, t: b, broker: b}, nil
+	p := &Proxy{name: name, topic: topic, t: b, broker: b}
+	p.prod = pubsub.NewProducer(b, pubsub.RetryPolicy{})
+	return p, nil
 }
 
 // Attach binds a proxy handle to an already-running broker reachable
@@ -115,7 +125,22 @@ func Attach(name string, index int, t pubsub.Transport) (*Proxy, error) {
 	if _, err := t.Partitions(topic); err != nil {
 		return nil, fmt.Errorf("proxy: attach %s: %w", name, err)
 	}
-	return &Proxy{name: name, topic: topic, t: t}, nil
+	p := &Proxy{name: name, topic: topic, t: t}
+	p.prod = pubsub.NewProducer(t, pubsub.RetryPolicy{})
+	return p, nil
+}
+
+// AttachLazy is Attach without the topic probe: the handle binds even
+// while the remote proxy is unreachable, and a missing topic surfaces
+// on first submit instead. Degraded-mode clients use this (paired with
+// pubsub.Options.LazyDial) to come up while a proxy is down.
+func AttachLazy(name string, index int, t pubsub.Transport) (*Proxy, error) {
+	if t == nil {
+		return nil, fmt.Errorf("proxy: nil transport")
+	}
+	p := &Proxy{name: name, topic: TopicFor(index), t: t}
+	p.prod = pubsub.NewProducer(t, pubsub.RetryPolicy{})
+	return p, nil
 }
 
 // Name returns the proxy name.
@@ -129,7 +154,26 @@ func (p *Proxy) Topic() string { return p.topic }
 // (the default) fails fast with pubsub.ErrPartitionFull; the caller —
 // typically a client under backpressure — decides whether to shed.
 // Configure before serving traffic.
-func (p *Proxy) SetSubmitTimeout(d time.Duration) { p.submitTimeout = d }
+func (p *Proxy) SetSubmitTimeout(d time.Duration) {
+	p.submitTimeout = d
+	pol := p.retry
+	pol.FullWait = d
+	p.prod.SetPolicy(pol)
+}
+
+// SetRetryPolicy installs the at-least-once retry policy the batched
+// submit path (SubmitBatch/SubmitColumns) runs under. Retried batches
+// are deduplicated by the broker's producer sessions, so Attempts > 1
+// is safe against double-publish; over a transport without session
+// support the producer degrades to single attempts. A zero FullWait
+// inherits the submit timeout. Configure before serving traffic.
+func (p *Proxy) SetRetryPolicy(pol pubsub.RetryPolicy) {
+	p.retry = pol
+	if pol.FullWait <= 0 {
+		pol.FullWait = p.submitTimeout
+	}
+	p.prod.SetPolicy(pol)
+}
 
 // SetCapacity bounds the backlog of every partition of this proxy's
 // share topic (see pubsub.Broker.SetTopicCapacity). Only proxies that
@@ -183,16 +227,10 @@ func (p *Proxy) SubmitBatch(shares []xorcrypt.Share) error {
 		// copies or serializes it before PublishBatch returns.
 		msgs = append(msgs, pubsub.Message{Key: shares[i].MID[:], Value: shares[i].Payload})
 	}
-	var err error
-	if p.submitTimeout > 0 {
-		if wp, ok := p.t.(pubsub.WaitPublisher); ok {
-			_, err = wp.PublishBatchWait(p.topic, msgs, p.submitTimeout)
-		} else {
-			_, err = p.t.PublishBatch(p.topic, msgs)
-		}
-	} else {
-		_, err = p.t.PublishBatch(p.topic, msgs)
-	}
+	// The producer session makes the batch idempotent: under the retry
+	// policy an ambiguous transport failure is retried, and the broker
+	// dedups any slice that already landed.
+	err := p.prod.PublishBatch(p.topic, msgs)
 	for i := range msgs {
 		msgs[i] = pubsub.Message{}
 	}
@@ -213,46 +251,16 @@ func (p *Proxy) SubmitColumns(mids, payloads []byte, count, size int) error {
 	if count == 0 {
 		return nil
 	}
-	if cp, ok := p.t.(pubsub.ColumnPublisher); ok {
-		cols := pubsub.Columns{
-			Count:  count,
-			KeyLen: xorcrypt.MIDSize,
-			ValLen: size,
-			Keys:   mids,
-			Vals:   payloads,
-		}
-		var err error
-		if p.submitTimeout > 0 {
-			_, err = cp.PublishColumnsWait(p.topic, cols, p.submitTimeout)
-		} else {
-			_, err = cp.PublishColumns(p.topic, cols)
-		}
-		return err
-	}
-	mp := batchMsgPool.Get().(*[]pubsub.Message)
-	msgs := (*mp)[:0]
-	for i := 0; i < count; i++ {
-		msgs = append(msgs, pubsub.Message{
-			Key:   mids[i*xorcrypt.MIDSize : (i+1)*xorcrypt.MIDSize],
-			Value: payloads[i*size : (i+1)*size],
-		})
-	}
-	var err error
-	if p.submitTimeout > 0 {
-		if wp, ok := p.t.(pubsub.WaitPublisher); ok {
-			_, err = wp.PublishBatchWait(p.topic, msgs, p.submitTimeout)
-		} else {
-			_, err = p.t.PublishBatch(p.topic, msgs)
-		}
-	} else {
-		_, err = p.t.PublishBatch(p.topic, msgs)
-	}
-	for i := range msgs {
-		msgs[i] = pubsub.Message{}
-	}
-	*mp = msgs
-	batchMsgPool.Put(mp)
-	return err
+	// The producer owns the columnar-vs-row decision: session transports
+	// get tagged columnar frames, plain ColumnPublishers the wire-v2
+	// path, and row-only transports a materialized batch.
+	return p.prod.PublishColumns(p.topic, pubsub.Columns{
+		Count:  count,
+		KeyLen: xorcrypt.MIDSize,
+		ValLen: size,
+		Keys:   mids,
+		Vals:   payloads,
+	})
 }
 
 // Consumer returns an aggregator-side consumer over this proxy's stream.
@@ -345,6 +353,14 @@ func AttachFleet(transports []pubsub.Transport) (*Fleet, error) {
 	})
 }
 
+// AttachFleetLazy is AttachFleet via AttachLazy: no startup probes, so
+// the fleet binds while some proxies are still unreachable.
+func AttachFleetLazy(transports []pubsub.Transport) (*Fleet, error) {
+	return newFleet(len(transports), func(i int) (*Proxy, error) {
+		return AttachLazy(fmt.Sprintf("proxy-%d", i), i, transports[i])
+	})
+}
+
 // newFleet assembles n proxies from build, closing any already-built
 // proxies when a later one fails so no broker leaks.
 func newFleet(n int, build func(i int) (*Proxy, error)) (*Fleet, error) {
@@ -429,6 +445,14 @@ func (f *Fleet) SetCapacity(capacity int) error {
 func (f *Fleet) SetSubmitTimeout(d time.Duration) {
 	for _, p := range f.proxies {
 		p.SetSubmitTimeout(d)
+	}
+}
+
+// SetRetryPolicy installs one at-least-once retry policy on every
+// proxy's batched submit path.
+func (f *Fleet) SetRetryPolicy(pol pubsub.RetryPolicy) {
+	for _, p := range f.proxies {
+		p.SetRetryPolicy(pol)
 	}
 }
 

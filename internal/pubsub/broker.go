@@ -57,6 +57,12 @@ type Stats struct {
 	// Rejected counts publish attempts refused with ErrPartitionFull
 	// (each message of a refused batch counts once per attempt).
 	Rejected int64
+	// Duplicates counts messages discarded by producer-session
+	// deduplication: a retried session batch whose (producer, sequence)
+	// tag the partition had already applied. Nonzero Duplicates under
+	// fault injection is the proof that at-least-once retries were
+	// actually deduplicated rather than silently double-published.
+	Duplicates int64
 	// TotalBacklog is the number of unconsumed records summed over all
 	// partitions at snapshot time: per partition, end offset minus the
 	// slowest committed consumer offset (the full log length before any
@@ -82,6 +88,22 @@ type partitionLog struct {
 	// scratch, touched only under mu.
 	w      *wal.Log
 	encBuf []byte
+	// producers is the partition's session-dedup state, lazily allocated
+	// on the first session publish: producer ID → the newest applied
+	// sequence and where its slice of records landed. The state is
+	// journaled with the records themselves (every record of a session
+	// slice carries its producer tag), so it survives a restart in
+	// exactly the same atomic unit as the data it guards.
+	producers map[uint64]producerSlot
+}
+
+// producerSlot remembers the newest batch one producer session applied
+// to one partition: a retry carrying the same sequence is a duplicate
+// and returns the stored offsets instead of appending again.
+type producerSlot struct {
+	seq   uint64
+	first int64 // offset of the slice's first record
+	count int   // records in the slice
 }
 
 func newPartitionLog() *partitionLog {
@@ -323,6 +345,77 @@ func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 // nothing — a partially applied batch would break the publisher's
 // retry (retrying would duplicate the partitions that did land).
 func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error) {
+	return b.publishRows(topic, msgs, 0, 0)
+}
+
+// PublishBatchSession is PublishBatch tagged with a producer session:
+// pid identifies the producer (nonzero), seq its per-topic batch
+// sequence, strictly increasing across a producer's batches to one
+// topic. A partition that has already applied a sequence at or above
+// seq skips its slice of the batch (counting Stats.Duplicates) and, for
+// an exact replay of the newest batch, returns the offsets the original
+// landed at — so a retry after an ambiguous failure is exactly-once.
+// Every message must carry a key: keyless routing is round-robin, which
+// would route a retry differently and defeat per-partition dedup.
+func (b *Broker) PublishBatchSession(topic string, msgs []Message, pid, seq uint64) ([]PubResult, error) {
+	if pid == 0 {
+		return nil, fmt.Errorf("%w: zero producer id", ErrWire)
+	}
+	for i := range msgs {
+		if msgs[i].Key == nil {
+			return nil, fmt.Errorf("%w: keyless message in session batch", ErrWire)
+		}
+	}
+	return b.publishRows(topic, msgs, pid, seq)
+}
+
+// dupSlices collects, per locked target partition, the session slot
+// proving that partition already applied this (pid, seq) — the caller
+// then skips capacity checks, journaling, and appends for it. Caller
+// holds every partition lock in parts.
+func dupSlices(t *topicLog, parts []int, pid, seq uint64) map[int]producerSlot {
+	if pid == 0 {
+		return nil
+	}
+	var dup map[int]producerSlot
+	for _, part := range parts {
+		if slot, ok := t.partitions[part].producers[pid]; ok && seq <= slot.seq {
+			if dup == nil {
+				dup = make(map[int]producerSlot)
+			}
+			dup[part] = slot
+		}
+	}
+	return dup
+}
+
+// recordSlice notes a freshly applied session slice in the partition's
+// dedup state. Caller holds p.mu.
+func (p *partitionLog) recordSlice(pid, seq uint64, first int64, count int) {
+	if pid == 0 {
+		return
+	}
+	if p.producers == nil {
+		p.producers = make(map[uint64]producerSlot)
+	}
+	p.producers[pid] = producerSlot{seq: seq, first: first, count: count}
+}
+
+// fillDupResults reconstructs a duplicate slice's results: an exact
+// replay of the newest applied sequence gets the original offsets (the
+// slice was appended contiguously); older sequences get zero offsets —
+// their placement is no longer tracked, and session publishers treat
+// results of deduplicated batches as advisory.
+func fillDupResults(results []PubResult, idxs []int, slot producerSlot, seq uint64) {
+	if slot.seq != seq || slot.count != len(idxs) {
+		return
+	}
+	for j, i := range idxs {
+		results[i].Offset = slot.first + int64(j)
+	}
+}
+
+func (b *Broker) publishRows(topic string, msgs []Message, pid, seq uint64) ([]PubResult, error) {
 	if len(msgs) == 0 {
 		return nil, nil
 	}
@@ -392,8 +485,15 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 		t.partitions[part].mu.Lock()
 		locked++
 	}
+	// Partitions that already applied this (producer, sequence) — a retry
+	// of a batch whose first attempt died after some partitions journaled
+	// — are skipped wholesale: no capacity check, no journal, no append.
+	dup := dupSlices(t, parts, pid, seq)
 	now := time.Now()
 	for i, part := range parts {
+		if _, isDup := dup[part]; isDup {
+			continue
+		}
 		p := t.partitions[part]
 		if p.overCapacity(len(byPart[part]), floors[i]) {
 			capacity := p.capacity
@@ -406,17 +506,31 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 		}
 	}
 	for _, part := range parts {
+		if _, isDup := dup[part]; isDup {
+			continue
+		}
 		p := t.partitions[part]
 		if p.w != nil {
-			if err := journalBatch(p, now, msgs, byPart[part]); err != nil {
+			if err := journalBatch(p, now, msgs, byPart[part], pid, seq); err != nil {
 				unlockAll()
 				return nil, err
 			}
 		}
 	}
+	var duplicates int64
 	for _, part := range parts {
 		p := t.partitions[part]
-		for _, i := range byPart[part] {
+		idxs := byPart[part]
+		if slot, isDup := dup[part]; isDup {
+			fillDupResults(results, idxs, slot, seq)
+			duplicates += int64(len(idxs))
+			for _, i := range idxs {
+				bytesIn -= int64(len(msgs[i].Key) + len(msgs[i].Value))
+			}
+			continue
+		}
+		first := int64(len(p.records))
+		for _, i := range idxs {
 			offset := int64(len(p.records))
 			results[i].Offset = offset
 			p.records = append(p.records, Record{
@@ -428,13 +542,15 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 				Timestamp: now,
 			})
 		}
+		p.recordSlice(pid, seq, first, len(idxs))
 		p.cond.Broadcast()
 	}
 	unlockAll()
 
 	b.statsMu.Lock()
-	b.stats.MessagesIn += int64(len(msgs))
+	b.stats.MessagesIn += int64(len(msgs)) - duplicates
 	b.stats.BytesIn += bytesIn
+	b.stats.Duplicates += duplicates
 	b.statsMu.Unlock()
 	return results, nil
 }
@@ -444,24 +560,33 @@ func (b *Broker) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 // or the timeout passes, then returns the last ErrPartitionFull. Errors
 // other than ErrPartitionFull return immediately.
 func (b *Broker) PublishWait(topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
-	return publishWait(b, topic, key, value, timeout)
+	return publishWait(b, topic, key, value, timeout, defaultPace)
 }
 
 // PublishBatchWait is PublishBatch with the same deadline-bounded retry
 // as PublishWait; the all-or-nothing batch contract makes the retry
 // safe (a refused batch published nothing).
 func (b *Broker) PublishBatchWait(topic string, msgs []Message, timeout time.Duration) ([]PubResult, error) {
-	return publishBatchWait(b, topic, msgs, timeout)
+	return publishBatchWait(b, topic, msgs, timeout, defaultPace)
 }
 
-// fullRetryInterval paces blocked publishers: capacity frees only when
-// the slowest consumer group commits, so a tight spin would just burn
-// the locks the consumers need.
+// fullRetryInterval is the default pacing between blocked publishers'
+// retries: capacity frees only when the slowest consumer group commits,
+// so a tight spin would just burn the locks the consumers need. The TCP
+// client can override (and jitter) it via Options.RetryPacing.
 const fullRetryInterval = time.Millisecond
+
+// pace yields successive sleeps between full-partition retries. The
+// default is the fixed fullRetryInterval; transports with configured
+// pacing supply a jittered source so a fleet of blocked publishers does
+// not retry in lockstep.
+type pace func() time.Duration
+
+func defaultPace() time.Duration { return fullRetryInterval }
 
 // publishWait implements the blocking publish over any Transport (the
 // in-process broker and the TCP client share it).
-func publishWait(t Transport, topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
+func publishWait(t Transport, topic string, key, value []byte, timeout time.Duration, next pace) (int, int64, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		part, off, err := t.Publish(topic, key, value)
@@ -471,11 +596,11 @@ func publishWait(t Transport, topic string, key, value []byte, timeout time.Dura
 		if !time.Now().Before(deadline) {
 			return 0, 0, err
 		}
-		time.Sleep(fullRetryInterval)
+		time.Sleep(next())
 	}
 }
 
-func publishBatchWait(t Transport, topic string, msgs []Message, timeout time.Duration) ([]PubResult, error) {
+func publishBatchWait(t Transport, topic string, msgs []Message, timeout time.Duration, next pace) ([]PubResult, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		res, err := t.PublishBatch(topic, msgs)
@@ -485,7 +610,7 @@ func publishBatchWait(t Transport, topic string, msgs []Message, timeout time.Du
 		if !time.Now().Before(deadline) {
 			return nil, err
 		}
-		time.Sleep(fullRetryInterval)
+		time.Sleep(next())
 	}
 }
 

@@ -35,6 +35,21 @@ func fnv1a32(b []byte) uint32 {
 // Results are returned in record order. Both lanes are fully consumed
 // before the call returns.
 func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error) {
+	return b.publishCols(topic, cols, 0, 0)
+}
+
+// PublishColumnsSession is PublishColumns tagged with a producer
+// session — the columnar form of PublishBatchSession, with the same
+// per-partition dedup contract. Columnar records always carry keys, so
+// no keyless check is needed.
+func (b *Broker) PublishColumnsSession(topic string, cols Columns, pid, seq uint64) ([]PubResult, error) {
+	if pid == 0 {
+		return nil, fmt.Errorf("%w: zero producer id", ErrWire)
+	}
+	return b.publishCols(topic, cols, pid, seq)
+}
+
+func (b *Broker) publishCols(topic string, cols Columns, pid, seq uint64) ([]PubResult, error) {
 	if err := cols.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,8 +100,14 @@ func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error)
 		t.partitions[part].mu.Lock()
 		locked++
 	}
+	// Skip partitions that already applied this (producer, sequence) —
+	// see publishRows.
+	dup := dupSlices(t, parts, pid, seq)
 	now := time.Now()
 	for i, part := range parts {
+		if _, isDup := dup[part]; isDup {
+			continue
+		}
 		p := t.partitions[part]
 		if p.overCapacity(len(byPart[part]), floors[i]) {
 			capacity := p.capacity
@@ -99,9 +120,12 @@ func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error)
 		}
 	}
 	for _, part := range parts {
+		if _, isDup := dup[part]; isDup {
+			continue
+		}
 		p := t.partitions[part]
 		if p.w != nil {
-			if err := journalColumns(p, now, cols, byPart[part]); err != nil {
+			if err := journalColumns(p, now, cols, byPart[part], pid, seq); err != nil {
 				unlockAll()
 				return nil, err
 			}
@@ -112,9 +136,17 @@ func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error)
 	// shared backing arrays are never exposed to consumers.
 	keys := append([]byte(nil), cols.Keys...)
 	vals := append([]byte(nil), cols.Vals...)
+	var duplicates int64
 	for _, part := range parts {
 		p := t.partitions[part]
-		for _, i := range byPart[part] {
+		idxs := byPart[part]
+		if slot, isDup := dup[part]; isDup {
+			fillDupResults(results, idxs, slot, seq)
+			duplicates += int64(len(idxs))
+			continue
+		}
+		first := int64(len(p.records))
+		for _, i := range idxs {
 			offset := int64(len(p.records))
 			results[i].Offset = offset
 			p.records = append(p.records, Record{
@@ -126,13 +158,15 @@ func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error)
 				Timestamp: now,
 			})
 		}
+		p.recordSlice(pid, seq, first, len(idxs))
 		p.cond.Broadcast()
 	}
 	unlockAll()
 
 	b.statsMu.Lock()
-	b.stats.MessagesIn += int64(cols.Count)
-	b.stats.BytesIn += int64(len(cols.Keys) + len(cols.Vals))
+	b.stats.MessagesIn += int64(cols.Count) - duplicates
+	b.stats.BytesIn += int64(cols.Count-int(duplicates)) * int64(cols.KeyLen+cols.ValLen)
+	b.stats.Duplicates += duplicates
 	b.statsMu.Unlock()
 	return results, nil
 }
@@ -140,10 +174,10 @@ func (b *Broker) PublishColumns(topic string, cols Columns) ([]PubResult, error)
 // PublishColumnsWait is PublishColumns with the deadline-bounded retry
 // of PublishBatchWait; the all-or-nothing contract makes it safe.
 func (b *Broker) PublishColumnsWait(topic string, cols Columns, timeout time.Duration) ([]PubResult, error) {
-	return publishColumnsWait(b.PublishColumns, topic, cols, timeout)
+	return publishColumnsWait(b.PublishColumns, topic, cols, timeout, defaultPace)
 }
 
-func publishColumnsWait(pub func(string, Columns) ([]PubResult, error), topic string, cols Columns, timeout time.Duration) ([]PubResult, error) {
+func publishColumnsWait(pub func(string, Columns) ([]PubResult, error), topic string, cols Columns, timeout time.Duration, next pace) ([]PubResult, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		res, err := pub(topic, cols)
@@ -153,7 +187,7 @@ func publishColumnsWait(pub func(string, Columns) ([]PubResult, error), topic st
 		if !time.Now().Before(deadline) {
 			return nil, err
 		}
-		time.Sleep(fullRetryInterval)
+		time.Sleep(next())
 	}
 }
 
@@ -162,8 +196,12 @@ func publishColumnsWait(pub func(string, Columns) ([]PubResult, error), topic st
 // to journalBatch for the same (key, value) sequence — replay cannot
 // tell which publish form wrote a record. The caller holds the
 // partition lock.
-func journalColumns(p *partitionLog, now time.Time, cols Columns, idxs []int) error {
-	total := len(idxs) * (12 + cols.KeyLen + cols.ValLen)
+func journalColumns(p *partitionLog, now time.Time, cols Columns, idxs []int, pid, seq uint64) error {
+	per := 12 + cols.KeyLen + cols.ValLen
+	if pid != 0 {
+		per += sessionTagLen
+	}
+	total := len(idxs) * per
 	if cap(p.encBuf) < total {
 		p.encBuf = make([]byte, 0, total)
 	}
@@ -171,6 +209,7 @@ func journalColumns(p *partitionLog, now time.Time, cols Columns, idxs []int) er
 	payloads := make([][]byte, 0, len(idxs))
 	for _, i := range idxs {
 		start := len(enc)
+		enc = appendSessionTag(enc, pid, seq)
 		enc = appendPartitionRecord(enc, now, cols.Key(i), cols.Val(i))
 		payloads = append(payloads, enc[start:len(enc):len(enc)])
 	}
@@ -300,14 +339,14 @@ func (c *Client) PublishColumns(topic string, cols Columns) ([]PubResult, error)
 // PublishBatchWait, all-or-nothing holds per chunk for batches split
 // past maxBatchBytes.
 func (c *Client) PublishColumnsWait(topic string, cols Columns, timeout time.Duration) ([]PubResult, error) {
-	return publishColumnsWait(c.PublishColumns, topic, cols, timeout)
+	return publishColumnsWait(c.PublishColumns, topic, cols, timeout, c.pace)
 }
 
 // handleFeatures answers the capability probe.
 func (s *Server) handleFeatures() []byte {
 	var e enc
 	e.byte(0)
-	e.uint64(featureColumnarV2)
+	e.uint64(featureColumnarV2 | featureIdempotent)
 	return e.buf
 }
 

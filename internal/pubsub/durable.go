@@ -139,17 +139,29 @@ func (b *Broker) restoreTopic(name string, partitions int) error {
 		}
 		p.w = w
 		err = w.Replay(0, func(lsn uint64, payload []byte) error {
-			ts, key, value, err := decodePartitionRecord(payload)
+			ts, key, value, pid, seq, err := decodePartitionRecord(payload)
 			if err != nil {
 				return err
 			}
 			if int64(lsn) != int64(len(p.records)) {
 				return fmt.Errorf("%w: %s/%d: lsn %d for offset %d", ErrDurable, name, i, lsn, len(p.records))
 			}
+			offset := int64(len(p.records))
+			if pid != 0 {
+				// Rebuild the session-dedup slot from the record's own tag:
+				// a slice's records replay contiguously, so same-(pid, seq)
+				// records extend the slot and a newer sequence restarts it.
+				if slot, ok := p.producers[pid]; ok && slot.seq == seq {
+					slot.count++
+					p.producers[pid] = slot
+				} else {
+					p.recordSlice(pid, seq, offset, 1)
+				}
+			}
 			p.records = append(p.records, Record{
 				Topic:     name,
 				Partition: i,
-				Offset:    int64(lsn),
+				Offset:    offset,
 				Key:       key,
 				Value:     value,
 				Timestamp: ts,
@@ -226,30 +238,70 @@ func appendPartitionRecord(buf []byte, ts time.Time, key, value []byte) []byte {
 	return append(buf, value...)
 }
 
-func decodePartitionRecord(payload []byte) (ts time.Time, key, value []byte, err error) {
+// sessionTag marks a partition record published through a producer
+// session: sessionTag | u64 producer id | u64 sequence, prefixed to the
+// plain record framing. The tag byte is unambiguous against untagged
+// records, whose first byte is the high byte of a big-endian UnixNano
+// timestamp — 0xF5 there would be a nonsensical (negative, far-future)
+// time no real publish produces. Journaling the tag with the record
+// itself keeps dedup state and data in one atomic WAL unit: there is no
+// ordering between "record durable" and "dedup state durable" to get
+// wrong across a crash.
+const sessionTag = byte(0xF5)
+
+// sessionTagLen is the tagged prefix length: tag byte + pid + seq.
+const sessionTagLen = 17
+
+// appendSessionTag prefixes the session tag when pid is nonzero; plain
+// publishes (pid 0) keep the v1 framing byte-for-byte.
+func appendSessionTag(buf []byte, pid, seq uint64) []byte {
+	if pid == 0 {
+		return buf
+	}
+	buf = append(buf, sessionTag)
+	buf = binary.BigEndian.AppendUint64(buf, pid)
+	return binary.BigEndian.AppendUint64(buf, seq)
+}
+
+func decodePartitionRecord(payload []byte) (ts time.Time, key, value []byte, pid, seq uint64, err error) {
+	if len(payload) > 0 && payload[0] == sessionTag {
+		if len(payload) < sessionTagLen {
+			return time.Time{}, nil, nil, 0, 0, fmt.Errorf("%w: %d-byte session tag", ErrDurable, len(payload))
+		}
+		pid = binary.BigEndian.Uint64(payload[1:9])
+		seq = binary.BigEndian.Uint64(payload[9:17])
+		if pid == 0 {
+			return time.Time{}, nil, nil, 0, 0, fmt.Errorf("%w: session tag with zero producer id", ErrDurable)
+		}
+		payload = payload[sessionTagLen:]
+	}
 	if len(payload) < 12 {
-		return time.Time{}, nil, nil, fmt.Errorf("%w: %d-byte partition record", ErrDurable, len(payload))
+		return time.Time{}, nil, nil, 0, 0, fmt.Errorf("%w: %d-byte partition record", ErrDurable, len(payload))
 	}
 	ts = time.Unix(0, int64(binary.BigEndian.Uint64(payload[0:8])))
 	klen := binary.BigEndian.Uint32(payload[8:12])
 	rest := payload[12:]
 	if uint32(len(rest)) < klen {
-		return time.Time{}, nil, nil, fmt.Errorf("%w: key length %d beyond record", ErrDurable, klen)
+		return time.Time{}, nil, nil, 0, 0, fmt.Errorf("%w: key length %d beyond record", ErrDurable, klen)
 	}
 	if klen > 0 {
 		key = append([]byte(nil), rest[:klen]...)
 	}
 	value = append([]byte(nil), rest[klen:]...)
-	return ts, key, value, nil
+	return ts, key, value, pid, seq, nil
 }
 
 // journalBatch frames and appends one partition's slice of a publish
 // batch as a single WAL batch (one write, one policy fsync). The caller
 // holds the partition lock.
-func journalBatch(p *partitionLog, now time.Time, msgs []Message, idxs []int) error {
+func journalBatch(p *partitionLog, now time.Time, msgs []Message, idxs []int, pid, seq uint64) error {
+	tagLen := 0
+	if pid != 0 {
+		tagLen = sessionTagLen
+	}
 	total := 0
 	for _, i := range idxs {
-		total += 12 + len(msgs[i].Key) + len(msgs[i].Value)
+		total += tagLen + 12 + len(msgs[i].Key) + len(msgs[i].Value)
 	}
 	// Grow the scratch once up front: the per-record sub-slices handed
 	// to AppendBatch must all point into the same backing array.
@@ -260,6 +312,7 @@ func journalBatch(p *partitionLog, now time.Time, msgs []Message, idxs []int) er
 	payloads := make([][]byte, 0, len(idxs))
 	for _, i := range idxs {
 		start := len(enc)
+		enc = appendSessionTag(enc, pid, seq)
 		enc = appendPartitionRecord(enc, now, msgs[i].Key, msgs[i].Value)
 		payloads = append(payloads, enc[start:len(enc):len(enc)])
 	}

@@ -1,0 +1,65 @@
+package pubsub
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain adds a package-wide goroutine-leak gate: after every test
+// has run (and its Cleanup closed its servers and clients), no
+// transport goroutine — connection read loops, server accept/serve
+// loops — may still be alive. A leak here means some Close path leaves
+// a goroutine behind, which long-lived deployments would accumulate.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := waitNoTransportGoroutines(3 * time.Second); leaked != "" {
+			fmt.Fprintf(os.Stderr, "transport goroutine leak after pubsub tests:\n\n%s\n", leaked)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// transportFuncs are the goroutine entry points Close must reap.
+var transportFuncs = []string{
+	"pubsub.(*clientConn).readLoop",
+	"pubsub.(*Server).acceptLoop",
+	"pubsub.(*Server).serveConn",
+}
+
+// waitNoTransportGoroutines polls for lingering transport goroutines,
+// tolerating the short teardown window, and returns their stacks if any
+// survive the grace period.
+func waitNoTransportGoroutines(grace time.Duration) string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := transportGoroutines()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			return strings.Join(leaked, "\n\n")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func transportGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		for _, fn := range transportFuncs {
+			if strings.Contains(g, fn) {
+				leaked = append(leaked, g)
+				break
+			}
+		}
+	}
+	return leaked
+}

@@ -1,0 +1,308 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitConnDead polls until cc has detached its connection (the read
+// loop noticed the death) or the deadline passes.
+func waitConnDead(t *testing.T, cc *clientConn) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cc.mu.Lock()
+		dead := cc.conn == nil
+		cc.mu.Unlock()
+		if dead {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection never detected as dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReconnectAfterServerRestart: a client survives its server going
+// away and coming back on the same address — requests during the outage
+// fail (ambiguously if in flight, plainly if the dial fails), and the
+// first request after the restart redials and succeeds without a new
+// Client.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	b := NewBroker()
+	t.Cleanup(b.Close)
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := DialOptions(addr, Options{Conns: 1, RedialBackoff: time.Millisecond, RedialBackoffMax: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if err := cli.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitConnDead(t, cli.conns[0])
+
+	srv2, err := Serve(b, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	// The redial backoff window from any failed attempt is short; a few
+	// tries must get through.
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, _, lastErr = cli.Publish("t", []byte("k"), []byte("v")); lastErr == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("publish never succeeded after restart: %v", lastErr)
+	}
+	if end, err := cli.EndOffset("t", 0); err != nil || end != 1 {
+		t.Fatalf("EndOffset = %d, %v; want 1", end, err)
+	}
+}
+
+// TestInFlightFailsAmbiguous: a request that reached the wire before
+// the connection died must fail wrapping ErrAmbiguous — the caller
+// cannot know whether the broker applied it.
+func TestInFlightFailsAmbiguous(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+	cli, err := DialOptions(ln.Addr().String(), Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	srvConn := <-accepted
+	// Sever the connection after the request frame arrives, before any
+	// response: the client's waiter must observe ErrAmbiguous.
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := srvConn.Read(buf); err != nil {
+				return
+			}
+			srvConn.Close()
+			return
+		}
+	}()
+	_, _, err = cli.Publish("t", []byte("k"), []byte("v"))
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("in-flight failure: %v, want ErrAmbiguous", err)
+	}
+}
+
+// TestDialFailureIsUnambiguous: when no connection can be established,
+// nothing reached the wire, so the error must NOT claim ambiguity.
+func TestDialFailureIsUnambiguous(t *testing.T) {
+	b := NewBroker()
+	t.Cleanup(b.Close)
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialOptions(srv.Addr(), Options{Conns: 1, RedialBackoff: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitConnDead(t, cli.conns[0])
+	// First attempt dials (refused — plain error); an immediate second
+	// attempt is inside the backoff window and fails fast.
+	_, _, err = cli.Publish("t", []byte("k"), []byte("v"))
+	if err == nil || errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("dial failure: %v, want a plain (unambiguous) error", err)
+	}
+	_, _, err = cli.Publish("t", []byte("k"), []byte("v"))
+	if err == nil || !strings.Contains(err.Error(), "backing off") {
+		t.Fatalf("within backoff window: %v, want fast redial-backoff failure", err)
+	}
+	if errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("backoff failure claims ambiguity: %v", err)
+	}
+}
+
+// TestLazyDialComesUpWithServerDown: with LazyDial a client is usable
+// before its server exists — requests fail fast (plainly, under
+// backoff) while it's down, and succeed via on-demand redial once it
+// arrives. Without LazyDial the same dial fails outright.
+func TestLazyDialComesUpWithServerDown(t *testing.T) {
+	// Reserve an address with no listener behind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	if _, err := DialOptions(addr, Options{Conns: 1}); err == nil {
+		t.Fatal("eager dial to a dead address succeeded")
+	}
+	cli, err := DialOptions(addr, Options{Conns: 1, LazyDial: true, RedialBackoff: time.Millisecond, RedialBackoffMax: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("lazy dial to a dead address failed: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if _, _, err := cli.Publish("t", []byte("k"), []byte("v")); err == nil {
+		t.Fatal("publish with server still down succeeded")
+	} else if errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("nothing reached the wire, yet error claims ambiguity: %v", err)
+	}
+
+	b := NewBroker()
+	t.Cleanup(b.Close)
+	srv, err := Serve(b, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if lastErr = cli.CreateTopic("t", 1); lastErr == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("lazy client never recovered once the server came up: %v", lastErr)
+	}
+	if _, _, err := cli.Publish("t", []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("publish after recovery: %v", err)
+	}
+}
+
+// TestDialPoolSurvivesConnDeath is the regression test for the dead-
+// pool-member bug: one pool connection dies mid-pipeline and every
+// subsequent request must keep succeeding — first routed around the
+// corpse while other conns live, and via on-demand redial once the
+// whole pool is down.
+func TestDialPoolSurvivesConnDeath(t *testing.T) {
+	b := NewBroker()
+	t.Cleanup(b.Close)
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := DialOptions(srv.Addr(), Options{Conns: 3, RedialBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if err := cli.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish through a producer session while a goroutine murders one
+	// connection mid-stream: the batches in flight on the dying conn
+	// fail ambiguously and the producer's retry lands them exactly once.
+	prod := NewProducer(cli, RetryPolicy{Attempts: 8, Backoff: time.Millisecond})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		cc := cli.conns[0]
+		cc.mu.Lock()
+		conn := cc.conn
+		cc.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	const batches, per = 40, 5
+	for i := 0; i < batches; i++ {
+		if err := prod.PublishBatch("t", sessionMsgs(fmt.Sprintf("b%02d", i), per)); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if end := topicEnd(t, cli, "t"); end != batches*per {
+		t.Fatalf("topic holds %d records, want %d (exactly-once through conn death)", end, batches*per)
+	}
+
+	// Kill every connection: the next request has no live conn to prefer
+	// and must redial on demand.
+	for _, cc := range cli.conns {
+		cc.mu.Lock()
+		conn := cc.conn
+		cc.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		waitConnDead(t, cc)
+	}
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, lastErr = cli.Partitions("t"); lastErr == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("whole-pool redial never recovered: %v", lastErr)
+	}
+}
+
+// TestPickPrefersLiveConns: with one member down, no request may be
+// routed onto the corpse while siblings live (the pre-fix behavior sent
+// it the least-loaded share of traffic, which all failed).
+func TestPickPrefersLiveConns(t *testing.T) {
+	b := NewBroker()
+	t.Cleanup(b.Close)
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := DialOptions(srv.Addr(), Options{Conns: 2, RedialBackoff: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if err := cli.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	cc := cli.conns[0]
+	cc.mu.Lock()
+	conn := cc.conn
+	cc.mu.Unlock()
+	conn.Close()
+	waitConnDead(t, cc)
+	// With a one-minute redial backoff the dead conn cannot recover
+	// during the loop, so any request routed to it would fail.
+	for i := 0; i < 100; i++ {
+		if _, _, err := cli.Publish("t", []byte("k"), []byte("v")); err != nil {
+			t.Fatalf("publish %d routed to the dead conn: %v", i, err)
+		}
+	}
+}

@@ -128,7 +128,8 @@ func (s *Server) handle(req []byte) []byte {
 	if err != nil {
 		return respErr(err)
 	}
-	if s.legacyV1 && (op == opFeatures || op == opPublishBatchV2) {
+	if s.legacyV1 && (op == opFeatures || op == opPublishBatchV2 ||
+		op == opPublishBatchSession || op == opPublishColumnsSession) {
 		return respErr(fmt.Errorf("%w: unknown opcode %d", ErrWire, op))
 	}
 	switch op {
@@ -320,6 +321,10 @@ func (s *Server) handle(req []byte) []byte {
 		return s.handleFeatures()
 	case opPublishBatchV2:
 		return s.handlePublishColumns(d)
+	case opPublishBatchSession:
+		return s.handlePublishBatchSession(d)
+	case opPublishColumnsSession:
+		return s.handlePublishColumnsSession(d)
 	default:
 		return respErr(fmt.Errorf("%w: unknown opcode %d", ErrWire, op))
 	}
@@ -377,26 +382,135 @@ func encodeOptBytes(e *enc, b []byte) {
 	}
 }
 
+// ErrAmbiguous reports a request whose outcome is unknown: it was
+// written (at least partially) to a connection that died before its
+// response arrived. The broker may or may not have applied it. Blind
+// retries of ambiguous publishes can double-publish; retry them only
+// through an idempotent path (Producer sessions), or treat the data as
+// possibly lost. Requests that failed before anything reached the wire
+// (dial failure, closed client) return plain errors, never ErrAmbiguous.
+var ErrAmbiguous = errors.New("pubsub: request outcome unknown")
+
+// Options configures the TCP client transport. The zero value of every
+// field selects a default that preserves the historical behavior: a 5 s
+// dial timeout, 25 ms→1 s redial backoff, the fixed 1 ms full-partition
+// retry pacing, and no jitter.
+type Options struct {
+	// Conns is the connection pool size (DefaultPoolConns when <= 0 via
+	// DialPool; DialOptions treats <= 0 as 1).
+	Conns int
+	// DialTimeout bounds each dial attempt (initial and redials).
+	DialTimeout time.Duration
+	// RedialBackoff / RedialBackoffMax shape the capped exponential
+	// backoff between redial attempts after a connection failure: while
+	// a conn is backing off, requests routed to it fail fast with the
+	// last dial error instead of stacking up behind a dial.
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// RetryPacing is the sleep between full-partition retries in the
+	// Wait publish variants (the configurable form of the broker's
+	// fullRetryInterval).
+	RetryPacing time.Duration
+	// Seed, when nonzero, enables deterministic jitter (±50%) on redial
+	// backoff and retry pacing, so a fleet of clients does not retry in
+	// lockstep. Zero keeps every delay fixed.
+	Seed int64
+	// LazyDial tolerates initial dial failures: the connection is kept
+	// in its dead state (requests fail fast and redial on demand under
+	// backoff) instead of failing DialOptions. Degraded-mode callers
+	// use this to come up while a proxy is still down.
+	LazyDial bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 25 * time.Millisecond
+	}
+	if o.RedialBackoffMax <= 0 {
+		o.RedialBackoffMax = time.Second
+	}
+	if o.RetryPacing <= 0 {
+		o.RetryPacing = fullRetryInterval
+	}
+	return o
+}
+
+// jitterState seeds the shared xorshift jitter stream; zero (no Seed)
+// disables jitter.
+func jitterState(seed int64) uint64 {
+	if seed == 0 {
+		return 0
+	}
+	// SplitMix64 scramble so nearby seeds give unrelated streams.
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// jitterDur spreads d over [d/2, 3d/2) using the shared xorshift state;
+// a zero state returns d unchanged.
+func jitterDur(state *atomic.Uint64, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	for {
+		old := state.Load()
+		if old == 0 {
+			return d
+		}
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if state.CompareAndSwap(old, x) {
+			return d/2 + time.Duration(x%uint64(d))
+		}
+	}
+}
+
 // Client is a remote handle on a broker served over TCP. It is safe for
 // concurrent use and pipelines: a request is written and its response
 // awaited without blocking other goroutines' requests, which flow on
 // the same connections back to back. Dial opens a single connection;
 // DialPool spreads requests over a small pool so a server-side blocking
 // fetch parked on one connection does not stall unrelated requests.
+//
+// Connections self-heal: when one dies, its in-flight requests fail
+// with ErrAmbiguous (they were on the wire; the outcome is unknown) and
+// the conn redials on the next request, with capped exponential backoff
+// between failed dial attempts. Close is final — a closed client never
+// redials.
 type Client struct {
 	conns []*clientConn
 	rr    atomic.Uint64
+	opts  Options
+	// jitter is the shared xorshift state for backoff/pacing jitter;
+	// zero when Options.Seed is unset.
+	jitter atomic.Uint64
 	// features caches the wire-v2 negotiation verdict (see
 	// supportsColumns): featUnknown until probed, then featV2 or
-	// featV1Only for the life of the client.
+	// featV1Only for the life of the client. sessions caches the
+	// producer-session verdict the same way.
 	features atomic.Int32
+	sessions atomic.Int32
 }
 
 // DefaultPoolConns is the pool size DialPool uses for conns <= 0.
 const DefaultPoolConns = 4
 
 // Dial connects to a broker server with a single connection.
-func Dial(addr string) (*Client, error) { return DialPool(addr, 1) }
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{Conns: 1}) }
 
 // DialPool connects to a broker server with a pool of conns
 // connections (DefaultPoolConns when conns <= 0). Requests pick the
@@ -406,25 +520,38 @@ func DialPool(addr string, conns int) (*Client, error) {
 	if conns <= 0 {
 		conns = DefaultPoolConns
 	}
-	c := &Client{conns: make([]*clientConn, 0, conns)}
-	for i := 0; i < conns; i++ {
-		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
+	return DialOptions(addr, Options{Conns: conns})
+}
+
+// DialOptions connects with explicit transport options. Every
+// connection is dialed eagerly, so an unreachable server fails the call
+// rather than the first request.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{conns: make([]*clientConn, 0, opts.Conns), opts: opts}
+	c.jitter.Store(jitterState(opts.Seed))
+	for i := 0; i < opts.Conns; i++ {
+		cc := &clientConn{addr: addr, opts: &c.opts, jitter: &c.jitter}
+		if err := cc.redial(); err != nil && !opts.LazyDial {
 			c.Close()
-			return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+			return nil, err
 		}
-		cc := &clientConn{conn: conn}
 		c.conns = append(c.conns, cc)
-		go cc.readLoop()
 	}
 	return c, nil
 }
 
-// Close closes all connections; outstanding requests fail.
+// pace yields one (jittered) full-partition retry sleep.
+func (c *Client) pace() time.Duration {
+	return jitterDur(&c.jitter, c.opts.RetryPacing)
+}
+
+// Close closes all connections; outstanding requests fail and no
+// connection redials afterwards.
 func (c *Client) Close() error {
 	var err error
 	for _, cc := range c.conns {
-		if e := cc.conn.Close(); e != nil && err == nil {
+		if e := cc.close(); e != nil && err == nil {
 			err = e
 		}
 	}
@@ -433,12 +560,28 @@ func (c *Client) Close() error {
 
 // clientConn is one pipelined connection: requests are framed under mu
 // (which also fixes their FIFO position in queue), and a dedicated
-// reader goroutine matches each response frame to the oldest waiter.
+// reader goroutine per live conn matches each response frame to the
+// oldest waiter. conn is nil between a failure and the next successful
+// redial; the conn value doubles as a generation token so a stale
+// reader (or a late fail) of a replaced conn cannot touch the new one's
+// queue.
 type clientConn struct {
-	conn  net.Conn
-	mu    sync.Mutex
-	queue []chan connResult
-	err   error
+	addr   string
+	opts   *Options
+	jitter *atomic.Uint64
+
+	// dialMu serializes redials so only one goroutine dials while others
+	// fail fast; it is never held together with mu across a blocking
+	// call, so pick()/pending() stay responsive during a slow dial.
+	dialMu sync.Mutex
+
+	mu        sync.Mutex
+	conn      net.Conn
+	queue     []chan connResult
+	closed    bool
+	lastErr   error
+	dialFails int
+	nextDial  time.Time
 }
 
 type connResult struct {
@@ -452,30 +595,123 @@ func (cc *clientConn) pending() int {
 	return len(cc.queue)
 }
 
-// fail poisons the connection, closing it and delivering err to every
-// waiter still in the queue.
-func (cc *clientConn) fail(err error) {
+// fail retires one dead connection generation: if conn is still
+// current, it is detached and closed, and every queued waiter — whose
+// request was already on the wire — fails with ErrAmbiguous. A fail for
+// a stale generation is a no-op.
+func (cc *clientConn) fail(conn net.Conn, err error) {
 	cc.mu.Lock()
-	if cc.err == nil {
-		cc.err = err
+	if cc.conn != conn {
+		cc.mu.Unlock()
+		return
 	}
+	cc.conn = nil
+	cc.lastErr = err
 	waiters := cc.queue
 	cc.queue = nil
 	cc.mu.Unlock()
-	cc.conn.Close()
+	conn.Close()
+	werr := fmt.Errorf("%w: %v", ErrAmbiguous, err)
 	for _, ch := range waiters {
-		ch <- connResult{err: err}
+		ch <- connResult{err: werr}
 	}
 }
 
-func (cc *clientConn) readLoop() {
+// close shuts the conn down for good: in-flight requests fail
+// (ambiguously — they were written), and subsequent roundTrips return
+// ErrClosed instead of redialing.
+func (cc *clientConn) close() error {
+	cc.mu.Lock()
+	cc.closed = true
+	conn := cc.conn
+	cc.conn = nil
+	waiters := cc.queue
+	cc.queue = nil
+	cc.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	werr := fmt.Errorf("%w: %v", ErrAmbiguous, ErrClosed)
+	for _, ch := range waiters {
+		ch <- connResult{err: werr}
+	}
+	return err
+}
+
+// redial establishes a fresh connection if none is live, honoring the
+// backoff window: during the window it fails fast with the last error
+// so callers (and their retry policies) pace themselves instead of
+// stacking up behind a dial.
+func (cc *clientConn) redial() error {
+	cc.dialMu.Lock()
+	defer cc.dialMu.Unlock()
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return ErrClosed
+	}
+	if cc.conn != nil {
+		cc.mu.Unlock()
+		return nil
+	}
+	if !cc.nextDial.IsZero() && time.Now().Before(cc.nextDial) {
+		err := cc.lastErr
+		cc.mu.Unlock()
+		return fmt.Errorf("pubsub: %s: redial backing off: %w", cc.addr, err)
+	}
+	timeout := cc.opts.DialTimeout
+	cc.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", cc.addr, timeout)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		if err == nil {
+			conn.Close()
+		}
+		return ErrClosed
+	}
+	if err != nil {
+		cc.dialFails++
+		cc.lastErr = err
+		cc.nextDial = time.Now().Add(cc.backoffLocked())
+		return fmt.Errorf("pubsub: dial %s: %w", cc.addr, err)
+	}
+	cc.dialFails = 0
+	cc.nextDial = time.Time{}
+	cc.lastErr = nil
+	cc.conn = conn
+	go cc.readLoop(conn)
+	return nil
+}
+
+// backoffLocked returns the next redial backoff: base << failures,
+// capped, jittered. Caller holds cc.mu.
+func (cc *clientConn) backoffLocked() time.Duration {
+	d := cc.opts.RedialBackoff
+	for i := 1; i < cc.dialFails && d < cc.opts.RedialBackoffMax; i++ {
+		d *= 2
+	}
+	if d > cc.opts.RedialBackoffMax {
+		d = cc.opts.RedialBackoffMax
+	}
+	return jitterDur(cc.jitter, d)
+}
+
+func (cc *clientConn) readLoop(conn net.Conn) {
 	for {
-		resp, err := readFrame(cc.conn)
+		resp, err := readFrame(conn)
 		if err != nil {
-			cc.fail(err)
+			cc.fail(conn, err)
 			return
 		}
 		cc.mu.Lock()
+		if cc.conn != conn {
+			// A failure raced us and this generation is already retired;
+			// the response matches a waiter that was failed. Drop it.
+			cc.mu.Unlock()
+			return
+		}
 		var ch chan connResult
 		if len(cc.queue) > 0 {
 			ch = cc.queue[0]
@@ -483,7 +719,7 @@ func (cc *clientConn) readLoop() {
 		}
 		cc.mu.Unlock()
 		if ch == nil {
-			cc.fail(fmt.Errorf("%w: unsolicited response", ErrWire))
+			cc.fail(conn, fmt.Errorf("%w: unsolicited response", ErrWire))
 			return
 		}
 		ch <- connResult{resp: resp}
@@ -493,19 +729,28 @@ func (cc *clientConn) readLoop() {
 func (cc *clientConn) roundTrip(req []byte) (*dec, error) {
 	ch := make(chan connResult, 1)
 	cc.mu.Lock()
-	if cc.err != nil {
-		err := cc.err
+	for cc.conn == nil {
+		if cc.closed {
+			cc.mu.Unlock()
+			return nil, ErrClosed
+		}
 		cc.mu.Unlock()
-		return nil, err
+		// Nothing has reached the wire yet, so a dial failure here is
+		// unambiguous: the request was definitely not applied.
+		if err := cc.redial(); err != nil {
+			return nil, err
+		}
+		cc.mu.Lock()
 	}
+	conn := cc.conn
 	cc.queue = append(cc.queue, ch)
-	err := writeFrame(cc.conn, req)
+	err := writeFrame(conn, req)
 	cc.mu.Unlock()
 	if err != nil {
-		// The request may be half-framed on the wire; the stream is
-		// unusable. fail() wakes every waiter, including our ch.
-		cc.fail(err)
-		return nil, err
+		// The request may be half-framed on the wire; this generation is
+		// unusable. fail() wakes every waiter — including our ch — with
+		// ErrAmbiguous (a concurrent failure may already have done so).
+		cc.fail(conn, err)
 	}
 	r := <-ch
 	if r.err != nil {
@@ -552,20 +797,36 @@ func wireError(msg string) error {
 	return errors.New(msg)
 }
 
-// pick returns the connection with the fewest in-flight requests,
-// breaking ties round-robin.
+// pick returns the live connection with the fewest in-flight requests,
+// breaking ties round-robin. Dead conns (failed, awaiting redial) are
+// passed over while any live conn exists, so one dead pool member never
+// swallows least-loaded traffic; with the whole pool down, a dead conn
+// is returned and its roundTrip redials on demand.
 func (c *Client) pick() *clientConn {
 	if len(c.conns) == 1 {
 		return c.conns[0]
 	}
 	start := int(c.rr.Add(1))
-	best := c.conns[start%len(c.conns)]
-	bestLoad := best.pending()
-	for i := 1; i < len(c.conns) && bestLoad > 0; i++ {
+	var best *clientConn
+	bestLoad := -1
+	for i := 0; i < len(c.conns); i++ {
 		cc := c.conns[(start+i)%len(c.conns)]
-		if load := cc.pending(); load < bestLoad {
-			best, bestLoad = cc, load
+		cc.mu.Lock()
+		live := cc.conn != nil
+		load := len(cc.queue)
+		cc.mu.Unlock()
+		if !live {
+			continue
 		}
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = cc, load
+			if load == 0 {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return c.conns[start%len(c.conns)]
 	}
 	return best
 }
@@ -674,7 +935,7 @@ func (c *Client) PublishBatch(topic string, msgs []Message) ([]PubResult, error)
 // server holds no blocked publisher state — each retry is a fresh
 // round-trip — so a slow publisher cannot pin a server handler.
 func (c *Client) PublishWait(topic string, key, value []byte, timeout time.Duration) (int, int64, error) {
-	return publishWait(c, topic, key, value, timeout)
+	return publishWait(c, topic, key, value, timeout, c.pace)
 }
 
 // PublishBatchWait mirrors Broker.PublishBatchWait. Note the atomicity
@@ -682,7 +943,7 @@ func (c *Client) PublishWait(topic string, key, value []byte, timeout time.Durat
 // all-or-nothing holds per chunk (each chunk is one broker batch), not
 // across chunks.
 func (c *Client) PublishBatchWait(topic string, msgs []Message, timeout time.Duration) ([]PubResult, error) {
-	return publishBatchWait(c, topic, msgs, timeout)
+	return publishBatchWait(c, topic, msgs, timeout, c.pace)
 }
 
 // waitToMillis converts a fetch wait to whole milliseconds for the

@@ -115,11 +115,26 @@ type WaitPublisher interface {
 	PublishBatchWait(topic string, msgs []Message, timeout time.Duration) ([]PubResult, error)
 }
 
+// SessionPublisher is the idempotent (producer-session) publish
+// surface: batches tagged with a producer ID and a per-topic sequence
+// number, deduplicated per partition by the broker so an at-least-once
+// retry has exactly-once effect. Both the in-process *Broker and the
+// TCP *Client implement it; the client negotiates per pool and returns
+// ErrNoSession against a pre-session server. Callers normally go
+// through Producer, which owns ID and sequence management plus the
+// retry policy.
+type SessionPublisher interface {
+	PublishBatchSession(topic string, msgs []Message, pid, seq uint64) ([]PubResult, error)
+	PublishColumnsSession(topic string, cols Columns, pid, seq uint64) ([]PubResult, error)
+}
+
 var (
-	_ Transport       = (*Broker)(nil)
-	_ Transport       = (*Client)(nil)
-	_ WaitPublisher   = (*Broker)(nil)
-	_ WaitPublisher   = (*Client)(nil)
-	_ ColumnPublisher = (*Broker)(nil)
-	_ ColumnPublisher = (*Client)(nil)
+	_ Transport        = (*Broker)(nil)
+	_ Transport        = (*Client)(nil)
+	_ WaitPublisher    = (*Broker)(nil)
+	_ WaitPublisher    = (*Client)(nil)
+	_ ColumnPublisher  = (*Broker)(nil)
+	_ ColumnPublisher  = (*Client)(nil)
+	_ SessionPublisher = (*Broker)(nil)
+	_ SessionPublisher = (*Client)(nil)
 )

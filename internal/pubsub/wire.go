@@ -31,6 +31,8 @@ const (
 	opPublishBatch
 	opFeatures
 	opPublishBatchV2
+	opPublishBatchSession
+	opPublishColumnsSession
 )
 
 // featureColumnarV2 is the capability bit a server advertises in its
@@ -39,6 +41,13 @@ const (
 // (connections survive unknown opcodes), which the client reads as an
 // empty feature mask — that error-as-answer is the whole negotiation.
 const featureColumnarV2 = uint64(1) << 0
+
+// featureIdempotent advertises the producer-session publish opcodes
+// (opPublishBatchSession, opPublishColumnsSession): batches tagged with
+// a producer ID and per-topic sequence number that the broker
+// deduplicates, so a retry after an ambiguous failure cannot
+// double-publish.
+const featureIdempotent = uint64(1) << 1
 
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
