@@ -5,16 +5,16 @@
 # overload gate. `make ci` is the pre-merge check.
 
 GO ?= go
-RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/... ./internal/xorcrypt/... ./internal/chaos/...
+RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/... ./internal/xorcrypt/... ./internal/chaos/... ./internal/telemetry/...
 
 # Benchmarks whose numbers seed BENCH_hotpath.json: the per-answer hot
 # path (split, join+decrypt+decode+window, randomized response), plus
 # the batch-size sweep of the columnar submit tail.
 HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability|BenchmarkFig8SubmitBatch
 
-.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge chaos bench bench-json fuzz
+.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge chaos obsgate bench bench-json fuzz
 
-ci: fmt vet build test race allocgate multiquery smoke crash surge chaos
+ci: fmt vet build test race allocgate multiquery smoke crash surge chaos obsgate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -71,12 +71,25 @@ surge:
 chaos:
 	$(GO) test -run 'TestChaosGate' -count=1 ./internal/chaos
 
+# The live-introspection gate: a networked deployment with
+# -metrics-addr enabled, scraped over HTTP between two client epochs
+# (proxy) and mid-drain (aggregator, parked on the -hold-after hook).
+# Asserts the core instrument set is present in Prometheus text format,
+# traffic counters are monotonic across epochs, and the expvar mirror
+# serves the same registry.
+obsgate:
+	$(GO) test -run 'TestObsGate' -count=1 ./cmd/privapprox-node
+
 # The allocs/op regression gate: split, join, respond-bits, and
 # accumulate — per-message and batch forms — must stay at 0 steady-state
 # allocations per op, the full aggregator submit tail (per-share and
-# batch) likewise, and the multi-query tail within its small constant.
+# batch) likewise — including with the telemetry tracer and histograms
+# attached — and the multi-query tail within its small constant. The
+# telemetry package's own instrument primitives are pinned at 0 in
+# their in-package gate, re-run here.
 allocgate:
-	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs|TestAggregatorMultiQuerySubmitAllocs|TestFig8SubmitZeroAllocs|TestAggregatorSubmitBatchZeroAllocs' -count=1 .
+	$(GO) test -run 'TestHotPathZeroAllocs|TestAggregatorSubmitSteadyStateAllocs|TestAggregatorMultiQuerySubmitAllocs|TestFig8SubmitZeroAllocs|TestAggregatorSubmitBatchZeroAllocs|TestFig8TelemetryZeroAllocs' -count=1 .
+	$(GO) test -run 'TestInstrumentZeroAllocs' -count=1 ./internal/telemetry
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEpochPipelineParallel|BenchmarkTCPPipeline|BenchmarkMultiQuery' -benchmem .
@@ -103,6 +116,10 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_overload.json < .bench_overload.tmp
 	@rm -f .bench_overload.tmp
 	@echo wrote BENCH_overload.json
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkFig8SubmitBatchInstrumented' -benchmem . > .bench_telemetry.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_telemetry.json < .bench_telemetry.tmp
+	@rm -f .bench_telemetry.tmp
+	@echo wrote BENCH_telemetry.json
 
 # Short fuzz smoke over every wire codec — the share split/join, the
 # answer message, the columnar publish frame (wire v2), the

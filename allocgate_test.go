@@ -16,6 +16,7 @@ import (
 	"privapprox/internal/answer"
 	"privapprox/internal/budget"
 	"privapprox/internal/rr"
+	"privapprox/internal/telemetry"
 	"privapprox/internal/workload"
 	"privapprox/internal/xorcrypt"
 )
@@ -403,5 +404,97 @@ func TestAggregatorSubmitBatchZeroAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(50, submit); allocs != 0 {
 		t.Errorf("batch submit tail: %v allocs per batch, want 0", allocs)
+	}
+}
+
+// TestFig8TelemetryZeroAllocs re-runs both Fig 8 tail shapes — the
+// per-share loop and the vectorized batch loop — with the telemetry
+// plane fully attached: an epoch tracer on the aggregator (so every
+// SubmitShareBatch is timed and charged to the join stage) and a live
+// publish histogram observing each batch. The zero-allocation contract
+// must hold with instrumentation enabled, not just with the hooks left
+// nil — this is the gate behind the "≤ 3% overhead, 0 allocs" telemetry
+// budget.
+func TestFig8TelemetryZeroAllocs(t *testing.T) {
+	q, err := workload.TaxiQuery("gate", 1, time.Second, time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregator.New(aggregator.Config{
+		Query:      q,
+		Params:     budget.Params{S: 1, RR: rr.Params{P: 0.9, Q: 0.6}},
+		Population: 1 << 20,
+		Proxies:    2,
+		Origin:     time.Unix(0, 0),
+		Seed:       9,
+		Shards:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	tracer.BeginEpoch(0)
+	agg.SetTracer(tracer)
+	reg.RegisterSource(agg)
+	reg.RegisterSource(tracer)
+	hist := reg.Histogram("privapprox_publish_ns")
+
+	splitter, err := xorcrypt.NewSplitter(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := answer.OneHot(11, 0)
+	raw, err := (&answer.Message{QueryID: q.QID.Uint64(), Epoch: 0, Answer: vec}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	size := len(raw)
+	msgs := make([]byte, 0, batch*size)
+	for k := 0; k < batch; k++ {
+		msgs = append(msgs, raw...)
+	}
+	shares := make([][]xorcrypt.Share, 2)
+	for src := range shares {
+		shares[src] = make([]xorcrypt.Share, batch)
+	}
+	now := time.Unix(10, 0)
+	var scratch xorcrypt.SplitBatchScratch
+	n := 0
+	submit := func() {
+		t0 := time.Now()
+		cols, err := splitter.SplitBatchInto(msgs, size, batch, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := range shares {
+			for k := 0; k < batch; k++ {
+				shares[src][k] = cols.Share(src, k)
+			}
+			if _, err := agg.SubmitShareBatch(shares[src], src, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hist.Observe(int64(time.Since(t0)))
+		n++
+		if n%4 == 0 {
+			agg.SweepJoins(now.Add(2 * time.Hour))
+		}
+	}
+	for i := 0; i < 16; i++ {
+		submit()
+	}
+	if allocs := testing.AllocsPerRun(50, submit); allocs != 0 {
+		t.Errorf("instrumented batch submit tail: %v allocs per batch, want 0", allocs)
+	}
+
+	// A concurrent scrape must not perturb the hot tail's contract:
+	// gather once mid-run and re-check.
+	if s := reg.Gather(); len(s) == 0 {
+		t.Fatal("registry gathered no samples")
+	}
+	if allocs := testing.AllocsPerRun(50, submit); allocs != 0 {
+		t.Errorf("instrumented batch submit tail after scrape: %v allocs per batch, want 0", allocs)
 	}
 }

@@ -6,7 +6,9 @@
 //
 // Each benchmark line becomes one entry with ns/op, B/op, allocs/op and
 // any extra ReportMetric columns; context lines (goos, cpu, …) are kept
-// as metadata.
+// as metadata. Every report is additionally stamped with the git
+// commit, conversion date, GOMAXPROCS, and CPU model, so a BENCH_*.json
+// compared across PRs says which code and which machine produced it.
 package main
 
 import (
@@ -15,8 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry is one benchmark result line.
@@ -61,6 +66,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
+	stamp(report.Context)
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -115,3 +121,41 @@ func parseBench(line string) (Entry, bool) {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// stamp adds provenance to the report context: conversion date, the
+// git commit the numbers were measured at (with a -dirty marker when
+// the tree had uncommitted changes), GOMAXPROCS, and the CPU model.
+// The bench output's own "cpu:" context line wins when present; the
+// /proc/cpuinfo fallback covers reports piped through filters that
+// drop it. Stamps never overwrite keys parsed from the input.
+func stamp(ctx map[string]string) {
+	ctx["date"] = time.Now().UTC().Format(time.RFC3339)
+	ctx["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		commit := strings.TrimSpace(string(out))
+		if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+			commit += "-dirty"
+		}
+		ctx["git_commit"] = commit
+	}
+	if _, ok := ctx["cpu"]; !ok {
+		if model := cpuModel(); model != "" {
+			ctx["cpu"] = model
+		}
+	}
+}
+
+// cpuModel reads the first "model name" line from /proc/cpuinfo;
+// empty on platforms without it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}

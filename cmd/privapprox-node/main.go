@@ -29,6 +29,12 @@
 //	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -offset 0 -n 3 -epochs 4
 //	privapprox-node client -proxies 127.0.0.1:9101,127.0.0.1:9102 -offset 3 -n 3 -epochs 4
 //	privapprox-node aggregator -proxies 127.0.0.1:9101,127.0.0.1:9102 -clients 6 -epochs 4 -queries 2
+//
+// Every role accepts -metrics-addr to serve its live telemetry over
+// HTTP: Prometheus text format at /metrics, the same registry as JSON
+// under /debug/vars (expvar), and the runtime profiler under
+// /debug/pprof. The instruments are the zero-allocation registry of
+// internal/telemetry, so scraping is safe on a loaded node.
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 	"time"
 
 	"privapprox/internal/aggregator"
+	"privapprox/internal/answer"
 	"privapprox/internal/budget"
 	"privapprox/internal/client"
 	"privapprox/internal/engine"
@@ -58,10 +65,26 @@ import (
 	"privapprox/internal/pubsub"
 	"privapprox/internal/query"
 	"privapprox/internal/rr"
+	"privapprox/internal/telemetry"
 	"privapprox/internal/wal"
 	"privapprox/internal/workload"
 	"privapprox/internal/xorcrypt"
 )
+
+// serveMetrics exposes a role's registry on addr (empty = disabled) and
+// returns a closer. Port 0 picks a free port; the bound address is
+// printed so scrapers (and the obsgate harness) can find it.
+func serveMetrics(addr string, reg *telemetry.Registry) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := telemetry.Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
 
 // decodeShareBatch decodes one polled record batch into the reusable
 // shares slice for a single batch submission. On a decode error the
@@ -153,8 +176,10 @@ func runProxy(args []string) error {
 	partitionCap := fs.Int("partition-cap", 0, "max unconsumed records per answer partition; publishers past the bound get backpressure (0 = unbounded)")
 	dataDir := fs.String("data-dir", "", "durable broker directory (empty = in-memory)")
 	fsync := fs.String("fsync", "never", "WAL fsync policy: never, interval, every-batch")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	fs.Parse(args)
 
+	reg := telemetry.NewRegistry()
 	var broker *pubsub.Broker
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
@@ -164,7 +189,11 @@ func runProxy(args []string) error {
 		// A restarted proxy replays its journals here: partitions,
 		// committed offsets, and the control topic (so the announced
 		// query set survives the restart too).
-		b, err := pubsub.OpenBroker(*dataDir, wal.Options{Policy: policy})
+		b, err := pubsub.OpenBroker(*dataDir, wal.Options{
+			Policy:     policy,
+			AppendHist: reg.Histogram("privapprox_wal_append_ns"),
+			FsyncHist:  reg.Histogram("privapprox_wal_fsync_ns"),
+		})
 		if err != nil {
 			return err
 		}
@@ -172,6 +201,8 @@ func runProxy(args []string) error {
 	} else {
 		broker = pubsub.NewBroker()
 	}
+	reg.RegisterSource(broker)
+	broker.SetPublishHistogram(reg.Histogram("privapprox_publish_ns"))
 	if err := broker.CreateTopic(proxy.TopicFor(*index), *partitions); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
 		return err
 	}
@@ -194,7 +225,15 @@ func runProxy(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Banner order matters: harnesses parse the serving line first, then
+	// (when -metrics-addr is set) the metrics line.
 	fmt.Printf("proxy %d serving topic %q on %s\n", *index, proxy.TopicFor(*index), srv.Addr())
+	stopMetrics, err := serveMetrics(*metricsAddr, reg)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	defer stopMetrics()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -215,6 +254,7 @@ func runSubmit(args []string) error {
 	p := fs.Float64("p", 0.9, "first randomization coin")
 	q := fs.Float64("q", 0.6, "second randomization coin")
 	resume := fs.Bool("resume", false, "bootstrap from the newest announced snapshot so version numbering continues after a submitter restart")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	fs.Parse(args)
 	if *queries < 1 {
 		return fmt.Errorf("need ≥ 1 queries, got %d", *queries)
@@ -245,6 +285,13 @@ func runSubmit(args []string) error {
 	if err := reg.AttachSink(fleet); err != nil {
 		return err
 	}
+	tel := telemetry.NewRegistry()
+	tel.RegisterSource(reg)
+	stopMetrics, err := serveMetrics(*metricsAddr, tel)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	qs, err := nodeQueries(*queries)
 	if err != nil {
 		return err
@@ -325,6 +372,7 @@ func runClient(args []string) error {
 	dialTimeout := fs.Duration("dial-timeout", 0, "per-connection dial timeout (0 = transport default)")
 	retries := fs.Int("retries", 1, "publish attempts per proxy flush (>1 enables idempotent retry after ambiguous failures)")
 	degraded := fs.Bool("degraded", false, "tolerate a dead proxy: a failed flush drops that proxy's shares for the epoch (counted) instead of aborting")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	fs.Parse(args)
 	if *n <= 0 {
 		return fmt.Errorf("need ≥ 1 logical clients, got %d", *n)
@@ -395,6 +443,33 @@ func runClient(args []string) error {
 	}
 	fmt.Printf("picked up %d queries at version %d\n",
 		follower.Applier().ActiveQueries(), follower.Applier().Version())
+
+	// Telemetry: fleet-level client counters (summed over the logical
+	// clients), batcher degraded-mode accounting (summed over the
+	// per-proxy batchers — the series carry no proxy label), and the
+	// batch-kernel counters this role exercises (RR + XOR split).
+	tel := telemetry.NewRegistry()
+	tel.RegisterSource(telemetry.SourceFunc(func(dst []telemetry.Sample) []telemetry.Sample {
+		return client.AppendFleetSamples(dst, client.SumStats(clients))
+	}))
+	tel.RegisterSource(telemetry.SourceFunc(func(dst []telemetry.Sample) []telemetry.Sample {
+		var dropped, pending int64
+		for _, b := range batchers {
+			dropped += b.Dropped()
+			pending += int64(b.Pending())
+		}
+		return append(dst,
+			telemetry.Sample{Name: "privapprox_batcher_dropped_total", Value: float64(dropped), Kind: telemetry.KindCounter},
+			telemetry.Sample{Name: "privapprox_batcher_pending", Value: float64(pending), Kind: telemetry.KindGauge},
+		)
+	}))
+	tel.RegisterSource(telemetry.SourceFunc(rr.Metrics))
+	tel.RegisterSource(telemetry.SourceFunc(xorcrypt.Metrics))
+	stopMetrics, err := serveMetrics(*metricsAddr, tel)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	if *firstEpoch > 0 {
 		// Resume semantics: skip the epochs a previous life already
@@ -582,6 +657,7 @@ func runAggregator(args []string) error {
 	fsync := fs.String("fsync", "never", "checkpoint WAL fsync policy: never, interval, every-batch")
 	pollMax := fs.Int("poll-max", 4096, "records per poll (durable mode; small values tighten checkpoint granularity)")
 	holdAfter := fs.Int64("hold-after", 0, "testing hook: after this many decoded answers, checkpoint and block forever (a SIGKILL window for the crash gate)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	fs.Parse(args)
 
 	fleet, tcps, err := dialFleet(*proxyList, *conns)
@@ -617,6 +693,22 @@ func runAggregator(args []string) error {
 	}
 	fmt.Printf("aggregating %d queries from announcement version %d\n", len(qs.Entries), qs.Version)
 
+	// Telemetry: the aggregator's own accounting plus the epoch tracer's
+	// stage totals (join time via SubmitShareBatch) and the fired-window
+	// span log; the accumulate-kernel counter rides along.
+	tel := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	agg.SetTracer(tracer)
+	tel.RegisterSource(agg)
+	tel.RegisterSource(tracer)
+	tel.RegisterSource(telemetry.SourceFunc(answer.Metrics))
+	tel.RegisterSource(telemetry.SourceFunc(xorcrypt.Metrics))
+	stopMetrics, err := serveMetrics(*metricsAddr, tel)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+
 	// The same consumer code the in-process pipeline drains with, now
 	// running over the TCP transports.
 	consumers, err := fleet.Consumers("aggregator")
@@ -630,7 +722,7 @@ func runAggregator(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runAggregatorDurable(*dataDir, policy, agg, consumers, expected, *idle, *pollMax, *holdAfter)
+		return runAggregatorDurable(*dataDir, policy, agg, consumers, expected, *idle, *pollMax, *holdAfter, tel)
 	}
 
 	lastProgress := time.Now()
@@ -688,12 +780,14 @@ func printStatsLine(agg *aggregator.Aggregator) {
 // Output protocol: results are held until the end and printed under a
 // "RESULTS" marker line (followed by the stats line), so crash tests
 // compare everything after the marker.
-func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Aggregator, consumers []*pubsub.Consumer, expected int64, idle time.Duration, pollMax int, holdAfter int64) error {
+func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Aggregator, consumers []*pubsub.Consumer, expected int64, idle time.Duration, pollMax int, holdAfter int64, tel *telemetry.Registry) error {
 	// Old checkpoints are garbage once superseded: rotate small segments
 	// and drop everything below the newest record after each append.
 	ckLog, err := wal.Open(filepath.Join(dataDir, "aggregator"), wal.Options{
 		Policy:       policy,
 		SegmentBytes: 1 << 20,
+		AppendHist:   tel.Histogram("privapprox_wal_append_ns"),
+		FsyncHist:    tel.Histogram("privapprox_wal_fsync_ns"),
 	})
 	if err != nil {
 		return err

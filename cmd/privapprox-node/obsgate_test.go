@@ -1,0 +1,326 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObsGate is the observability gate (`make obsgate`): it runs the
+// networked deployment with -metrics-addr enabled, scrapes /metrics
+// off a live proxy between two client epochs and off the aggregator
+// mid-drain, and asserts (a) the core instrument set is present in
+// Prometheus text format, (b) traffic counters are monotonic across
+// epochs, and (c) the expvar mirror at /debug/vars serves the same
+// registry as JSON.
+func TestObsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obsgate skipped in -short mode")
+	}
+	bin := buildNode(t)
+
+	const (
+		clients = 4
+		epochs  = 2
+	)
+	addr0, metrics0, stop0 := startProxyWithMetrics(t, bin, 0, "-partitions=4")
+	defer stop0()
+	addr1, stop1 := startProxy(t, bin, 1, "-partitions=4")
+	defer stop1()
+	proxies := "-proxies=" + addr0 + "," + addr1
+
+	if out, err := exec.Command(bin, "submit", proxies, "-queries=1", "-s=1").CombinedOutput(); err != nil {
+		t.Fatalf("submit process: %v\n%s", err, out)
+	}
+
+	// Epoch 0, scrape, epoch 1 (resumed via -first-epoch), scrape again:
+	// the two snapshots bracket one epoch of traffic.
+	runClientEpoch := func(first, upto int) {
+		t.Helper()
+		out, err := exec.Command(bin, "client", proxies, "-seed=42", "-queries=1",
+			"-offset=0", fmt.Sprintf("-n=%d", clients),
+			fmt.Sprintf("-first-epoch=%d", first), fmt.Sprintf("-epochs=%d", upto),
+			"-conns=2").CombinedOutput()
+		if err != nil {
+			t.Fatalf("client process (epochs %d..%d): %v\n%s", first, upto, err, out)
+		}
+	}
+	runClientEpoch(0, 1)
+	scrape1 := scrapeMetrics(t, metrics0)
+	runClientEpoch(1, 2)
+	scrape2 := scrapeMetrics(t, metrics0)
+
+	// Core proxy instrument set: broker traffic counters, backlog
+	// gauges, and the publish-latency histogram series.
+	for _, name := range []string{
+		"privapprox_broker_messages_in_total",
+		"privapprox_broker_bytes_in_total",
+		"privapprox_broker_messages_out_total",
+		"privapprox_broker_rejected_total",
+		"privapprox_broker_duplicates_total",
+		"privapprox_broker_backlog",
+		"privapprox_publish_ns_bucket",
+		"privapprox_publish_ns_count",
+		"privapprox_publish_ns_sum",
+	} {
+		if !hasMetric(scrape2, name) {
+			t.Errorf("proxy /metrics missing %s:\n%s", name, scrape2)
+		}
+	}
+
+	// Monotonicity across the two epochs: each client epoch publishes
+	// clients shares to this proxy, so the ingest counters must strictly
+	// grow between the snapshots.
+	for _, name := range []string{
+		"privapprox_broker_messages_in_total",
+		"privapprox_broker_bytes_in_total",
+		"privapprox_publish_ns_count",
+	} {
+		v1 := metricValue(t, scrape1, name)
+		v2 := metricValue(t, scrape2, name)
+		if !(v2 > v1) {
+			t.Errorf("%s not monotonic across epochs: %v then %v", name, v1, v2)
+		}
+	}
+
+	// The expvar mirror serves the same registry as JSON: a flat
+	// series→value map under the "privapprox" key.
+	var vars struct {
+		Privapprox map[string]float64 `json:"privapprox"`
+	}
+	varsURL := strings.Replace(metrics0, "/metrics", "/debug/vars", 1)
+	resp, err := http.Get(varsURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", varsURL, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := vars.Privapprox["privapprox_broker_messages_in_total"]; !ok {
+		t.Errorf("/debug/vars missing privapprox_broker_messages_in_total:\n%s", body)
+	}
+
+	// Aggregator leg: durable mode with the -hold-after testing hook, so
+	// after decoding every expected answer the process checkpoints and
+	// parks with its metrics listener still up — a stable scrape window.
+	// The stage totals prove the tracer saw the join stage, the WAL
+	// histogram proves checkpoint appends were timed, and the decode
+	// counter must reach the exact expected count at s=1.
+	aggScrape := runAggregatorScraping(t, bin, proxies, clients, epochs)
+	for _, name := range []string{
+		"privapprox_agg_decoded_total",
+		"privapprox_agg_duplicates_total",
+		"privapprox_agg_queries",
+		"privapprox_stage_busy_ns_total",
+		"privapprox_stage_events_total",
+		"privapprox_query_decoded_total",
+		"privapprox_wal_append_ns_count",
+	} {
+		if !hasMetric(aggScrape, name) {
+			t.Errorf("aggregator /metrics missing %s:\n%s", name, aggScrape)
+		}
+	}
+	if got := metricValue(t, aggScrape, "privapprox_agg_decoded_total"); got != float64(clients*epochs) {
+		t.Errorf("privapprox_agg_decoded_total = %v, want %d", got, clients*epochs)
+	}
+	if got := metricValue(t, aggScrape, "privapprox_wal_append_ns_count"); !(got > 0) {
+		t.Errorf("privapprox_wal_append_ns_count = %v, want > 0 (checkpoint appends)", got)
+	}
+}
+
+// startProxyWithMetrics is startProxy plus -metrics-addr: it parses
+// both banner lines (serving address, then metrics URL).
+func startProxyWithMetrics(t *testing.T, bin string, index int, extra ...string) (addr, metricsURL string, stop func()) {
+	t.Helper()
+	args := append([]string{"proxy", "-listen=127.0.0.1:0",
+		fmt.Sprintf("-index=%d", index), "-metrics-addr=127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 2)
+	go func() {
+		r := bufio.NewReader(stdout)
+		for i := 0; i < 2; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			lines <- line
+		}
+		io.Copy(io.Discard, r)
+	}()
+	deadline := time.After(10 * time.Second)
+	for addr == "" || metricsURL == "" {
+		select {
+		case line := <-lines:
+			switch {
+			case strings.HasPrefix(line, "metrics on "):
+				metricsURL = strings.TrimSpace(strings.TrimPrefix(line, "metrics on "))
+			case strings.Contains(line, " serving "):
+				i := strings.LastIndex(line, " on ")
+				if i < 0 {
+					t.Fatalf("unexpected proxy banner: %q", line)
+				}
+				addr = strings.TrimSpace(line[i+4:])
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("proxy %d never announced serving + metrics addresses", index)
+		}
+	}
+	return addr, metricsURL, func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// runAggregatorScraping starts the aggregator role with a metrics
+// listener in durable mode with -hold-after, polls its /metrics until
+// every expected answer is decoded (the hold keeps the process — and
+// its listener — alive indefinitely), and returns the last scrape.
+func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs int) string {
+	t.Helper()
+	cmd := exec.Command(bin, "aggregator", proxies, "-seed=42", "-queries=1",
+		fmt.Sprintf("-clients=%d", clients), fmt.Sprintf("-epochs=%d", epochs),
+		"-conns=2", "-idle=10s", "-metrics-addr=127.0.0.1:0",
+		"-data-dir="+t.TempDir(), fmt.Sprintf("-hold-after=%d", clients*epochs))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	urls := make(chan string, 1)
+	var outMu sync.Mutex
+	var outBuf strings.Builder
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			line := scanner.Text()
+			outMu.Lock()
+			outBuf.WriteString(line)
+			outBuf.WriteByte('\n')
+			outMu.Unlock()
+			if strings.HasPrefix(line, "metrics on ") {
+				urls <- strings.TrimSpace(strings.TrimPrefix(line, "metrics on "))
+			}
+			// keep draining so the process never blocks on stdout
+		}
+	}()
+	var metricsURL string
+	select {
+	case metricsURL = <-urls:
+	case <-time.After(15 * time.Second):
+		t.Fatal("aggregator never announced its metrics address")
+	}
+
+	expected := float64(clients * epochs)
+	deadline := time.Now().Add(20 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(metricsURL)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				last = string(body)
+				if v, ok := lookupMetric(last, "privapprox_agg_decoded_total"); ok && v >= expected {
+					return last
+				}
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	outMu.Lock()
+	stdoutSoFar := outBuf.String()
+	outMu.Unlock()
+	t.Fatalf("aggregator never decoded %v answers; stdout:\n%s\nlast scrape:\n%s",
+		expected, stdoutSoFar, last)
+	return ""
+}
+
+// scrapeMetrics GETs a /metrics URL and returns the body.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("GET %s: content type %q", url, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// hasMetric reports whether a non-comment sample line for name exists.
+func hasMetric(body, name string) bool {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name) && (len(line) == len(name) ||
+			line[len(name)] == ' ' || line[len(name)] == '{') {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupMetric returns the value of the first sample line for name
+// (exact name match, any labels).
+func lookupMetric(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// metricValue is lookupMetric that fails the test when absent.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	v, ok := lookupMetric(body, name)
+	if !ok {
+		t.Fatalf("metric %s not found in scrape:\n%s", name, body)
+	}
+	return v
+}

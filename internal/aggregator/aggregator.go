@@ -38,6 +38,7 @@ import (
 	"privapprox/internal/sampling"
 	"privapprox/internal/stats"
 	"privapprox/internal/stream"
+	"privapprox/internal/telemetry"
 	"privapprox/internal/xorcrypt"
 )
 
@@ -198,6 +199,10 @@ type Aggregator struct {
 	// Decoded()/Dropped()/Stats() never go backwards across RemoveQuery.
 	removedDecoded atomic.Int64
 	removedLate    atomic.Int64
+
+	// tracer, when set, receives join-stage spans and window-fire spans
+	// (telemetry.go); nil costs the hot path one atomic load.
+	tracer atomic.Pointer[telemetry.Tracer]
 }
 
 // stateTable is one immutable snapshot of the registered queries.
@@ -224,10 +229,13 @@ type queryState struct {
 	lateness   time.Duration
 	confidence float64
 	qidWire    uint64
-	nbuckets   int
-	ord        int   // registration index, for deterministic result order
-	seed       int64 // effective estimator seed, recorded for checkpoint verification
-	assigner   *stream.SlidingAssigner
+	// qname is the query ID rendered once at registration, so fire
+	// spans and labeled telemetry samples never format on a hot path.
+	qname    string
+	nbuckets int
+	ord      int   // registration index, for deterministic result order
+	seed     int64 // effective estimator seed, recorded for checkpoint verification
+	assigner *stream.SlidingAssigner
 
 	// winMu guards the registry of open windows; accumulation inside a
 	// window goes through the sharded accumulator, not this lock.
@@ -437,6 +445,7 @@ func (a *Aggregator) AddQuery(spec QuerySpec) error {
 		lateness:   spec.Lateness,
 		confidence: spec.Confidence,
 		qidWire:    wire,
+		qname:      spec.Query.QID.String(),
 		nbuckets:   len(spec.Query.Buckets),
 		// ord comes from a monotonic counter, not len(ordered): after a
 		// removal the next registration must still sort after every
@@ -830,8 +839,13 @@ func (a *Aggregator) fireLocked(st *queryState, flush bool) ([]Result, error) {
 	sort.Slice(closing, func(i, j int) bool {
 		return closing[i].window.Start.Before(closing[j].window.Start)
 	})
+	tr := a.tracer.Load()
 	var out []Result
 	for _, ow := range closing {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		// Close-and-merge: an add racing this fire either lands before
 		// its shard is folded in or is refused and counted dropped —
 		// never silently lost.
@@ -844,6 +858,17 @@ func (a *Aggregator) fireLocked(st *queryState, flush bool) ([]Result, error) {
 			return nil, err
 		}
 		out = append(out, res)
+		if tr != nil {
+			tr.RecordFire(telemetry.FireSpan{
+				Epoch:       tr.Epoch(),
+				Query:       st.qname,
+				WindowStart: ow.window.Start.UnixNano(),
+				WindowEnd:   ow.window.End.UnixNano(),
+				Responses:   int64(res.Responses),
+				Lag:         wm.Sub(ow.window.End),
+				Dur:         time.Since(t0),
+			})
+		}
 	}
 	return out, nil
 }

@@ -37,6 +37,7 @@ func (a *Accumulator) AddBatch(lane []byte, stride, nbits, count int) error {
 		}
 	}
 	a.n += count
+	accumulatedBatchVectors.Add(int64(count))
 	return nil
 }
 

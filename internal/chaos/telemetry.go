@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"privapprox/internal/telemetry"
+)
+
+// AppendSamples implements telemetry.Source over the transport's fault
+// counters — the same numbers Stats() snapshots, which remains as the
+// compat surface.
+func (t *Transport) AppendSamples(dst []telemetry.Sample) []telemetry.Sample {
+	s := t.Stats()
+	return append(dst,
+		telemetry.Sample{Name: "privapprox_chaos_calls_total", Value: float64(s.Calls), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_chaos_resets_total", Value: float64(s.Resets), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_chaos_ack_drops_total", Value: float64(s.AckDrops), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_chaos_duplicates_total", Value: float64(s.Duplicates), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_chaos_delays_total", Value: float64(s.Delays), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_chaos_injected_total", Value: float64(s.Injected()), Kind: telemetry.KindCounter},
+	)
+}
+
+var _ telemetry.Source = (*Transport)(nil)

@@ -1,0 +1,47 @@
+package client
+
+import (
+	"privapprox/internal/telemetry"
+)
+
+// AppendSamples implements telemetry.Source over the batcher's
+// degraded-mode accounting: shares dropped because a dead sink
+// (after its own retries) refused a flush, and shares currently
+// buffered. Per-client answer counters are fleet-scale, so they are
+// aggregated by whoever owns the fleet (core.System, the node client
+// role) rather than exported one source per client.
+func (b *Batcher) AppendSamples(dst []telemetry.Sample) []telemetry.Sample {
+	return append(dst,
+		telemetry.Sample{Name: "privapprox_batcher_dropped_total", Value: float64(b.Dropped()), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_batcher_pending", Value: float64(b.Pending()), Kind: telemetry.KindGauge},
+	)
+}
+
+var _ telemetry.Source = (*Batcher)(nil)
+
+// SumStats folds many clients' counters into one fleet-level snapshot
+// — the aggregation registries export instead of per-client series.
+func SumStats(clients []*Client) Stats {
+	var s Stats
+	for _, c := range clients {
+		cs := c.Stats()
+		s.EpochsSeen += cs.EpochsSeen
+		s.Participated += cs.Participated
+		s.AnswersSent += cs.AnswersSent
+		s.BytesSent += cs.BytesSent
+		s.Shedded += cs.Shedded
+	}
+	return s
+}
+
+// AppendFleetSamples renders a fleet-level client snapshot as
+// telemetry samples.
+func AppendFleetSamples(dst []telemetry.Sample, s Stats) []telemetry.Sample {
+	return append(dst,
+		telemetry.Sample{Name: "privapprox_client_epochs_seen_total", Value: float64(s.EpochsSeen), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_client_participated_total", Value: float64(s.Participated), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_client_answers_sent_total", Value: float64(s.AnswersSent), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_client_bytes_sent_total", Value: float64(s.BytesSent), Kind: telemetry.KindCounter},
+		telemetry.Sample{Name: "privapprox_client_shedded_total", Value: float64(s.Shedded), Kind: telemetry.KindCounter},
+	)
+}

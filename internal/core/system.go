@@ -48,6 +48,7 @@ import (
 	"privapprox/internal/proxy"
 	"privapprox/internal/pubsub"
 	"privapprox/internal/query"
+	"privapprox/internal/telemetry"
 	"privapprox/internal/wal"
 	"privapprox/internal/xorcrypt"
 )
@@ -167,6 +168,12 @@ type System struct {
 	// now stamps record arrival once per poll batch (tests inject a
 	// fake clock to pin down per-poll latency accounting).
 	now func() time.Time
+
+	// Telemetry plane: tel aggregates every component source (built
+	// before the fleet so the WAL latency histograms exist when the
+	// durable logs open); tracer keys per-stage spans by epoch.
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
 }
 
 // New builds and wires the system: initializer (budget → parameters),
@@ -248,11 +255,16 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("%w: bad analyst key", ErrConfig)
 	}
 
+	tel := telemetry.NewRegistry()
 	var fleet *proxy.Fleet
 	var err error
 	if cfg.DataDir != "" {
 		fleet, err = proxy.NewDurableFleet(cfg.Proxies, cfg.Partitions,
-			filepath.Join(cfg.DataDir, "proxies"), wal.Options{Policy: cfg.WALFsync})
+			filepath.Join(cfg.DataDir, "proxies"), wal.Options{
+				Policy:     cfg.WALFsync,
+				AppendHist: tel.Histogram("privapprox_wal_append_ns"),
+				FsyncHist:  tel.Histogram("privapprox_wal_fsync_ns"),
+			})
 	} else {
 		fleet, err = proxy.NewFleet(cfg.Proxies, cfg.Partitions)
 	}
@@ -261,7 +273,7 @@ func New(cfg Config) (*System, error) {
 	}
 
 	sys := &System{cfg: cfg, params: params, signed: signed, pub: pub, priv: priv, fleet: fleet, now: time.Now,
-		regEpochs: make(map[query.ID]uint64)}
+		regEpochs: make(map[query.ID]uint64), tel: tel, tracer: telemetry.NewTracer()}
 	if signed != nil && !cfg.MultiQuery {
 		// Legacy mode: the single query is live from epoch 0.
 		sys.regEpochs[signed.Query.QID] = 0
@@ -381,6 +393,7 @@ func New(cfg Config) (*System, error) {
 			}
 		}
 	}
+	sys.initTelemetry()
 	return sys, nil
 }
 
@@ -484,18 +497,21 @@ func (s *System) RunEpoch() ([]aggregator.Result, int, error) {
 	}
 	epoch := s.epoch
 	s.epoch++
+	s.tracer.BeginEpoch(epoch)
 	if s.registry != nil && len(s.registry.Active()) == 0 {
 		// Idle fleet: no active queries, nothing to answer this epoch
 		// (clients would report ErrNotSubscribed). Still drain so
 		// stragglers of stopped queries surface in the statistics.
-		results, err := s.drain()
+		results, err := s.timedDrain()
 		return results, 0, err
 	}
+	t0 := time.Now()
 	participants, err := s.answerAll(epoch)
+	s.tracer.Record(epoch, telemetry.StageAnswer, time.Since(t0), participants, 0)
 	if err != nil {
 		return nil, participants, err
 	}
-	results, err := s.drain()
+	results, err := s.timedDrain()
 	if err != nil {
 		return results, participants, err
 	}
@@ -516,10 +532,14 @@ func (s *System) AnswerEpoch() (int, error) {
 	}
 	epoch := s.epoch
 	s.epoch++
+	s.tracer.BeginEpoch(epoch)
 	if s.registry != nil && len(s.registry.Active()) == 0 {
 		return 0, nil
 	}
-	return s.answerAll(epoch)
+	t0 := time.Now()
+	participants, err := s.answerAll(epoch)
+	s.tracer.Record(epoch, telemetry.StageAnswer, time.Since(t0), participants, 0)
+	return participants, err
 }
 
 // DrainUpTo forwards at most max queued records from the proxies to the
@@ -536,6 +556,7 @@ func (s *System) DrainUpTo(max int) ([]aggregator.Result, int, error) {
 	if err := s.ensureConsumers(); err != nil {
 		return nil, 0, err
 	}
+	t0 := time.Now()
 	var fired []aggregator.Result
 	drained := 0
 	// Split each round's budget fairly across the proxy consumers: a
@@ -575,6 +596,10 @@ func (s *System) DrainUpTo(max int) ([]aggregator.Result, int, error) {
 		}
 	}
 	aggregator.SortResults(fired, s.agg.QueryOrder())
+	// Depth is the backlog the bounded drain left behind — the signal
+	// the overload controller steers on.
+	s.tracer.RecordCurrent(telemetry.StageDrain, time.Since(t0), drained,
+		int(s.fleet.TotalStats().TotalBacklog))
 	return fired, drained, s.observeSLO(fired)
 }
 
@@ -792,6 +817,16 @@ func (s *System) Epoch() uint64 { return s.epoch }
 // honest however long the drain runs. Fired windows are returned in
 // window-start order, which makes the output independent of goroutine
 // scheduling.
+// timedDrain charges a full drain to the current epoch's drain stage —
+// batch-granular (two clock reads per epoch), so the per-record tail
+// stays allocation- and timer-free.
+func (s *System) timedDrain() ([]aggregator.Result, error) {
+	t0 := time.Now()
+	fired, err := s.drain()
+	s.tracer.RecordCurrent(telemetry.StageDrain, time.Since(t0), len(fired), 0)
+	return fired, err
+}
+
 func (s *System) drain() ([]aggregator.Result, error) {
 	if err := s.ensureConsumers(); err != nil {
 		return nil, err

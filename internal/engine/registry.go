@@ -58,6 +58,11 @@ type Registry struct {
 	byWire  map[uint64]query.ID
 	version uint64
 	sinks   []ControlSink
+	// sinkVers[i] is the newest snapshot version sinks[i] acknowledged
+	// (its Announce returned nil); 0 means it never took one. The gap
+	// between version and sinkVers is a proxy's control-plane lag —
+	// invisible before telemetry exposed it.
+	sinkVers []uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -240,12 +245,17 @@ func (r *Registry) AttachSink(s ControlSink) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sinks = append(r.sinks, s)
+	r.sinkVers = append(r.sinkVers, 0)
 	snap := r.snapshotLocked()
 	payload, err := snap.MarshalBinary()
 	if err != nil {
 		return err
 	}
-	return s.Announce(payload)
+	if err := s.Announce(payload); err != nil {
+		return err
+	}
+	r.sinkVers[len(r.sinkVers)-1] = r.version
+	return nil
 }
 
 // Snapshot returns the current query set.
@@ -303,10 +313,22 @@ func (r *Registry) broadcastLocked() error {
 		return err
 	}
 	var firstErr error
-	for _, s := range r.sinks {
-		if err := s.Announce(payload); err != nil && firstErr == nil {
-			firstErr = err
+	for i, s := range r.sinks {
+		if err := s.Announce(payload); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
+		r.sinkVers[i] = r.version
 	}
 	return firstErr
+}
+
+// SinkVersions returns, per attached sink, the newest snapshot version
+// it acknowledged (0 = never); index order matches attachment order.
+func (r *Registry) SinkVersions() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uint64(nil), r.sinkVers...)
 }

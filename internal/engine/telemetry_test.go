@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"privapprox/internal/telemetry"
+)
+
+// failingSink refuses every announcement after the first.
+type failingSink struct{ calls int }
+
+var errSinkDown = errors.New("sink down")
+
+func (s *failingSink) Announce(p []byte) error {
+	s.calls++
+	if s.calls > 1 {
+		return errSinkDown
+	}
+	return nil
+}
+
+// TestRegistrySinkVersionGauges pins the convergence surface: each
+// attached sink's newest acked snapshot version is tracked and exported
+// as a labeled gauge, so a sink stuck behind the registry version is
+// visible as control_sink_version < control_version.
+func TestRegistrySinkVersionGauges(t *testing.T) {
+	_, priv := testKey(1)
+	pub, _ := testKey(1)
+	r := NewRegistry()
+	if err := r.Trust("alice", pub); err != nil {
+		t.Fatal(err)
+	}
+
+	good := &recordingSink{}
+	stuck := &failingSink{}
+	if err := r.AttachSink(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachSink(stuck); err != nil {
+		t.Fatal(err)
+	}
+	// Both sinks acked the initial (version 0) snapshot.
+	if vs := r.SinkVersions(); len(vs) != 2 || vs[0] != 0 || vs[1] != 0 {
+		t.Fatalf("SinkVersions after attach = %v, want [0 0]", vs)
+	}
+
+	// The broadcast of version 1 reaches the good sink; the stuck sink
+	// refuses it and must stay pinned at its last acked version.
+	signed := testSigned(t, "alice", 1, priv)
+	if err := r.Register(signed, testParams()); err == nil {
+		t.Fatal("Register should surface the failing sink's error")
+	}
+	if got := r.Version(); got != 1 {
+		t.Fatalf("registry version = %d, want 1", got)
+	}
+	vs := r.SinkVersions()
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 0 {
+		t.Fatalf("SinkVersions after partial broadcast = %v, want [1 0]", vs)
+	}
+
+	// The telemetry source renders the same state as labeled gauges.
+	samples := r.AppendSamples(nil)
+	want := map[string]float64{}
+	for _, s := range samples {
+		key := s.Name
+		if s.LabelKey != "" {
+			key += "{" + s.LabelKey + "=" + s.LabelValue + "}"
+		}
+		want[key] = s.Value
+	}
+	for key, v := range map[string]float64{
+		"privapprox_control_version":              1,
+		"privapprox_control_active_queries":       1,
+		"privapprox_control_sink_version{sink=0}": 1,
+		"privapprox_control_sink_version{sink=1}": 0,
+	} {
+		if got, ok := want[key]; !ok || got != v {
+			t.Errorf("sample %s = %v (present=%v), want %v", key, got, ok, v)
+		}
+	}
+
+	var _ telemetry.Source = r
+}

@@ -301,6 +301,11 @@ func (p *Proxy) Stats() pubsub.Stats {
 	return p.broker.Stats()
 }
 
+// Broker returns the proxy's in-process broker, nil for attached
+// (remote) proxies — the telemetry plane uses it to hook publish
+// latency histograms and backlog gauges onto owned brokers.
+func (p *Proxy) Broker() *pubsub.Broker { return p.broker }
+
 // Close shuts the underlying broker down when this proxy owns it; for
 // attached proxies the remote process owns the lifecycle and Close is a
 // no-op.
@@ -468,6 +473,7 @@ func (f *Fleet) TotalStats() pubsub.Stats {
 		total.MessagesOut += s.MessagesOut
 		total.BytesOut += s.BytesOut
 		total.Rejected += s.Rejected
+		total.Duplicates += s.Duplicates
 		total.TotalBacklog += s.TotalBacklog
 		if s.MaxBacklog > total.MaxBacklog {
 			total.MaxBacklog = s.MaxBacklog

@@ -11,8 +11,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"privapprox/internal/telemetry"
 	"privapprox/internal/wal"
 )
 
@@ -130,6 +132,10 @@ type Broker struct {
 	closed  bool
 	rr      uint64      // round-robin counter for keyless publishes
 	dur     *durability // nil for a purely in-memory broker
+	// pubLat, when set, observes the wall time of each successful
+	// publish call (batch-granular on the batch paths); nil costs one
+	// atomic load per publish. See telemetry.go.
+	pubLat atomic.Pointer[telemetry.Histogram]
 }
 
 // NewBroker returns an empty broker.
@@ -266,6 +272,11 @@ func (p *partitionLog) overCapacity(n int, floor int64) bool {
 // bounded partition at capacity the record is refused with
 // ErrPartitionFull (see SetTopicCapacity).
 func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
+	h := b.pubLat.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -329,6 +340,9 @@ func (b *Broker) Publish(topic string, key, value []byte) (int, int64, error) {
 	b.stats.MessagesIn++
 	b.stats.BytesIn += int64(len(key) + len(value))
 	b.statsMu.Unlock()
+	if h != nil {
+		h.Observe(int64(time.Since(t0)))
+	}
 	return part, offset, nil
 }
 
@@ -418,6 +432,11 @@ func fillDupResults(results []PubResult, idxs []int, slot producerSlot, seq uint
 func (b *Broker) publishRows(topic string, msgs []Message, pid, seq uint64) ([]PubResult, error) {
 	if len(msgs) == 0 {
 		return nil, nil
+	}
+	h := b.pubLat.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
 	}
 	b.mu.RLock()
 	if b.closed {
@@ -552,6 +571,9 @@ func (b *Broker) publishRows(topic string, msgs []Message, pid, seq uint64) ([]P
 	b.stats.BytesIn += bytesIn
 	b.stats.Duplicates += duplicates
 	b.statsMu.Unlock()
+	if h != nil {
+		h.Observe(int64(time.Since(t0)))
+	}
 	return results, nil
 }
 

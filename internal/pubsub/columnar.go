@@ -56,6 +56,11 @@ func (b *Broker) publishCols(topic string, cols Columns, pid, seq uint64) ([]Pub
 	if cols.Count == 0 {
 		return nil, nil
 	}
+	h := b.pubLat.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -168,6 +173,9 @@ func (b *Broker) publishCols(topic string, cols Columns, pid, seq uint64) ([]Pub
 	b.stats.BytesIn += int64(cols.Count-int(duplicates)) * int64(cols.KeyLen+cols.ValLen)
 	b.stats.Duplicates += duplicates
 	b.statsMu.Unlock()
+	if h != nil {
+		h.Observe(int64(time.Since(t0)))
+	}
 	return results, nil
 }
 

@@ -123,6 +123,7 @@ func (r *Randomizer) Respond(truth bool) bool {
 // floating-point conversions on the hot path.
 func (r *Randomizer) RespondBits(bits []byte, nbits int) {
 	r.respondVec(bits, nbits)
+	respondedVectors.Inc()
 }
 
 // RespondBitsBatch randomizes count packed answer vectors laid out at a
@@ -139,6 +140,7 @@ func (r *Randomizer) RespondBitsBatch(lane []byte, stride, nbits, count int) {
 	for s := 0; s < count; s++ {
 		r.respondVec(lane[s*stride:s*stride+nbytes], nbits)
 	}
+	respondedVectors.Add(int64(count))
 }
 
 // respondVec is the single-vector kernel behind RespondBits and

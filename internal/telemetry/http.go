@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvar exposes one process-global variable namespace, so the
+// registry behind /debug/vars is an atomic pointer the most recent
+// Handler call installs: expvar.Publish panics on duplicate names,
+// and tests build many registries per process.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("privapprox", expvar.Func(func() any {
+			reg := expvarReg.Load()
+			if reg == nil {
+				return nil
+			}
+			samples := reg.Gather()
+			out := make(map[string]float64, len(samples))
+			for _, s := range samples {
+				key := s.Name
+				if s.LabelKey != "" {
+					key += "{" + s.LabelKey + "=" + s.LabelValue + "}"
+				}
+				out[key] = s.Value
+			}
+			return out
+		}))
+	})
+}
+
+// Handler returns the introspection endpoint for a registry:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar (process globals + the registry under "privapprox")
+//	/debug/pprof/  the standard pprof surface
+func Handler(r *Registry) http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live introspection listener; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (host:port; port 0
+// picks a free port) and serves it in the background. The returned
+// Server reports the bound address and closes the listener.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

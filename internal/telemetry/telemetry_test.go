@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryInstrumentsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a_total")
+	c2 := r.Counter("a_total")
+	if c1 != c2 {
+		t.Fatal("same name must return same counter")
+	}
+	c1.Add(3)
+	c2.Inc()
+	if got := c1.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.Max(9)
+	g.Max(3)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("gauge after Max = %d, want 9", got)
+	}
+	fg := r.FloatGauge("f")
+	fg.Set(0.25)
+	if got := fg.Load(); got != 0.25 {
+		t.Fatalf("float gauge = %v, want 0.25", got)
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	h.Observe(100)  // < 256 → bucket 0
+	h.Observe(300)  // < 512 → bucket 1
+	h.Observe(1000) // < 1024 → bucket 2
+	h.Observe(1 << 50)
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	wantSum := int64(100 + 300 + 1000 + 1<<50)
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %d, want %d", got, wantSum)
+	}
+	cum, count, _ := h.snapshot()
+	if count != 4 {
+		t.Fatalf("snapshot count = %d, want 4", count)
+	}
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Fatalf("cumulative low buckets = %v %v %v, want 1 2 3", cum[0], cum[1], cum[2])
+	}
+	if cum[histBuckets] != 4 {
+		t.Fatalf("+Inf bucket = %d, want 4", cum[histBuckets])
+	}
+	// The expanded samples must keep ascending bucket order through
+	// Gather's sort.
+	var le []string
+	for _, s := range r.Gather() {
+		if s.Name == "lat_ns_bucket" {
+			le = append(le, s.LabelValue)
+		}
+	}
+	if len(le) != histBuckets+1 || le[0] != "256" || le[1] != "512" || le[len(le)-1] != "+Inf" {
+		t.Fatalf("bucket label order wrong: %v", le)
+	}
+}
+
+func TestBucketOfEdges(t *testing.T) {
+	if b := bucketOf(0); b != 0 {
+		t.Fatalf("bucketOf(0) = %d", b)
+	}
+	if b := bucketOf(255); b != 0 {
+		t.Fatalf("bucketOf(255) = %d", b)
+	}
+	if b := bucketOf(256); b != 1 {
+		t.Fatalf("bucketOf(256) = %d", b)
+	}
+	if b := bucketOf(1 << 63); b != histBuckets {
+		t.Fatalf("bucketOf(1<<63) = %d, want overflow", b)
+	}
+}
+
+// TestConcurrentRegistrationAndSnapshot hammers the registry from
+// three directions at once — new-instrument registration, hot-path
+// writes on every shard, and Gather/WriteProm snapshots — and must be
+// race-clean (the make ci race gate runs this package with -race).
+func TestConcurrentRegistrationAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("busy_ns")
+	c := r.Counter("ops_total")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Observe(v & 0xFFFFF)
+				c.Inc()
+			}
+		}(int64(w + 1))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(fmt.Sprintf("dyn_%d_%d_total", id, i%32)).Inc()
+			}
+		}(w)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			if err := r.WriteProm(&strings.Builder{}); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				done = true
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	samples := r.Gather()
+	var total float64
+	for _, s := range samples {
+		if s.Name == "ops_total" {
+			total = s.Value
+		}
+	}
+	if total <= 0 {
+		t.Fatalf("ops_total = %v after load", total)
+	}
+	if int64(total) != c.Load() {
+		// Final gather runs after every writer stopped, so it must be
+		// exact, not merely monotone.
+		t.Fatalf("final snapshot %v != counter %d", total, c.Load())
+	}
+}
+
+func TestSourceSamplesAppearInGather(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSource(SourceFunc(func(dst []Sample) []Sample {
+		return append(dst, Sample{Name: "src_value", Value: 42, Kind: KindGauge})
+	}))
+	for _, s := range r.Gather() {
+		if s.Name == "src_value" && s.Value == 42 {
+			return
+		}
+	}
+	t.Fatal("source sample missing from Gather")
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginEpoch(0)
+	tr.Record(0, StageAnswer, 5*time.Millisecond, 100, 0)
+	tr.Record(0, StageDrain, 2*time.Millisecond, 200, 64)
+	tr.Record(0, StageDrain, 1*time.Millisecond, 50, 32)
+	tr.BeginEpoch(1)
+	tr.RecordCurrent(StageJoin, 3*time.Millisecond, 400, 8)
+	if got := tr.Epoch(); got != 1 {
+		t.Fatalf("Epoch() = %d, want 1", got)
+	}
+
+	spans := tr.Spans(nil)
+	if len(spans) != 2 || spans[0].Epoch != 0 || spans[1].Epoch != 1 {
+		t.Fatalf("spans = %+v, want epochs 0,1", spans)
+	}
+	d := spans[0].Stages[StageDrain]
+	if d.Busy != 3*time.Millisecond || d.Events != 2 || d.Units != 250 || d.MaxDepth != 64 {
+		t.Fatalf("drain span = %+v", d)
+	}
+	if j := spans[1].Stages[StageJoin]; j.Units != 400 {
+		t.Fatalf("join span = %+v", j)
+	}
+}
+
+func TestTracerRingRecycles(t *testing.T) {
+	tr := NewTracer()
+	for e := uint64(0); e < spanRing+5; e++ {
+		tr.BeginEpoch(e)
+		tr.Record(e, StageAnswer, time.Microsecond, 1, 0)
+	}
+	spans := tr.Spans(nil)
+	if len(spans) != spanRing {
+		t.Fatalf("resident spans = %d, want %d", len(spans), spanRing)
+	}
+	if spans[0].Epoch != 5 || spans[len(spans)-1].Epoch != spanRing+4 {
+		t.Fatalf("span range [%d,%d], want [5,%d]", spans[0].Epoch, spans[len(spans)-1].Epoch, spanRing+4)
+	}
+	// A record against a recycled epoch must not corrupt the slot's
+	// current tenant, but still lands in the totals.
+	before := tr.totals[StageAnswer].events.Load()
+	tr.Record(1, StageAnswer, time.Microsecond, 1, 0)
+	if got := tr.totals[StageAnswer].events.Load(); got != before+1 {
+		t.Fatalf("stale record missing from totals: %d, want %d", got, before+1)
+	}
+	for _, s := range tr.Spans(nil) {
+		if s.Epoch == spanRing+1 && s.Stages[StageAnswer].Events != 1 {
+			t.Fatalf("stale epoch-1 record leaked into epoch %d slot", s.Epoch)
+		}
+	}
+}
+
+func TestTracerFires(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginEpoch(3)
+	for i := 0; i < fireRing+10; i++ {
+		tr.RecordFire(FireSpan{
+			Epoch: 3, Query: "taxi", WindowStart: int64(i),
+			Responses: 10, Dur: time.Millisecond,
+		})
+	}
+	fires := tr.Fires(nil)
+	if len(fires) != fireRing {
+		t.Fatalf("fires = %d, want %d", len(fires), fireRing)
+	}
+	if fires[0].WindowStart != 10 || fires[len(fires)-1].WindowStart != fireRing+9 {
+		t.Fatalf("fire ring window [%d,%d], want [10,%d]", fires[0].WindowStart, fires[len(fires)-1].WindowStart, fireRing+9)
+	}
+	var fired float64
+	for _, s := range tr.AppendSamples(nil) {
+		if s.Name == "privapprox_windows_fired_total" {
+			fired = s.Value
+		}
+	}
+	if fired != fireRing+10 {
+		t.Fatalf("windows_fired_total = %v, want %d", fired, fireRing+10)
+	}
+}
+
+func TestTracerStageSamples(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginEpoch(0)
+	tr.Record(0, StagePublish, 7*time.Millisecond, 3, 12)
+	got := map[string]float64{}
+	for _, s := range tr.AppendSamples(nil) {
+		if s.LabelValue == "publish" {
+			got[s.Name] = s.Value
+		}
+	}
+	if got["privapprox_stage_busy_ns_total"] != float64(7*time.Millisecond) ||
+		got["privapprox_stage_events_total"] != 1 ||
+		got["privapprox_stage_units_total"] != 3 ||
+		got["privapprox_stage_depth_max"] != 12 {
+		t.Fatalf("publish stage samples = %v", got)
+	}
+}

@@ -47,7 +47,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"privapprox/internal/telemetry"
 )
 
 // Errors reported by the log.
@@ -119,6 +122,12 @@ type Options struct {
 	// RetainAge, when > 0, drops sealed segments whose newest record is
 	// older than this. The same never-drop-the-newest rule applies.
 	RetainAge time.Duration
+	// AppendHist/FsyncHist, when non-nil, receive append-call and fsync
+	// latencies (SetLatencyHistograms). Many logs may share one pair —
+	// a durable fleet's partition logs all feed the same process-level
+	// series.
+	AppendHist *telemetry.Histogram
+	FsyncHist  *telemetry.Histogram
 }
 
 // frameHeader is u32 length | u32 crc32c.
@@ -153,6 +162,11 @@ type Log struct {
 
 	stopSync chan struct{}
 	syncDone chan struct{}
+
+	// appendLat/fsyncLat, when set, observe append-call and fsync wall
+	// times (telemetry.go); nil costs one atomic load per operation.
+	appendLat atomic.Pointer[telemetry.Histogram]
+	fsyncLat  atomic.Pointer[telemetry.Histogram]
 }
 
 // Open creates or recovers a log in dir. Recovery truncates the final
@@ -173,6 +187,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts}
+	l.SetLatencyHistograms(opts.AppendHist, opts.FsyncHist)
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -249,13 +264,22 @@ func scanTail(path string) (count int, good int64, err error) {
 // Append writes one record, applying the fsync policy, and returns the
 // LSN it was assigned.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	h := l.appendLat.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lsn, err := l.appendLocked(payload)
 	if err != nil {
 		return 0, err
 	}
-	return lsn, l.policySyncLocked()
+	err = l.policySyncLocked()
+	if h != nil && err == nil {
+		h.Observe(int64(time.Since(t0)))
+	}
+	return lsn, err
 }
 
 // AppendBatch writes a batch of records with one write(2) and (under
@@ -264,6 +288,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 	if len(payloads) == 0 {
 		return 0, fmt.Errorf("wal: empty batch")
+	}
+	h := l.appendLat.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -297,7 +326,11 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 		return 0, l.failWriteLocked(err)
 	}
 	l.nextLSN += uint64(len(payloads))
-	return first, l.policySyncLocked()
+	err = l.policySyncLocked()
+	if h != nil && err == nil {
+		h.Observe(int64(time.Since(t0)))
+	}
+	return first, err
 }
 
 func (l *Log) appendLocked(payload []byte) (uint64, error) {
@@ -357,10 +390,23 @@ func (l *Log) policySyncLocked() error {
 	if l.opts.Policy != PolicyEveryBatch {
 		return nil
 	}
-	if err := l.seg.Sync(); err != nil {
+	if err := l.syncSegLocked(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
+}
+
+// syncSegLocked fsyncs the active segment, feeding the fsync latency
+// histogram when one is attached.
+func (l *Log) syncSegLocked() error {
+	h := l.fsyncLat.Load()
+	if h == nil {
+		return l.seg.Sync()
+	}
+	t0 := time.Now()
+	err := l.seg.Sync()
+	h.Observe(int64(time.Since(t0)))
+	return err
 }
 
 // takeSyncErrLocked surfaces (and clears) a background-sync failure.
@@ -377,7 +423,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
-	if err := l.seg.Sync(); err != nil {
+	if err := l.syncSegLocked(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
@@ -394,7 +440,7 @@ func (l *Log) syncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed {
-				if err := l.seg.Sync(); err != nil && l.syncErr == nil {
+				if err := l.syncSegLocked(); err != nil && l.syncErr == nil {
 					l.syncErr = fmt.Errorf("wal: background sync: %w", err)
 				}
 			}

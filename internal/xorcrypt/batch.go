@@ -104,6 +104,8 @@ func (s *Splitter) SplitBatchInto(msgs []byte, size, count int, scratch *SplitBa
 		}
 		xorInto(cipher, key)
 	}
+	splitBatchCalls.Inc()
+	splitBatchMessages.Add(int64(count))
 	return cols, nil
 }
 
@@ -127,5 +129,7 @@ func JoinColumnsInto(dst []byte, lanes [][]byte) ([]byte, error) {
 		}
 		xorInto(dst, l)
 	}
+	joinBatchCalls.Inc()
+	joinBatchBytes.Add(int64(span))
 	return dst, nil
 }
