@@ -1,8 +1,9 @@
 # Tier-1 verification plus the race gate over the concurrency-sensitive
 # packages (the parallel epoch pipeline: core, aggregator, answer,
 # pubsub, engine, wal), the hot-path allocs/op gate, the multi-query
-# determinism gate, the kill-and-resume crash gate, and the surge
-# overload gate. `make ci` is the pre-merge check.
+# determinism gate, the kill-and-resume crash gate, the surge overload
+# gate, and the result-provenance lineage gate. `make ci` is the
+# pre-merge check.
 
 GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... ./internal/pubsub/... ./internal/engine/... ./internal/wal/... ./internal/xorcrypt/... ./internal/chaos/... ./internal/telemetry/...
@@ -12,9 +13,9 @@ RACE_PKGS = ./internal/core/... ./internal/aggregator/... ./internal/answer/... 
 # the batch-size sweep of the columnar submit tail.
 HOTPATH_BENCH = BenchmarkTable2CryptoXOR|BenchmarkTable3ClientXOREncryption|BenchmarkTable3ClientRandomizedResponse|BenchmarkFig8Scalability|BenchmarkFig8SubmitBatch
 
-.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge chaos obsgate bench bench-json fuzz
+.PHONY: ci fmt vet build test race smoke multiquery allocgate crash surge chaos obsgate lineage bench bench-json fuzz
 
-ci: fmt vet build test race allocgate multiquery smoke crash surge chaos obsgate
+ci: fmt vet build test race allocgate multiquery smoke crash surge chaos obsgate lineage
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -75,10 +76,21 @@ chaos:
 # -metrics-addr enabled, scraped over HTTP between two client epochs
 # (proxy) and mid-drain (aggregator, parked on the -hold-after hook).
 # Asserts the core instrument set is present in Prometheus text format,
-# traffic counters are monotonic across epochs, and the expvar mirror
-# serves the same registry.
+# traffic counters are monotonic across epochs, the expvar mirror
+# serves the same registry, /readyz reports caught-up control sinks,
+# and /debug/privapprox/windows serves a live result card consistent
+# with the known workload.
 obsgate:
 	$(GO) test -run 'TestObsGate' -count=1 ./cmd/privapprox-node
+
+# The result-provenance gate: under a fixed seed, every fired window's
+# result card (deterministic fields only) must be byte-identical
+# between the in-process pipeline and the networked deployment, and
+# identical across Workers/Shards settings; plus the node-level health
+# plane (/healthz on every role, submit /readyz). The exactly-once
+# card-log contract across a SIGKILL rides in the crash gate.
+lineage:
+	$(GO) test -run 'TestLineageGate|TestHealthEndpoints' -count=1 ./cmd/privapprox-node
 
 # The allocs/op regression gate: split, join, respond-bits, and
 # accumulate — per-message and batch forms — must stay at 0 steady-state

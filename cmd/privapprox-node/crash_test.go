@@ -2,13 +2,19 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
+	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"privapprox/internal/telemetry/lineage"
 )
 
 // The kill-and-resume gate. Both tests drive the real multi-process
@@ -68,7 +74,8 @@ func TestCrashRecoveryAggregator(t *testing.T) {
 	}
 
 	// Reference: an uninterrupted durable run over the same stream.
-	refOut, err := exec.Command(bin, aggArgs(t.TempDir())...).CombinedOutput()
+	refDir := t.TempDir()
+	refOut, err := exec.Command(bin, aggArgs(refDir)...).CombinedOutput()
 	if err != nil {
 		t.Fatalf("reference aggregator: %v\n%s", err, refOut)
 	}
@@ -146,6 +153,45 @@ func TestCrashRecoveryAggregator(t *testing.T) {
 	if got != want {
 		t.Errorf("kill-and-resume results differ from uninterrupted run.\nwant:\n%s\ngot:\n%s", want, got)
 	}
+
+	// Exactly-once result cards across the crash: the killed run logged
+	// cards for the windows it fired before the kill; the restored run
+	// re-fires nothing it already logged, so the combined card log must
+	// hold each (query, window) exactly once — the same set the
+	// uninterrupted reference logged.
+	if cardWindows(t, refDir) == "" {
+		t.Fatal("reference run logged no result cards")
+	}
+	if gotCards, wantCards := cardWindows(t, crashDir), cardWindows(t, refDir); gotCards != wantCards {
+		t.Errorf("kill-and-resume card log differs from uninterrupted run.\nwant:\n%s\ngot:\n%s", wantCards, gotCards)
+	}
+}
+
+// cardWindows reads a durable run's cards.jsonl and returns the sorted
+// (query, window) identities, failing the test on any duplicate — the
+// exactly-once contract for card emission across restarts.
+func cardWindows(t *testing.T, dataDir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dataDir, "cards.jsonl"))
+	if err != nil {
+		t.Fatalf("reading card log: %v", err)
+	}
+	seen := map[string]bool{}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		var c lineage.Card
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			t.Fatalf("unparseable card line %q: %v", line, err)
+		}
+		id := fmt.Sprintf("%s [%d,%d)", c.Query, c.WindowStart, c.WindowEnd)
+		if seen[id] {
+			t.Fatalf("card for %s emitted twice in %s", id, dataDir)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "\n")
 }
 
 // TestCrashRecoveryProxy SIGKILLs a durable proxy while half the

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"privapprox/internal/core"
+	"privapprox/internal/minisql"
+)
+
+// TestLineageGate is the provenance gate (`make lineage`): under a
+// fixed seed, every fired window's result card — query, window bounds,
+// epoch range, responses, realized fraction, shed level, CI width,
+// budget burn, drop/dedup counts — must be byte-identical between the
+// in-process pipeline and the networked privapprox-node deployment,
+// and identical across Workers/Shards settings. Only DeterministicLine
+// fields participate; timing enrichment (E2E latency, stamp counts) is
+// deployment-dependent by design.
+func TestLineageGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lineage gate skipped in -short mode")
+	}
+	bin := buildNode(t)
+
+	const (
+		clients    = 6
+		epochs     = 4
+		seed       = 42
+		numQueries = 2
+	)
+
+	// In-process reference cards, across pipeline shapes: every
+	// Workers/Shards setting must render the same sorted line multiset.
+	want := inProcessCards(t, clients, epochs, seed, numQueries, 1, 1)
+	if len(want) == 0 {
+		t.Fatal("in-process reference emitted no cards")
+	}
+	for _, shape := range [][2]int{{4, 3}, {0, 0}} {
+		got := inProcessCards(t, clients, epochs, seed, numQueries, shape[0], shape[1])
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("cards differ across Workers=%d/Shards=%d.\nwant:\n%s\ngot:\n%s",
+				shape[0], shape[1], strings.Join(want, "\n"), strings.Join(got, "\n"))
+		}
+	}
+
+	// Networked deployment: same seed conventions, -print-cards renders
+	// the aggregator's retained cards under a CARDS marker.
+	addr0, stop0 := startProxy(t, bin, 0, "-partitions=4")
+	defer stop0()
+	addr1, stop1 := startProxy(t, bin, 1, "-partitions=4")
+	defer stop1()
+	proxies := "-proxies=" + addr0 + "," + addr1
+
+	queriesFlag := fmt.Sprintf("-queries=%d", numQueries)
+	if out, err := exec.Command(bin, "submit", proxies, queriesFlag, "-s=1").CombinedOutput(); err != nil {
+		t.Fatalf("submit: %v\n%s", err, out)
+	}
+	for _, offset := range []int{0, 3} {
+		out, err := exec.Command(bin, "client", proxies, "-seed=42", queriesFlag,
+			fmt.Sprintf("-offset=%d", offset), "-n=3",
+			fmt.Sprintf("-epochs=%d", epochs), "-conns=2").CombinedOutput()
+		if err != nil {
+			t.Fatalf("client (offset %d): %v\n%s", offset, err, out)
+		}
+	}
+	out, err := exec.Command(bin, "aggregator", proxies, "-seed=42", queriesFlag,
+		fmt.Sprintf("-clients=%d", clients), fmt.Sprintf("-epochs=%d", epochs),
+		"-conns=2", "-idle=5s", "-print-cards").CombinedOutput()
+	if err != nil {
+		t.Fatalf("aggregator: %v\n%s", err, out)
+	}
+	got := cardsBlock(t, string(out))
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("networked cards differ from in-process pipeline.\nwant:\n%s\ngot:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"))
+	}
+
+	// Sanity-pin the known workload: s=1 and an exact population means
+	// every card reports full realized participation and no drops.
+	for _, line := range got {
+		for _, field := range []string{"fraction=1", "shed=1", "late=0", "duplicates=0", "malformed=0"} {
+			if !strings.Contains(line, field+" ") && !strings.HasSuffix(line, field) {
+				t.Errorf("card %q missing expected %q for the s=1 workload", line, field)
+			}
+		}
+	}
+}
+
+// cardsBlock extracts and sorts the deterministic card lines printed
+// under the CARDS marker.
+func cardsBlock(t *testing.T, out string) []string {
+	t.Helper()
+	i := strings.Index(out, "CARDS\n")
+	if i < 0 {
+		t.Fatalf("aggregator output has no CARDS block:\n%s", out)
+	}
+	var lines []string
+	for _, ln := range strings.Split(out[i+len("CARDS\n"):], "\n") {
+		if strings.HasPrefix(ln, "query=") {
+			lines = append(lines, ln)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// inProcessCards runs the single-process multi-query deployment and
+// returns the sorted deterministic card lines from its lineage
+// recorder.
+func inProcessCards(t *testing.T, clients, epochs int, seed int64, numQueries, workers, shards int) []string {
+	t.Helper()
+	params := sharedParams(1, 0.9, 0.6)
+	sys, err := core.New(core.Config{
+		Clients:    clients,
+		Proxies:    2,
+		Partitions: 4,
+		Params:     &params,
+		Origin:     defaultOrigin,
+		Seed:       seed,
+		Workers:    workers,
+		Shards:     shards,
+		MultiQuery: true,
+		Populate: func(i int, db *minisql.DB) error {
+			return populateClient(i, db)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	queries, err := nodeQueries(numQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if err := sys.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		if _, _, err := sys.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, c := range sys.Lineage().Cards(nil) {
+		lines = append(lines, c.DeterministicLine())
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestHealthEndpoints exercises the node-level health plane: every
+// role's metrics mux serves /healthz, and the submit role's /readyz
+// reports ready once its control-plane sinks have caught up to the
+// registry's announcement version.
+func TestHealthEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("health endpoint test skipped in -short mode")
+	}
+	bin := buildNode(t)
+
+	addr0, metrics0, stop0 := startProxyWithMetrics(t, bin, 0, "-partitions=4")
+	defer stop0()
+	addr1, stop1 := startProxy(t, bin, 1, "-partitions=4")
+	defer stop1()
+
+	healthz := strings.Replace(metrics0, "/metrics", "/healthz", 1)
+	if body := getOK(t, healthz); body != "ok\n" {
+		t.Errorf("proxy /healthz body = %q, want %q", body, "ok\n")
+	}
+
+	// The proxy serves no /readyz (it has no control-plane sink notion);
+	// the mux must 404 rather than claim readiness.
+	if resp, err := http.Get(strings.Replace(metrics0, "/metrics", "/readyz", 1)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("proxy /readyz status = %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// Submit role with -linger: after announcing, the registry and its
+	// fleet sink agree on the version, so /readyz flips to 200.
+	cmd := exec.Command(bin, "submit", "-proxies="+addr0+","+addr1,
+		"-queries=1", "-s=1", "-metrics-addr=127.0.0.1:0", "-linger=30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	var submitMetrics string
+	announced := make(chan struct{})
+	urls := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "metrics on ") {
+				urls <- strings.TrimSpace(strings.TrimPrefix(line, "metrics on "))
+			}
+			if strings.HasPrefix(line, "announced ") {
+				close(announced)
+			}
+		}
+	}()
+	select {
+	case submitMetrics = <-urls:
+	case <-time.After(10 * time.Second):
+		t.Fatal("submit never announced its metrics address")
+	}
+	select {
+	case <-announced:
+	case <-time.After(10 * time.Second):
+		t.Fatal("submit never announced its query set")
+	}
+	readyz := strings.Replace(submitMetrics, "/metrics", "/readyz", 1)
+	if body := getOK(t, readyz); body != "ready\n" {
+		t.Errorf("submit /readyz body = %q, want %q", body, "ready\n")
+	}
+	if body := getOK(t, strings.Replace(submitMetrics, "/metrics", "/healthz", 1)); body != "ok\n" {
+		t.Errorf("submit /healthz body = %q, want %q", body, "ok\n")
+	}
+}
+
+// getOK GETs a URL, requires status 200, and returns the body.
+func getOK(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %q", url, resp.StatusCode, body)
+	}
+	return string(body)
+}

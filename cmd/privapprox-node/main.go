@@ -43,12 +43,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,19 +66,28 @@ import (
 	"privapprox/internal/query"
 	"privapprox/internal/rr"
 	"privapprox/internal/telemetry"
+	"privapprox/internal/telemetry/lineage"
 	"privapprox/internal/wal"
 	"privapprox/internal/workload"
 	"privapprox/internal/xorcrypt"
 )
 
+// nodeLog is the role-tagged diagnostic logger. It writes structured
+// lines to stderr only — the stdout protocol banners the harnesses
+// parse stay plain fmt.Printf, byte for byte.
+var nodeLog = telemetry.NewLogger("node")
+
 // serveMetrics exposes a role's registry on addr (empty = disabled) and
 // returns a closer. Port 0 picks a free port; the bound address is
-// printed so scrapers (and the obsgate harness) can find it.
-func serveMetrics(addr string, reg *telemetry.Registry) (func(), error) {
+// printed so scrapers (and the obsgate harness) can find it. Every role
+// mounts /healthz; extra routes (readiness, the lineage windows page)
+// ride along per role.
+func serveMetrics(addr string, reg *telemetry.Registry, routes ...telemetry.Route) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
-	srv, err := telemetry.Serve(addr, reg)
+	routes = append(routes, telemetry.HealthzRoute())
+	srv, err := telemetry.Serve(addr, reg, routes...)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +158,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: privapprox-node <proxy|submit|client|aggregator> [flags]")
 		os.Exit(2)
 	}
+	nodeLog = telemetry.NewLogger(os.Args[1])
 	var err error
 	switch os.Args[1] {
 	case "proxy":
@@ -164,7 +174,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		nodeLog.Fatalf("%v", err)
 	}
 }
 
@@ -221,6 +231,12 @@ func runProxy(args []string) error {
 	if err := broker.CreateTopic(proxy.TopicControl, 1); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
 		return err
 	}
+	// The lineage sidecar topic carries batch provenance stamps; like
+	// the control topic it is single-partition (stamps are tiny and an
+	// ordered stream simplifies the aggregator's fold).
+	if err := broker.CreateTopic(proxy.TopicLineage, 1); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
+		return err
+	}
 	srv, err := pubsub.Serve(broker, *listen)
 	if err != nil {
 		return err
@@ -254,6 +270,7 @@ func runSubmit(args []string) error {
 	p := fs.Float64("p", 0.9, "first randomization coin")
 	q := fs.Float64("q", 0.6, "second randomization coin")
 	resume := fs.Bool("resume", false, "bootstrap from the newest announced snapshot so version numbering continues after a submitter restart")
+	linger := fs.Duration("linger", 0, "keep serving -metrics-addr this long after announcing, so deployers can poll /readyz")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	fs.Parse(args)
 	if *queries < 1 {
@@ -287,7 +304,19 @@ func runSubmit(args []string) error {
 	}
 	tel := telemetry.NewRegistry()
 	tel.RegisterSource(reg)
-	stopMetrics, err := serveMetrics(*metricsAddr, tel)
+	// Ready = every attached control-plane sink has caught up to the
+	// registry's announcement version; a deployer can gate client
+	// startup on /readyz instead of sleeping.
+	ready := func() error {
+		v := reg.Version()
+		for _, sv := range reg.SinkVersions() {
+			if sv < v {
+				return fmt.Errorf("control sink at version %d, registry at %d", sv, v)
+			}
+		}
+		return nil
+	}
+	stopMetrics, err := serveMetrics(*metricsAddr, tel, telemetry.ReadyRoute(ready))
 	if err != nil {
 		return err
 	}
@@ -307,6 +336,9 @@ func runSubmit(args []string) error {
 		}
 	}
 	fmt.Printf("announced %d queries at version %d\n", *queries, reg.Version())
+	if *linger > 0 {
+		time.Sleep(*linger)
+	}
 	return nil
 }
 
@@ -409,6 +441,33 @@ func runClient(args []string) error {
 		sinks[i] = batchers[i]
 	}
 
+	// Provenance stamping: the answer-stream batcher (proxy 0) stamps
+	// every flush with its origin context, published over the lineage
+	// sidecar topic. One stamped stream per process is enough — every
+	// batcher flushes the same logical answers — and against a fleet
+	// that doesn't advertise the lineage feature SupportsLineage is
+	// false, so v1 proxies see exactly the v1 traffic.
+	processStart := time.Now()
+	if px := fleet.Proxy(0); px.SupportsLineage() {
+		group := uint32(*offset)
+		batchers[0].SetStamper(func(epoch, seq uint64, shares int, flushStartNs int64) {
+			buf := lineage.AppendStamp(make([]byte, 0, lineage.StampWireSize), lineage.Stamp{
+				Epoch:        epoch,
+				Group:        group,
+				Seq:          seq,
+				Shares:       uint32(shares),
+				FlushStartNs: flushStartNs,
+				PublishNs:    time.Now().UnixNano(),
+				MonoNs:       int64(time.Since(processStart)),
+			})
+			// Stamps are advisory: a failed publish costs observability,
+			// never the data path.
+			if err := px.SubmitStamp(buf); err != nil {
+				nodeLog.Warnf("lineage stamp: %v", err)
+			}
+		})
+	}
+
 	clients := make([]*client.Client, *n)
 	subs := make([]engine.Subscriber, *n)
 	for j := range clients {
@@ -492,6 +551,9 @@ func runClient(args []string) error {
 			// than erroring on unsubscribed clients.
 			fmt.Printf("epoch %d: no active queries\n", e)
 			continue
+		}
+		for _, b := range batchers {
+			b.BeginEpoch(e)
 		}
 		participants, err := answerAll(clients, e, *workers)
 		if err != nil {
@@ -580,7 +642,7 @@ func answerAll(clients []*client.Client, epoch uint64, workers int) (int, error)
 func peekQuerySet(fleet *proxy.Fleet, group string, wait time.Duration) *engine.QuerySet {
 	cc, err := fleet.Proxy(0).ControlConsumer(group)
 	if err != nil {
-		log.Printf("peek query set: %v", err)
+		nodeLog.Warnf("peek query set: %v", err)
 		return nil
 	}
 	var newest *engine.QuerySet
@@ -588,7 +650,7 @@ func peekQuerySet(fleet *proxy.Fleet, group string, wait time.Duration) *engine.
 	for {
 		recs, err := cc.PollWait(256, 200*time.Millisecond)
 		if err != nil {
-			log.Printf("peek query set: %v", err)
+			nodeLog.Warnf("peek query set: %v", err)
 			return newest
 		}
 		// Decode before checking the exit conditions: a batch that
@@ -657,6 +719,8 @@ func runAggregator(args []string) error {
 	fsync := fs.String("fsync", "never", "checkpoint WAL fsync policy: never, interval, every-batch")
 	pollMax := fs.Int("poll-max", 4096, "records per poll (durable mode; small values tighten checkpoint granularity)")
 	holdAfter := fs.Int64("hold-after", 0, "testing hook: after this many decoded answers, checkpoint and block forever (a SIGKILL window for the crash gate)")
+	cards := fs.String("cards", "", "append-only JSONL result-card log (empty = memory-only ring; with -data-dir defaults to <data-dir>/cards.jsonl)")
+	printCards := fs.Bool("print-cards", false, "print each fired window's deterministic card line under a CARDS marker before exiting")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	fs.Parse(args)
 
@@ -703,7 +767,23 @@ func runAggregator(args []string) error {
 	tel.RegisterSource(tracer)
 	tel.RegisterSource(telemetry.SourceFunc(answer.Metrics))
 	tel.RegisterSource(telemetry.SourceFunc(xorcrypt.Metrics))
-	stopMetrics, err := serveMetrics(*metricsAddr, tel)
+
+	// The provenance recorder: one result card per fired window, a
+	// bounded in-memory ring for /debug/privapprox/windows, and — when a
+	// card log is configured — JSONL wide events with exactly-once
+	// emission across restarts (the log's own scan is the dedup source).
+	if *cards == "" && *dataDir != "" {
+		*cards = filepath.Join(*dataDir, "cards.jsonl")
+	}
+	rec, err := lineage.NewRecorder(lineage.Options{Path: *cards, Registry: tel, Tracer: tracer})
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	tel.RegisterSource(rec)
+	agg.SetCardSink(rec)
+	stopMetrics, err := serveMetrics(*metricsAddr, tel,
+		telemetry.Route{Pattern: "/debug/privapprox/windows", Handler: rec.Handler()})
 	if err != nil {
 		return err
 	}
@@ -716,19 +796,42 @@ func runAggregator(args []string) error {
 		return err
 	}
 
+	// Lineage sidecar drain: batch stamps are folded into the recorder
+	// before each share sweep, so a window firing during the sweep sees
+	// the flush stamps of the epochs that fed it. Positions are not
+	// checkpointed — re-observing stamps after a restart is harmless.
+	lineageConsumers, err := fleet.LineageConsumers("aggregator-lineage")
+	if err != nil {
+		return err
+	}
+	drainStamps := func() {
+		for _, lc := range lineageConsumers {
+			recs, err := lc.Poll(256)
+			if err != nil {
+				continue
+			}
+			for _, record := range recs {
+				if s, err := lineage.DecodeStamp(record.Value); err == nil {
+					rec.ObserveStamp(s)
+				}
+			}
+		}
+	}
+
 	expected := int64(*clients) * int64(*epochs) * int64(len(qs.Entries))
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
 		if err != nil {
 			return err
 		}
-		return runAggregatorDurable(*dataDir, policy, agg, consumers, expected, *idle, *pollMax, *holdAfter, tel)
+		return runAggregatorDurable(*dataDir, policy, agg, consumers, expected, *idle, *pollMax, *holdAfter, tel, rec, drainStamps, *printCards)
 	}
 
 	lastProgress := time.Now()
 	var shares []xorcrypt.Share
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, *idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < *idle {
+		drainStamps()
 		progressed := false
 		for src, c := range consumers {
 			recs, err := c.PollWait(4096, 50*time.Millisecond)
@@ -759,7 +862,27 @@ func runAggregator(args []string) error {
 	}
 	printResults(results)
 	printStatsLine(agg)
+	if *printCards {
+		printCardLines(rec)
+	}
 	return nil
+}
+
+// printCardLines renders every retained card's deterministic line,
+// sorted, under a "CARDS" marker. The lineage gate compares these
+// lines byte for byte across deployment shapes, so only the
+// seed-determined card fields appear.
+func printCardLines(rec *lineage.Recorder) {
+	cards := rec.Cards(nil)
+	lines := make([]string, len(cards))
+	for i, c := range cards {
+		lines[i] = c.DeterministicLine()
+	}
+	sort.Strings(lines)
+	fmt.Println("CARDS")
+	for _, l := range lines {
+		fmt.Println(l)
+	}
 }
 
 func printStatsLine(agg *aggregator.Aggregator) {
@@ -780,7 +903,7 @@ func printStatsLine(agg *aggregator.Aggregator) {
 // Output protocol: results are held until the end and printed under a
 // "RESULTS" marker line (followed by the stats line), so crash tests
 // compare everything after the marker.
-func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Aggregator, consumers []*pubsub.Consumer, expected int64, idle time.Duration, pollMax int, holdAfter int64, tel *telemetry.Registry) error {
+func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Aggregator, consumers []*pubsub.Consumer, expected int64, idle time.Duration, pollMax int, holdAfter int64, tel *telemetry.Registry, rec *lineage.Recorder, drainStamps func(), printCards bool) error {
 	// Old checkpoints are garbage once superseded: rotate small segments
 	// and drop everything below the newest record after each append.
 	ckLog, err := wal.Open(filepath.Join(dataDir, "aggregator"), wal.Options{
@@ -812,11 +935,17 @@ func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Agg
 	}
 
 	checkpoint := func() error {
-		rec, err := encodeNodeCheckpoint(agg, consumers, results)
+		// Card-before-checkpoint barrier: a window fired before this
+		// checkpoint never re-fires after restore, so its card must be
+		// durable in the JSONL log by the time the checkpoint is.
+		if err := rec.Sync(); err != nil {
+			return err
+		}
+		payload, err := encodeNodeCheckpoint(agg, consumers, results)
 		if err != nil {
 			return err
 		}
-		lsn, err := ckLog.Append(rec)
+		lsn, err := ckLog.Append(payload)
 		if err != nil {
 			return err
 		}
@@ -832,6 +961,7 @@ func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Agg
 	var shares []xorcrypt.Share
 	fmt.Printf("aggregator waiting for up to %d answers (idle timeout %v)\n", expected, idle)
 	for agg.Decoded() < expected && time.Since(lastProgress) < idle {
+		drainStamps()
 		progressed := false
 		for src, c := range consumers {
 			recs, err := c.PollWait(pollMax, 50*time.Millisecond)
@@ -877,6 +1007,9 @@ func runAggregatorDurable(dataDir string, policy wal.Policy, agg *aggregator.Agg
 	fmt.Println("RESULTS")
 	fmt.Print(formatResults(results))
 	printStatsLine(agg)
+	if printCards {
+		printCardLines(rec)
+	}
 	return nil
 }
 

@@ -12,24 +12,32 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"privapprox/internal/telemetry/lineage"
 )
 
 // TestObsGate is the observability gate (`make obsgate`): it runs the
 // networked deployment with -metrics-addr enabled, scrapes /metrics
-// off a live proxy between two client epochs and off the aggregator
+// off a live proxy between client epochs and off the aggregator
 // mid-drain, and asserts (a) the core instrument set is present in
 // Prometheus text format, (b) traffic counters are monotonic across
-// epochs, and (c) the expvar mirror at /debug/vars serves the same
-// registry as JSON.
+// epochs, (c) the expvar mirror at /debug/vars serves the same
+// registry as JSON, (d) /readyz on the lingering submit role reports
+// caught-up control sinks, and (e) the aggregator's
+// /debug/privapprox/windows page serves result cards whose fields
+// match the known s=1 workload.
 func TestObsGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("obsgate skipped in -short mode")
 	}
 	bin := buildNode(t)
 
+	// Nine epochs so the first 4s window fires *during* the drain (the
+	// watermark needs event time 8s before [0,4s) closes): the windows
+	// page then has a live card to validate while the aggregator holds.
 	const (
 		clients = 4
-		epochs  = 2
+		epochs  = 9
 	)
 	addr0, metrics0, stop0 := startProxyWithMetrics(t, bin, 0, "-partitions=4")
 	defer stop0()
@@ -37,12 +45,18 @@ func TestObsGate(t *testing.T) {
 	defer stop1()
 	proxies := "-proxies=" + addr0 + "," + addr1
 
-	if out, err := exec.Command(bin, "submit", proxies, "-queries=1", "-s=1").CombinedOutput(); err != nil {
-		t.Fatalf("submit process: %v\n%s", err, out)
+	// The submit role lingers with its metrics mux up: once the
+	// announcement lands, its control sinks are caught up and /readyz
+	// must flip to 200.
+	submitMetrics, stopSubmit := startSubmitLingering(t, bin, proxies, "-queries=1")
+	defer stopSubmit()
+	readyz := strings.Replace(submitMetrics, "/metrics", "/readyz", 1)
+	if body := getOK(t, readyz); body != "ready\n" {
+		t.Errorf("submit /readyz body = %q, want %q", body, "ready\n")
 	}
 
-	// Epoch 0, scrape, epoch 1 (resumed via -first-epoch), scrape again:
-	// the two snapshots bracket one epoch of traffic.
+	// Epoch 0, scrape, epochs 1..8 (resumed via -first-epoch), scrape
+	// again: the two snapshots bracket eight epochs of traffic.
 	runClientEpoch := func(first, upto int) {
 		t.Helper()
 		out, err := exec.Command(bin, "client", proxies, "-seed=42", "-queries=1",
@@ -55,8 +69,13 @@ func TestObsGate(t *testing.T) {
 	}
 	runClientEpoch(0, 1)
 	scrape1 := scrapeMetrics(t, metrics0)
-	runClientEpoch(1, 2)
+	runClientEpoch(1, epochs)
 	scrape2 := scrapeMetrics(t, metrics0)
+
+	// Every role's mux serves liveness.
+	if body := getOK(t, strings.Replace(metrics0, "/metrics", "/healthz", 1)); body != "ok\n" {
+		t.Errorf("proxy /healthz body = %q, want %q", body, "ok\n")
+	}
 
 	// Core proxy instrument set: broker traffic counters, backlog
 	// gauges, and the publish-latency histogram series.
@@ -116,7 +135,8 @@ func TestObsGate(t *testing.T) {
 	// The stage totals prove the tracer saw the join stage, the WAL
 	// histogram proves checkpoint appends were timed, and the decode
 	// counter must reach the exact expected count at s=1.
-	aggScrape := runAggregatorScraping(t, bin, proxies, clients, epochs)
+	aggScrape, aggMetricsURL, stopAgg := runAggregatorScraping(t, bin, proxies, clients, epochs)
+	defer stopAgg()
 	for _, name := range []string{
 		"privapprox_agg_decoded_total",
 		"privapprox_agg_duplicates_total",
@@ -125,6 +145,11 @@ func TestObsGate(t *testing.T) {
 		"privapprox_stage_events_total",
 		"privapprox_query_decoded_total",
 		"privapprox_wal_append_ns_count",
+		"privapprox_lineage_stamps_total",
+		"privapprox_window_cards_emitted_total",
+		"privapprox_window_e2e_ns_count",
+		"privapprox_window_ci_width",
+		"privapprox_window_realized_fraction",
 	} {
 		if !hasMetric(aggScrape, name) {
 			t.Errorf("aggregator /metrics missing %s:\n%s", name, aggScrape)
@@ -136,6 +161,116 @@ func TestObsGate(t *testing.T) {
 	if got := metricValue(t, aggScrape, "privapprox_wal_append_ns_count"); !(got > 0) {
 		t.Errorf("privapprox_wal_append_ns_count = %v, want > 0 (checkpoint appends)", got)
 	}
+	// One stamp per client-process flush reached the lineage fold.
+	if got := metricValue(t, aggScrape, "privapprox_lineage_stamps_total"); got != float64(epochs) {
+		t.Errorf("privapprox_lineage_stamps_total = %v, want %d (one per epoch flush)", got, epochs)
+	}
+
+	// The windows debug page: the card fired mid-drain, with its fields
+	// pinned by the known workload — s=1, full participation, no drops,
+	// and a stamp-anchored end-to-end latency.
+	if body := getOK(t, strings.Replace(aggMetricsURL, "/metrics", "/healthz", 1)); body != "ok\n" {
+		t.Errorf("aggregator /healthz body = %q, want %q", body, "ok\n")
+	}
+	windowsURL := strings.Replace(aggMetricsURL, "/metrics", "/debug/privapprox/windows", 1)
+	var page struct {
+		Emitted    int64          `json:"emitted"`
+		Suppressed int64          `json:"suppressed"`
+		Stamps     int64          `json:"stamps"`
+		Cards      []lineage.Card `json:"cards"`
+	}
+	if err := json.Unmarshal([]byte(getOK(t, windowsURL)), &page); err != nil {
+		t.Fatalf("windows page is not JSON: %v", err)
+	}
+	if page.Emitted < 1 || len(page.Cards) < 1 {
+		t.Fatalf("windows page has no cards: %+v", page)
+	}
+	if page.Stamps != int64(epochs) {
+		t.Errorf("windows page stamps = %d, want %d", page.Stamps, epochs)
+	}
+	c := page.Cards[0]
+	// Window [0,4s) covers epochs 0..3 of the whole population, so its
+	// population is pinned at clients×4. Its response count is not: the
+	// window fires the instant the watermark reaches 4s, and partition
+	// drain order decides how many of those answers had joined by then —
+	// so require internal consistency (realized = responses/population,
+	// and the Prometheus gauge agreeing with the card) rather than full
+	// participation, which only the Flush-fired lineage gate pins.
+	wantPopulation := clients * 4
+	switch {
+	case c.Query != "node-analyst:1":
+		t.Errorf("card query = %q, want node-analyst:1", c.Query)
+	case c.WindowEnd-c.WindowStart != int64(4*time.Second):
+		t.Errorf("card window width = %d, want 4s", c.WindowEnd-c.WindowStart)
+	case c.EpochFirst != 0 || c.EpochLast != 3:
+		t.Errorf("card epochs = [%d,%d], want [0,3]", c.EpochFirst, c.EpochLast)
+	case c.Population != wantPopulation:
+		t.Errorf("card population = %d, want %d", c.Population, wantPopulation)
+	case c.Responses < 1 || c.Responses > wantPopulation:
+		t.Errorf("card responses = %d, want 1..%d", c.Responses, wantPopulation)
+	case c.Fraction != 1 || c.Shed != 1:
+		t.Errorf("card fraction/shed = %v/%v, want 1/1", c.Fraction, c.Shed)
+	case float64(c.Realized) != float64(c.Responses)/float64(c.Population):
+		t.Errorf("card realized = %v, want responses/population = %d/%d", c.Realized, c.Responses, c.Population)
+	case c.Late != 0 || c.Duplicates != 0 || c.Malformed != 0:
+		t.Errorf("card drop counters = %d/%d/%d, want 0/0/0", c.Late, c.Duplicates, c.Malformed)
+	case c.Stamps < 4:
+		t.Errorf("card stamps = %d, want ≥ 4 (one per feeding epoch)", c.Stamps)
+	case c.E2ENs <= 0:
+		t.Errorf("card e2e_ns = %d, want > 0 (stamp-anchored latency)", c.E2ENs)
+	case !(c.CIWidth > 0):
+		t.Errorf("card ci_width = %v, want > 0", c.CIWidth)
+	}
+	if got := metricValue(t, aggScrape, "privapprox_window_realized_fraction"); got != float64(c.Realized) {
+		t.Errorf("privapprox_window_realized_fraction = %v, want %v (the fired card's realized)", got, c.Realized)
+	}
+}
+
+// startSubmitLingering runs the submit role with -linger and a metrics
+// mux, returning its metrics URL once the announcement has landed.
+func startSubmitLingering(t *testing.T, bin, proxies, queriesFlag string) (metricsURL string, stop func()) {
+	t.Helper()
+	cmd := exec.Command(bin, "submit", proxies, queriesFlag, "-s=1",
+		"-metrics-addr=127.0.0.1:0", "-linger=60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stop = func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	urls := make(chan string, 1)
+	announced := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "metrics on ") {
+				urls <- strings.TrimSpace(strings.TrimPrefix(line, "metrics on "))
+			}
+			if strings.HasPrefix(line, "announced ") {
+				close(announced)
+			}
+		}
+	}()
+	select {
+	case metricsURL = <-urls:
+	case <-time.After(10 * time.Second):
+		stop()
+		t.Fatal("submit never announced its metrics address")
+	}
+	select {
+	case <-announced:
+	case <-time.After(10 * time.Second):
+		stop()
+		t.Fatal("submit never announced its query set")
+	}
+	return metricsURL, stop
 }
 
 // startProxyWithMetrics is startProxy plus -metrics-addr: it parses
@@ -193,8 +328,9 @@ func startProxyWithMetrics(t *testing.T, bin string, index int, extra ...string)
 // runAggregatorScraping starts the aggregator role with a metrics
 // listener in durable mode with -hold-after, polls its /metrics until
 // every expected answer is decoded (the hold keeps the process — and
-// its listener — alive indefinitely), and returns the last scrape.
-func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs int) string {
+// its listener — alive indefinitely), and returns the last scrape plus
+// the metrics URL (for the debug endpoints on the same mux).
+func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs int) (string, string, func()) {
 	t.Helper()
 	cmd := exec.Command(bin, "aggregator", proxies, "-seed=42", "-queries=1",
 		fmt.Sprintf("-clients=%d", clients), fmt.Sprintf("-epochs=%d", epochs),
@@ -208,10 +344,10 @@ func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs in
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
+	stop := func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-	}()
+	}
 
 	urls := make(chan string, 1)
 	var outMu sync.Mutex
@@ -234,6 +370,7 @@ func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs in
 	select {
 	case metricsURL = <-urls:
 	case <-time.After(15 * time.Second):
+		stop()
 		t.Fatal("aggregator never announced its metrics address")
 	}
 
@@ -248,7 +385,7 @@ func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs in
 			if rerr == nil {
 				last = string(body)
 				if v, ok := lookupMetric(last, "privapprox_agg_decoded_total"); ok && v >= expected {
-					return last
+					return last, metricsURL, stop
 				}
 			}
 		}
@@ -257,9 +394,10 @@ func runAggregatorScraping(t *testing.T, bin, proxies string, clients, epochs in
 	outMu.Lock()
 	stdoutSoFar := outBuf.String()
 	outMu.Unlock()
+	stop()
 	t.Fatalf("aggregator never decoded %v answers; stdout:\n%s\nlast scrape:\n%s",
 		expected, stdoutSoFar, last)
-	return ""
+	return "", "", nil
 }
 
 // scrapeMetrics GETs a /metrics URL and returns the body.

@@ -39,6 +39,7 @@ import (
 	"privapprox/internal/stats"
 	"privapprox/internal/stream"
 	"privapprox/internal/telemetry"
+	"privapprox/internal/telemetry/lineage"
 	"privapprox/internal/xorcrypt"
 )
 
@@ -203,6 +204,11 @@ type Aggregator struct {
 	// tracer, when set, receives join-stage spans and window-fire spans
 	// (telemetry.go); nil costs the hot path one atomic load.
 	tracer atomic.Pointer[telemetry.Tracer]
+	// cards, when set, receives one provenance result card per fired
+	// window (telemetry.go). Card assembly runs inside fireLocked —
+	// already off the share hot path and already allocating for the
+	// estimate — so the zero-alloc submit contract is untouched.
+	cards atomic.Pointer[lineage.Recorder]
 }
 
 // stateTable is one immutable snapshot of the registered queries.
@@ -252,6 +258,21 @@ type queryState struct {
 	wmMax   atomic.Int64
 	dropped atomic.Int64
 	decoded atomic.Int64
+	// firedThrough is the maximum window start (UnixNano) this query
+	// has fired, wmUnseen before any fire. Checkpointed, so a restored
+	// aggregator knows which windows' cards were already emitted.
+	firedThrough atomic.Int64
+	// cardsBelow suppresses card emission for windows starting at or
+	// below it (wmUnseen = no suppression): set from a restored
+	// checkpoint's firedThrough so re-fired windows do not produce
+	// duplicate cards. The Recorder's own log-scan dedup covers windows
+	// fired after the last checkpoint; this is the cheap first line.
+	cardsBelow atomic.Int64
+	// lateMu guards lateByWin: late answers attributed to the windows
+	// they would have joined, drained into each window's card at fire
+	// time and pruned for windows already fired.
+	lateMu    sync.Mutex
+	lateByWin map[int64]int64
 	// shedBits is the current shed threshold as Float64bits, atomic so
 	// the SLO controller can move it while windows fire. Zero (never
 	// stored) reads as 1.
@@ -457,10 +478,13 @@ func (a *Aggregator) AddQuery(spec QuerySpec) error {
 		windows:     make(map[int64]*openWindow),
 		rng:         rand.New(rand.NewSource(spec.Seed)),
 		rrLossCache: make(map[int]float64),
+		lateByWin:   make(map[int64]int64),
 	}
 	a.nextOrd++
 	st.params.Store(&spec.Params)
 	st.wmMax.Store(wmUnseen)
+	st.firedThrough.Store(wmUnseen)
+	st.cardsBelow.Store(wmUnseen)
 	st.storeShed(spec.Shed)
 	a.swapStates(old, st, nil)
 	a.updateRetain()
@@ -711,8 +735,18 @@ func (a *Aggregator) submitLocked(js *joinShard, share xorcrypt.Share, source in
 func (a *Aggregator) ingest(js *joinShard, st *queryState, eventTime time.Time, vec *answer.BitVector, shard int) ([]Result, error) {
 	if st.isLate(eventTime) {
 		// A late event can never advance the watermark, so nothing can
-		// fire on its account.
+		// fire on its account. With the provenance plane attached, charge
+		// the drop to the window(s) the answer would have joined so their
+		// cards carry per-window late counts.
 		st.dropped.Add(1)
+		if a.cards.Load() != nil {
+			js.wins = st.assigner.AppendWindowsFor(js.wins[:0], eventTime)
+			st.lateMu.Lock()
+			for _, w := range js.wins {
+				st.lateByWin[w.Start.UnixNano()]++
+			}
+			st.lateMu.Unlock()
+		}
 		return nil, nil
 	}
 
@@ -840,10 +874,11 @@ func (a *Aggregator) fireLocked(st *queryState, flush bool) ([]Result, error) {
 		return closing[i].window.Start.Before(closing[j].window.Start)
 	})
 	tr := a.tracer.Load()
+	rec := a.cards.Load()
 	var out []Result
 	for _, ow := range closing {
 		var t0 time.Time
-		if tr != nil {
+		if tr != nil || rec != nil {
 			t0 = time.Now()
 		}
 		// Close-and-merge: an add racing this fire either lands before
@@ -869,8 +904,76 @@ func (a *Aggregator) fireLocked(st *queryState, flush bool) ([]Result, error) {
 				Dur:         time.Since(t0),
 			})
 		}
+		start := ow.window.Start.UnixNano()
+		if ft := st.firedThrough.Load(); ft == wmUnseen || start > ft {
+			st.firedThrough.Store(start)
+		}
+		if rec != nil {
+			a.emitCard(rec, st, res, time.Since(t0))
+		}
+	}
+	if rec != nil {
+		// Prune late attributions for windows at or behind the fire
+		// horizon — their cards are out, so the entries would only leak.
+		if ft := st.firedThrough.Load(); ft != wmUnseen {
+			st.lateMu.Lock()
+			for k := range st.lateByWin {
+				if k <= ft {
+					delete(st.lateByWin, k)
+				}
+			}
+			st.lateMu.Unlock()
+		}
 	}
 	return out, nil
+}
+
+// emitCard assembles the provenance result card for one fired window
+// and hands it to the recorder. Runs under fireMu at fire cadence; the
+// recorder fills in stamp-derived latency and stage legs and performs
+// its own exactly-once dedup against the card log.
+func (a *Aggregator) emitCard(rec *lineage.Recorder, st *queryState, res Result, dur time.Duration) {
+	start, end := res.Window.Start.UnixNano(), res.Window.End.UnixNano()
+	if below := st.cardsBelow.Load(); below != wmUnseen && start <= below {
+		return
+	}
+	params := st.params.Load()
+	eps, err := params.EpsilonZK()
+	if err != nil {
+		eps = -1 // params were validated at registration; defensive only
+	}
+	width := RelativeWidth(res)
+	st.lateMu.Lock()
+	late := st.lateByWin[start]
+	delete(st.lateByWin, start)
+	st.lateMu.Unlock()
+	c := lineage.Card{
+		Query:       st.qname,
+		WindowStart: start,
+		WindowEnd:   end,
+		Responses:   res.Responses,
+		Population:  res.Population,
+		Fraction:    lineage.JSONFloat(params.S),
+		Shed:        lineage.JSONFloat(res.Shed),
+		CIWidth:     lineage.JSONFloat(width),
+		EpsilonZK:   lineage.JSONFloat(eps),
+		Late:        late,
+		// Duplicates/Malformed are aggregator-cumulative snapshots at
+		// fire time (per-window attribution is impossible: a duplicate
+		// share or undecodable message reveals no window). Zero in clean
+		// runs; a nonzero value flags *some* window at or before this one.
+		Duplicates: a.duplicates.Load(),
+		Malformed:  a.malformed.Load(),
+		FiredAtNs:  time.Now().UnixNano(),
+		FireDurNs:  int64(dur),
+	}
+	if res.Population > 0 {
+		c.Realized = lineage.JSONFloat(float64(res.Responses) / float64(res.Population))
+	}
+	if first, last, ok := lineage.EpochRange(a.cfg.Origin.UnixNano(), int64(st.q.Frequency), start, end); ok {
+		c.EpochFirst, c.EpochLast = first, last
+	}
+	rec.EmitCard(c)
 }
 
 // AdvanceTo moves every query's watermark forward (e.g. on an epoch

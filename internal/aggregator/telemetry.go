@@ -2,6 +2,7 @@ package aggregator
 
 import (
 	"privapprox/internal/telemetry"
+	"privapprox/internal/telemetry/lineage"
 )
 
 // SetTracer attaches an epoch tracer: SubmitShareBatch charges its
@@ -10,6 +11,15 @@ import (
 // hot path pays one atomic pointer load when no tracer is set.
 func (a *Aggregator) SetTracer(tr *telemetry.Tracer) {
 	a.tracer.Store(tr)
+}
+
+// SetCardSink attaches the provenance recorder: every subsequently
+// fired window emits one result card (realized participation, CI
+// width, budget burn, late counts — see lineage.Card). Nil detaches.
+// Like the tracer, an unset sink costs one atomic load at fire time
+// and nothing on the share hot path.
+func (a *Aggregator) SetCardSink(rec *lineage.Recorder) {
+	a.cards.Store(rec)
 }
 
 // AppendSamples implements telemetry.Source: the Stats() counters, the

@@ -3,6 +3,7 @@ package client
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"privapprox/internal/xorcrypt"
 )
@@ -54,10 +55,25 @@ type Batcher struct {
 	degraded bool
 	dropped  atomic.Int64
 
+	// stamper, when set, receives one provenance callback per
+	// successfully flushed batch (see SetStamper); epoch and seq tag
+	// the stamps. The callback itself builds and publishes the lineage
+	// stamp, so the Batcher stays free of wire dependencies.
+	stamper Stamper
+	epoch   atomic.Uint64
+	seq     atomic.Uint64
+
 	mu   sync.Mutex
 	cur  *batchBuf
 	free []*batchBuf
 }
+
+// Stamper is the provenance hook: called once per successfully flushed
+// batch — off the submit hot path, after the sink consumed the shares —
+// with the epoch the flush belongs to, the flush sequence number within
+// this Batcher, the number of shares sent, and the wall-clock
+// nanosecond the flush began.
+type Stamper func(epoch, seq uint64, shares int, flushStartNs int64)
 
 // batchBuf is one batch in flight: columnar segments (segs[:nseg]
 // active; entries past nseg keep recycled lane capacity from earlier
@@ -159,6 +175,11 @@ func (b *Batcher) flushLocked() error {
 		}
 		return nil
 	}
+	var flushStart int64
+	if b.stamper != nil {
+		flushStart = time.Now().UnixNano()
+	}
+	sent := buf.count
 	var err error
 	lost := 0
 	if cs, ok := b.sink.(ColumnSink); ok {
@@ -191,12 +212,24 @@ func (b *Batcher) flushLocked() error {
 		}
 	}
 	b.putBuf(buf)
+	if err == nil && b.stamper != nil {
+		b.stamper(b.epoch.Load(), b.seq.Add(1)-1, sent, flushStart)
+	}
 	if err != nil && degraded {
 		b.dropped.Add(int64(lost))
 		return nil
 	}
 	return err
 }
+
+// SetStamper installs the provenance callback. Install before the
+// Batcher is shared across goroutines; a nil stamper (the default)
+// costs the flush path nothing, not even a clock read.
+func (b *Batcher) SetStamper(fn Stamper) { b.stamper = fn }
+
+// BeginEpoch tags subsequent flushes as carrying epoch e's shares. The
+// epoch driver calls it alongside its own per-epoch bookkeeping.
+func (b *Batcher) BeginEpoch(e uint64) { b.epoch.Store(e) }
 
 // SetDegraded toggles degraded mode: when on, a failed flush drops the
 // batch (counted by Dropped) instead of returning the error, so an

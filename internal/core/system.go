@@ -49,6 +49,7 @@ import (
 	"privapprox/internal/pubsub"
 	"privapprox/internal/query"
 	"privapprox/internal/telemetry"
+	"privapprox/internal/telemetry/lineage"
 	"privapprox/internal/wal"
 	"privapprox/internal/xorcrypt"
 )
@@ -171,9 +172,11 @@ type System struct {
 
 	// Telemetry plane: tel aggregates every component source (built
 	// before the fleet so the WAL latency histograms exist when the
-	// durable logs open); tracer keys per-stage spans by epoch.
+	// durable logs open); tracer keys per-stage spans by epoch; cards
+	// is the provenance recorder fed by the aggregator's fire path.
 	tel    *telemetry.Registry
 	tracer *telemetry.Tracer
+	cards  *lineage.Recorder
 }
 
 // New builds and wires the system: initializer (budget → parameters),

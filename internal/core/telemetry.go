@@ -8,6 +8,7 @@ import (
 	"privapprox/internal/pubsub"
 	"privapprox/internal/rr"
 	"privapprox/internal/telemetry"
+	"privapprox/internal/telemetry/lineage"
 	"privapprox/internal/xorcrypt"
 )
 
@@ -26,6 +27,11 @@ func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 // scrape.
 func (s *System) TelemetrySnapshot() []telemetry.Sample { return s.tel.Gather() }
 
+// Lineage returns the provenance recorder behind the registry: one
+// result card per fired window (in-process systems keep a memory-only
+// ring; the durable node role adds the JSONL card log).
+func (s *System) Lineage() *lineage.Recorder { return s.cards }
+
 // initTelemetry registers every component source on the system's
 // registry and attaches the hot-path hooks (aggregator tracer, broker
 // publish histograms). Called once at the end of New; the WAL latency
@@ -34,6 +40,15 @@ func (s *System) initTelemetry() {
 	s.tel.RegisterSource(s.tracer)
 	s.tel.RegisterSource(s.agg)
 	s.agg.SetTracer(s.tracer)
+
+	// The provenance plane: a memory-only recorder (no card log) so
+	// every in-process system answers Cards()/the debug endpoint; the
+	// options are infallible without a Path, so the error is impossible.
+	if rec, err := lineage.NewRecorder(lineage.Options{Registry: s.tel, Tracer: s.tracer}); err == nil {
+		s.cards = rec
+		s.tel.RegisterSource(rec)
+		s.agg.SetCardSink(rec)
+	}
 
 	pubHist := s.tel.Histogram("privapprox_publish_ns")
 	for i := 0; i < s.fleet.Size(); i++ {

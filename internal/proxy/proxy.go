@@ -39,6 +39,11 @@ const (
 	TopicAnswer  = "answer"
 	TopicKey     = "key"
 	TopicControl = "control"
+	// TopicLineage is the provenance sidecar: clients publish one
+	// compact origin stamp per batch flush, the aggregator folds them
+	// into per-window result cards. Single-partition, advisory — the
+	// share plane never blocks on it.
+	TopicLineage = "lineage"
 )
 
 // TopicFor returns the topic a proxy at the given fleet index serves.
@@ -106,6 +111,10 @@ func newWithBroker(name string, index, partitions int, b *pubsub.Broker) (*Proxy
 		return nil, err
 	}
 	if err := b.CreateTopic(TopicControl, 1); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
+		b.Close()
+		return nil, err
+	}
+	if err := b.CreateTopic(TopicLineage, 1); err != nil && !errors.Is(err, pubsub.ErrTopicExists) {
 		b.Close()
 		return nil, err
 	}
@@ -291,6 +300,44 @@ func (p *Proxy) ControlConsumer(group string) (*pubsub.Consumer, error) {
 	return pubsub.NewTransportConsumer(p.t, group, TopicControl)
 }
 
+// SupportsLineage reports whether this proxy's transport hosts the
+// provenance sidecar topic. Owned brokers always do; remote transports
+// answer from their negotiated feature mask (one cached opFeatures
+// probe), and transports predating the capability report false.
+func (p *Proxy) SupportsLineage() bool {
+	lp, ok := p.t.(interface{ SupportsLineage() bool })
+	return ok && lp.SupportsLineage()
+}
+
+// SubmitStamp publishes one encoded batch origin stamp to the lineage
+// sidecar. Stamps are advisory observability data: against a peer or
+// transport without provenance support — a v1 broker, a wrapped
+// transport that hides the capability, a broker without the topic —
+// the stamp is silently dropped and the share plane is unaffected.
+func (p *Proxy) SubmitStamp(payload []byte) error {
+	if !p.SupportsLineage() {
+		return nil
+	}
+	_, _, err := p.t.Publish(TopicLineage, nil, payload)
+	if errors.Is(err, pubsub.ErrNoTopic) {
+		return nil
+	}
+	return err
+}
+
+// LineageConsumer returns an aggregator-side consumer over this
+// proxy's lineage sidecar topic, or nil (no error) when the transport
+// has no provenance support — the caller just has no stamps to drain.
+func (p *Proxy) LineageConsumer(group string) (*pubsub.Consumer, error) {
+	if !p.SupportsLineage() {
+		return nil, nil
+	}
+	if p.broker != nil {
+		return pubsub.NewConsumer(p.broker, group, TopicLineage)
+	}
+	return pubsub.NewTransportConsumer(p.t, group, TopicLineage)
+}
+
 // Stats exposes the underlying broker's traffic counters. Attached
 // (remote) proxies report zero — the counters live in the remote
 // process.
@@ -415,6 +462,24 @@ func (f *Fleet) Consumers(group string) ([]*pubsub.Consumer, error) {
 			return nil, err
 		}
 		out[i] = c
+	}
+	return out, nil
+}
+
+// LineageConsumers returns one lineage consumer per proxy that
+// supports the provenance plane; proxies without it are skipped, so
+// the slice may be shorter than the fleet (empty against an all-v1
+// fleet — the aggregator then simply sees no stamps).
+func (f *Fleet) LineageConsumers(group string) ([]*pubsub.Consumer, error) {
+	var out []*pubsub.Consumer
+	for _, p := range f.proxies {
+		c, err := p.LineageConsumer(group)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			out = append(out, c)
+		}
 	}
 	return out, nil
 }

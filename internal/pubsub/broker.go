@@ -146,6 +146,11 @@ func NewBroker() *Broker {
 	}
 }
 
+// SupportsLineage reports provenance-plane support: an in-process
+// broker always hosts the lineage sidecar topic (the Client mirrors
+// this by probing the server's opFeatures mask).
+func (b *Broker) SupportsLineage() bool { return true }
+
 // CreateTopic registers a topic with the given partition count.
 func (b *Broker) CreateTopic(name string, partitions int) error {
 	if name == "" || partitions <= 0 {

@@ -354,7 +354,7 @@ func (c *Client) PublishColumnsWait(topic string, cols Columns, timeout time.Dur
 func (s *Server) handleFeatures() []byte {
 	var e enc
 	e.byte(0)
-	e.uint64(featureColumnarV2 | featureIdempotent)
+	e.uint64(featureColumnarV2 | featureIdempotent | featureLineage)
 	return e.buf
 }
 

@@ -504,6 +504,35 @@ type Client struct {
 	// producer-session verdict the same way.
 	features atomic.Int32
 	sessions atomic.Int32
+	// lineage caches the provenance-plane verdict the same way.
+	lineage atomic.Int32
+}
+
+// SupportsLineage reports whether the server hosts the lineage
+// provenance plane (featureLineage in its capability mask), probing
+// once via opFeatures and caching a definite verdict like
+// supportsColumns. Against a v1 peer, or on transport failure, it
+// reports false — callers skip stamping rather than erroring.
+func (c *Client) SupportsLineage() bool {
+	switch c.lineage.Load() {
+	case featV2:
+		return true
+	case featV1Only:
+		return false
+	}
+	mask, err := c.Features()
+	if err != nil {
+		if errors.Is(err, ErrWire) {
+			c.lineage.Store(featV1Only)
+		}
+		return false
+	}
+	if mask&featureLineage != 0 {
+		c.lineage.Store(featV2)
+		return true
+	}
+	c.lineage.Store(featV1Only)
+	return false
 }
 
 // DefaultPoolConns is the pool size DialPool uses for conns <= 0.

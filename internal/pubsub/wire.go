@@ -49,6 +49,12 @@ const featureColumnarV2 = uint64(1) << 0
 // double-publish.
 const featureIdempotent = uint64(1) << 1
 
+// featureLineage advertises the provenance plane: the broker hosts a
+// lineage sidecar topic and accepts batch origin stamps on it. Clients
+// that don't see the bit simply skip stamping — stamps are advisory
+// observability data, so the fallback is silence, not an error.
+const featureLineage = uint64(1) << 2
+
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))

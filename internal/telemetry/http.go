@@ -40,12 +40,45 @@ func publishExpvar(r *Registry) {
 	})
 }
 
+// Route is an extra endpoint mounted on the introspection mux — the
+// lineage debug page, readiness probes, role-specific handlers.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
+// HealthzRoute is the liveness probe: it answers 200 whenever the
+// process can serve HTTP at all.
+func HealthzRoute() Route {
+	return Route{Pattern: "/healthz", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})}
+}
+
+// ReadyRoute is the readiness probe: check reports nil when the role
+// is ready to serve (e.g. every control-plane sink has acked the
+// current query-set version); a non-nil error yields 503 with the
+// reason in the body.
+func ReadyRoute(check func() error) Route {
+	return Route{Pattern: "/readyz", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if err := check(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})}
+}
+
 // Handler returns the introspection endpoint for a registry:
 //
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar (process globals + the registry under "privapprox")
 //	/debug/pprof/  the standard pprof surface
-func Handler(r *Registry) http.Handler {
+//
+// plus any extra routes.
+func Handler(r *Registry, routes ...Route) http.Handler {
 	publishExpvar(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -58,6 +91,9 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
@@ -68,14 +104,15 @@ type Server struct {
 }
 
 // Serve starts the introspection endpoint on addr (host:port; port 0
-// picks a free port) and serves it in the background. The returned
-// Server reports the bound address and closes the listener.
-func Serve(addr string, r *Registry) (*Server, error) {
+// picks a free port) and serves it in the background, mounting any
+// extra routes. The returned Server reports the bound address and
+// closes the listener.
+func Serve(addr string, r *Registry, routes ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: Handler(r, routes...)}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

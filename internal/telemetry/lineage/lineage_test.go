@@ -1,0 +1,373 @@
+package lineage
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"privapprox/internal/telemetry"
+)
+
+func TestStampRoundTrip(t *testing.T) {
+	in := Stamp{
+		Epoch: 7, Group: 3, Seq: 41, Shares: 12,
+		FlushStartNs: 1_700_000_000_123, PublishNs: 1_700_000_000_456, MonoNs: 9876,
+	}
+	wire := AppendStamp(nil, in)
+	if len(wire) != StampWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(wire), StampWireSize)
+	}
+	out, err := DecodeStamp(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeStampRejectsGarbage(t *testing.T) {
+	if _, err := DecodeStamp(make([]byte, StampWireSize-1)); err == nil {
+		t.Fatal("short frame must not decode")
+	}
+	wire := AppendStamp(nil, Stamp{Epoch: 1})
+	wire[0] = 99 // future version byte
+	if _, err := DecodeStamp(wire); err == nil {
+		t.Fatal("unknown version must not decode")
+	}
+}
+
+func TestEpochRange(t *testing.T) {
+	const freq = int64(1e9) // 1s epochs
+	cases := []struct {
+		name        string
+		start, end  int64
+		first, last uint64
+		ok          bool
+	}{
+		{"aligned window", 0, 4e9, 0, 3, true},
+		{"offset window", 2e9, 4e9, 2, 3, true},
+		{"mid-epoch bounds", 5e8, 25e8, 1, 2, true},
+		{"before origin", -4e9, -1e9, 0, 0, false},
+		{"empty window", 2e9, 2e9, 0, 0, false},
+		{"straddles origin", -1e9, 2e9, 0, 1, true},
+	}
+	for _, tc := range cases {
+		first, last, ok := EpochRange(0, freq, tc.start, tc.end)
+		if ok != tc.ok || (ok && (first != tc.first || last != tc.last)) {
+			t.Errorf("%s: EpochRange = (%d,%d,%v), want (%d,%d,%v)",
+				tc.name, first, last, ok, tc.first, tc.last, tc.ok)
+		}
+	}
+	if _, _, ok := EpochRange(0, 0, 0, 1e9); ok {
+		t.Fatal("non-positive frequency must not map")
+	}
+}
+
+func TestDeterministicLineExcludesTiming(t *testing.T) {
+	c := Card{
+		Query: "q1", WindowStart: 1000, WindowEnd: 2000,
+		EpochFirst: 1, EpochLast: 2, Responses: 5, Population: 12,
+		Fraction: 0.9, Realized: 5.0 / 12.0, Shed: 1, CIWidth: 0.25, EpsilonZK: 1.5,
+		FiredAtNs: 123456789, FireDurNs: 42, E2ENs: 777, Stamps: 3,
+	}
+	line := c.DeterministicLine()
+	twin := c
+	twin.FiredAtNs, twin.FireDurNs, twin.E2ENs, twin.Stamps = 0, 0, -1, 0
+	if twin.DeterministicLine() != line {
+		t.Fatal("timing fields must not affect the deterministic line")
+	}
+	for _, want := range []string{
+		"query=q1", "window=[1000,2000)", "epochs=[1,2]", "responses=5",
+		"population=12", "fraction=0.9", "shed=1", "ci_width=0.25",
+		"epsilon_zk=1.5", "late=0 duplicates=0 malformed=0",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func emit(t *testing.T, r *Recorder, query string, start int64) {
+	t.Helper()
+	if err := r.EmitCard(Card{Query: query, WindowStart: start, WindowEnd: start + 1000, Responses: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderDedupsReEmission(t *testing.T) {
+	r, err := NewRecorder(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r, "q", 1000)
+	emit(t, r, "q", 2000)
+	emit(t, r, "q", 1000) // replayed window: must be suppressed
+	emit(t, r, "other", 1000)
+	if got := r.Emitted(); got != 3 {
+		t.Fatalf("emitted = %d, want 3", got)
+	}
+	if got := r.Suppressed(); got != 1 {
+		t.Fatalf("suppressed = %d, want 1", got)
+	}
+}
+
+func TestRecorderLogScanSuppressesAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cards.jsonl")
+	r1, err := NewRecorder(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r1, "q", 1000)
+	emit(t, r1, "q", 2000)
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restored" recorder over the same log: the already-logged
+	// windows re-fire (the crash rewound the aggregator) but their
+	// cards must not be appended twice.
+	r2, err := NewRecorder(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r2, "q", 1000)
+	emit(t, r2, "q", 2000)
+	emit(t, r2, "q", 3000) // genuinely new window
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Suppressed(); got != 2 {
+		t.Fatalf("suppressed = %d, want 2", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("log has %d cards, want 3:\n%s", len(lines), data)
+	}
+	seen := map[int64]bool{}
+	for _, ln := range lines {
+		var c Card
+		if err := json.Unmarshal([]byte(ln), &c); err != nil {
+			t.Fatalf("bad card line %q: %v", ln, err)
+		}
+		if seen[c.WindowStart] {
+			t.Fatalf("window %d logged twice", c.WindowStart)
+		}
+		seen[c.WindowStart] = true
+	}
+}
+
+func TestRecorderTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cards.jsonl")
+	r1, err := NewRecorder(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r1, "q", 1000)
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unparseable final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"query":"q","window_start`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2, err := NewRecorder(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r2, "q", 2000)
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("log has %d lines after torn-tail recovery, want 2:\n%s", len(lines), data)
+	}
+	for _, ln := range lines {
+		var c Card
+		if err := json.Unmarshal([]byte(ln), &c); err != nil {
+			t.Fatalf("unparseable line survived recovery: %q", ln)
+		}
+	}
+}
+
+func TestRecorderRingBounded(t *testing.T) {
+	r, err := NewRecorder(Options{Ring: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		emit(t, r, "q", int64((i+1)*1000))
+	}
+	cards := r.Cards(nil)
+	if len(cards) != 4 {
+		t.Fatalf("ring holds %d cards, want 4", len(cards))
+	}
+	for i, c := range cards {
+		if want := int64((7 + i) * 1000); c.WindowStart != want {
+			t.Fatalf("card %d start = %d, want %d (oldest-first)", i, c.WindowStart, want)
+		}
+	}
+}
+
+func TestRecorderStampEnrichment(t *testing.T) {
+	r, err := NewRecorder(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two groups flush epoch 5; one also flushes epoch 6. The card's
+	// end-to-end latency anchors on each epoch's earliest flush.
+	r.ObserveStamp(Stamp{Epoch: 5, Group: 0, Shares: 3, FlushStartNs: 1000})
+	r.ObserveStamp(Stamp{Epoch: 5, Group: 1, Shares: 3, FlushStartNs: 900})
+	r.ObserveStamp(Stamp{Epoch: 6, Group: 0, Shares: 3, FlushStartNs: 2000})
+	if err := r.EmitCard(Card{
+		Query: "q", WindowStart: 0, WindowEnd: 7000,
+		EpochFirst: 5, EpochLast: 6, FiredAtNs: 5000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cards := r.Cards(nil)
+	if len(cards) != 1 {
+		t.Fatalf("cards = %d, want 1", len(cards))
+	}
+	c := cards[0]
+	if c.Stamps != 3 {
+		t.Fatalf("stamps = %d, want 3", c.Stamps)
+	}
+	// Worst-case leg: fire(5000) − earliest epoch-5 flush(900) = 4100.
+	if c.E2ENs != 4100 {
+		t.Fatalf("e2e = %d, want 4100", c.E2ENs)
+	}
+}
+
+func TestRecorderNoStampsMeansNoE2E(t *testing.T) {
+	r, err := NewRecorder(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EmitCard(Card{Query: "q", WindowEnd: 1000, FiredAtNs: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Cards(nil)[0]; c.E2ENs != -1 || c.Stamps != 0 {
+		t.Fatalf("stampless card e2e=%d stamps=%d, want -1/0", c.E2ENs, c.Stamps)
+	}
+}
+
+func TestRecorderHandlerServesCards(t *testing.T) {
+	r, err := NewRecorder(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r, "q1", 1000)
+	emit(t, r, "q2", 1000)
+	r.ObserveStamp(Stamp{Epoch: 0, FlushStartNs: 1})
+
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/privapprox/windows", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var page struct {
+		Emitted    int64  `json:"emitted"`
+		Suppressed int64  `json:"suppressed"`
+		Stamps     int64  `json:"stamps"`
+		Cards      []Card `json:"cards"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+		t.Fatalf("windows page is not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if page.Emitted != 2 || page.Stamps != 1 || len(page.Cards) != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+}
+
+func TestRecorderSamples(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, err := NewRecorder(Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EmitCard(Card{Query: "q", WindowEnd: 1000, CIWidth: 0.5, Realized: 0.25, Responses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, s := range r.AppendSamples(nil) {
+		key := s.Name
+		if s.LabelKey != "" {
+			key += "{" + s.LabelKey + "=" + s.LabelValue + "}"
+		}
+		got[key] = s.Value
+	}
+	if got["privapprox_window_cards_emitted_total"] != 1 {
+		t.Fatalf("emitted sample = %v", got)
+	}
+	if got["privapprox_window_ci_width{query=q}"] != 0.5 ||
+		got["privapprox_window_realized_fraction{query=q}"] != 0.25 {
+		t.Fatalf("labeled gauges = %v", got)
+	}
+}
+
+func TestRecorderConcurrentEmitAndObserve(t *testing.T) {
+	r, err := NewRecorder(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.ObserveStamp(Stamp{Epoch: uint64(i), Group: uint32(g), FlushStartNs: int64(i)})
+				// A memory-only recorder cannot fail an append; errors
+				// are re-checked via Emitted below.
+				r.EmitCard(Card{Query: fmt.Sprintf("q%d", g), WindowStart: int64((i + 1) * 1000), WindowEnd: int64((i+1)*1000) + 1000})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Emitted(); got != 800 {
+		t.Fatalf("emitted = %d, want 800", got)
+	}
+}
+
+func TestRecorderCreatesLogDirectory(t *testing.T) {
+	// A durable node may point -cards inside a data directory that no
+	// component has created yet; the recorder must make it rather than
+	// fall back to memory-only with a write error.
+	path := filepath.Join(t.TempDir(), "agg", "deep", "cards.jsonl")
+	r, err := NewRecorder(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, r, "q", 1000)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("card log was not created: %v", err)
+	}
+	if !strings.Contains(string(data), `"query":"q"`) {
+		t.Fatalf("card log missing emitted card:\n%s", data)
+	}
+}

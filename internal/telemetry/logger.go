@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level uint8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+var levelNames = [...]string{
+	LevelDebug: "debug",
+	LevelInfo:  "info",
+	LevelWarn:  "warn",
+	LevelError: "error",
+}
+
+// String returns the level's logfmt value.
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "unknown"
+}
+
+// Logger is a small leveled, role-tagged structured logger for node
+// diagnostics: one logfmt line per event on stderr —
+//
+//	ts=2026-08-08T10:02:03.412Z level=warn role=aggregator msg="peek query set: timeout"
+//
+// It deliberately does NOT replace the protocol banner lines the
+// harnesses parse from stdout (those stay plain fmt.Printf,
+// byte-identical); it replaces the ad-hoc log.Printf diagnostics.
+type Logger struct {
+	role string
+	min  Level
+	mu   sync.Mutex
+	w    io.Writer
+	now  func() time.Time
+}
+
+// NewLogger returns a logger tagged with the node role, writing to
+// stderr at LevelInfo and above.
+func NewLogger(role string) *Logger {
+	return &Logger{role: role, min: LevelInfo, w: os.Stderr, now: time.Now}
+}
+
+// SetOutput redirects the logger (tests).
+func (l *Logger) SetOutput(w io.Writer) {
+	l.mu.Lock()
+	l.w = w
+	l.mu.Unlock()
+}
+
+// SetLevel lowers or raises the minimum emitted level.
+func (l *Logger) SetLevel(min Level) {
+	l.mu.Lock()
+	l.min = min
+	l.mu.Unlock()
+}
+
+// logf emits one logfmt line; the message is quoted so embedded
+// spaces and quotes survive field splitting.
+func (l *Logger) logf(lv Level, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lv < l.min {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	fmt.Fprintf(l.w, "ts=%s level=%s role=%s msg=%s\n",
+		l.now().UTC().Format(time.RFC3339Nano), lv, l.role, strconv.Quote(msg))
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Fatalf logs at error level and exits the process.
+func (l *Logger) Fatalf(format string, args ...any) {
+	l.logf(LevelError, format, args...)
+	os.Exit(1)
+}

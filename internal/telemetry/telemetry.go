@@ -210,13 +210,41 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // claimLocked records name as owned by kind, panicking if another
-// kind holds it. Registration is a construction-time act, so a clash
-// is a programming error, not a runtime condition to soft-fail.
+// kind holds it or the name is not a valid metric name. Registration
+// is a construction-time act, so a clash is a programming error, not a
+// runtime condition to soft-fail. Re-requesting the same name with the
+// same kind stays idempotent (the constructors return the existing
+// instrument before reaching here).
 func (r *Registry) claimLocked(name, kind string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q registered as %s", name, kind))
+	}
 	if prev, ok := r.kinds[name]; ok && prev != kind {
 		panic(fmt.Sprintf("telemetry: instrument %q registered as both %s and %s", name, prev, kind))
 	}
 	r.kinds[name] = kind
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]* — checked at registration so a
+// typo'd series fails at construction instead of silently corrupting
+// the exposition text.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		switch ch := name[i]; {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_', ch == ':':
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // RegisterSource adds a snapshot source; its samples appear in every

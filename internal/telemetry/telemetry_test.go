@@ -42,11 +42,39 @@ func TestRegistryKindClashPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x")
 	defer func() {
-		if recover() == nil {
+		p := recover()
+		if p == nil {
 			t.Fatal("registering x as a gauge after a counter must panic")
+		}
+		// The panic must name the offending instrument so the clash is
+		// findable without a stack-trace archaeology session.
+		if msg := fmt.Sprint(p); !strings.Contains(msg, `"x"`) {
+			t.Fatalf("panic %q does not name the instrument", msg)
 		}
 	}()
 	r.Gauge("x")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "2fast", "has space", "dash-ed", "percent%"} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("registering %q must panic", name)
+				}
+				if msg := fmt.Sprint(p); !strings.Contains(msg, fmt.Sprintf("%q", name)) {
+					t.Fatalf("panic %q does not name the bad metric %q", msg, name)
+				}
+			}()
+			NewRegistry().Counter(name)
+		}()
+	}
+	// The full Prometheus grammar must stay accepted.
+	r := NewRegistry()
+	for _, name := range []string{"a", "_lead", "ns:scoped_total", "privapprox_window_e2e_ns"} {
+		r.Counter(name)
+	}
 }
 
 func TestHistogramBucketsAndSnapshot(t *testing.T) {

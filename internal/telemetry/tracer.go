@@ -22,6 +22,11 @@ const (
 	numStages
 )
 
+// NumStages is the number of pipeline stages; Stage values range over
+// [0, NumStages). Exported for consumers (the lineage plane) that copy
+// per-stage totals into their own structures.
+const NumStages = numStages
+
 var stageNames = [numStages]string{
 	StageAnswer:  "answer",
 	StageFlush:   "flush",
@@ -173,6 +178,16 @@ func (t *Tracer) Record(e uint64, st Stage, d time.Duration, units, depth int) {
 // do not thread the epoch number through their call path.
 func (t *Tracer) RecordCurrent(st Stage, d time.Duration, units, depth int) {
 	t.Record(t.Epoch(), st, d, units, depth)
+}
+
+// TotalBusy returns the cumulative busy time charged to stage st
+// across all epochs — the in-process latency legs a result card
+// carries alongside its cross-process stamp timing.
+func (t *Tracer) TotalBusy(st Stage) time.Duration {
+	if st >= numStages {
+		return 0
+	}
+	return time.Duration(t.totals[st].ns.Load())
 }
 
 // RecordFire appends one fired-window span to the fire ring (newest

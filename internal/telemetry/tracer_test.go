@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -99,5 +100,47 @@ func TestTracerStageSamples(t *testing.T) {
 		got["privapprox_stage_units_total"] != 3 ||
 		got["privapprox_stage_depth_max"] != 12 {
 		t.Fatalf("publish stage samples = %v", got)
+	}
+}
+
+func TestTracerConcurrentRecordFire(t *testing.T) {
+	tr := NewTracer()
+	const goroutines, perG = 8, 3 * fireRing
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.RecordFire(FireSpan{
+					Epoch: uint64(i), Query: "q", WindowStart: int64(g*perG + i),
+					Responses: 1, Dur: time.Microsecond,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	fires := tr.Fires(nil)
+	if len(fires) != fireRing {
+		t.Fatalf("resident fires = %d, want %d", len(fires), fireRing)
+	}
+	seen := map[int64]bool{}
+	for _, f := range fires {
+		if f.Query != "q" || f.Responses != 1 {
+			t.Fatalf("torn fire span: %+v", f)
+		}
+		if seen[f.WindowStart] {
+			t.Fatalf("window %d appears twice in the ring", f.WindowStart)
+		}
+		seen[f.WindowStart] = true
+	}
+	var fired float64
+	for _, s := range tr.AppendSamples(nil) {
+		if s.Name == "privapprox_windows_fired_total" {
+			fired = s.Value
+		}
+	}
+	if fired != goroutines*perG {
+		t.Fatalf("windows_fired_total = %v, want %d", fired, goroutines*perG)
 	}
 }
